@@ -1,0 +1,48 @@
+//===- bench/FigureMain.h - shared driver for the speedup figures ---------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each of the paper's speedup figures (4-7) is one binary that prints
+/// the same series the figure plots: speedup per benchmark per thread
+/// count, relative to the baseline the paper uses. This header holds the
+/// shared driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_BENCH_FIGUREMAIN_H
+#define MANTI_BENCH_FIGUREMAIN_H
+
+#include "sim/Speedup.h"
+
+#include <cstdio>
+
+namespace manti::sim {
+
+inline int runFigure(const char *Title, const char *Caption,
+                     const SimMachine &M, AllocPolicyKind Policy,
+                     AllocPolicyKind BaselinePolicy,
+                     const std::vector<unsigned> &Threads) {
+  std::printf("%s\n%s\n\n", Title, Caption);
+  std::vector<SpeedupSeries> Series =
+      speedupSweep(M, Policy, BaselinePolicy, Threads);
+  printSpeedupTable(stdout, "Speedup vs threads:", Series);
+  std::printf("\nAbsolute modeled seconds:\n");
+  std::printf("%-8s", "Threads");
+  for (const SpeedupSeries &S : Series)
+    std::printf(" %-22s", S.Benchmark.c_str());
+  std::printf("\n");
+  for (std::size_t I = 0; I < Threads.size(); ++I) {
+    std::printf("%-8u", Threads[I]);
+    for (const SpeedupSeries &S : Series)
+      std::printf(" %-22.4f", S.Seconds[I]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+} // namespace manti::sim
+
+#endif // MANTI_BENCH_FIGUREMAIN_H

@@ -1,0 +1,67 @@
+//===- bench/GCBenchUtils.h - shared helpers for bench binaries -----------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_BENCH_GCBENCHUTILS_H
+#define MANTI_BENCH_GCBENCHUTILS_H
+
+#include "gc/Heap.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace manti::benchutil {
+
+/// Runs \p Body once per vproc, each on its own thread, then drains:
+/// every thread keeps hitting safe points until all are done and no
+/// global collection is pending (a collection needs all vprocs at its
+/// barriers, so nobody may leave early).
+template <typename BodyT> void runOnWorldThreads(GCWorld &W, BodyT Body) {
+  std::atomic<unsigned> Done{0};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < W.numVProcs(); ++I) {
+    Threads.emplace_back([&W, I, &Body, &Done] {
+      VProcHeap &H = W.heap(I);
+      Body(H);
+      Done.fetch_add(1, std::memory_order_acq_rel);
+      while (Done.load(std::memory_order_acquire) < W.numVProcs() ||
+             W.globalGCPending()) {
+        H.safePoint();
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+/// Builds a cons list of N tagged integers (vector cells [head, tail]).
+inline Value makeIntListB(VProcHeap &H, int64_t N) {
+  GcFrame Frame(H);
+  Value List = Value::nil();
+  Frame.root(List);
+  for (int64_t I = 0; I < N; ++I) {
+    Value Elems[2] = {Value::fromInt(I), List};
+    GcFrame Inner(H);
+    Inner.root(Elems[0]);
+    Inner.root(Elems[1]);
+    List = H.allocVector(Elems, 2);
+  }
+  return List;
+}
+
+/// Keeps a value observably alive without benchmark library support.
+inline void benchmarkSink(int64_t V) {
+  static volatile int64_t Sink;
+  Sink = V;
+  (void)Sink;
+}
+
+} // namespace manti::benchutil
+
+#endif // MANTI_BENCH_GCBENCHUTILS_H

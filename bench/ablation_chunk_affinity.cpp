@@ -1,0 +1,94 @@
+//===- bench/ablation_chunk_affinity.cpp - chunk node-affinity ablation ---===//
+//
+// Part of the manticore-gc project.
+//
+// The paper: "our memory system tracks the node on which a chunk is
+// allocated and preserves node affinity when reusing chunks." This
+// ablation runs identical promotion/collection churn with affinity
+// preserved vs ignored and reports how often a vproc received a chunk
+// homed on its own node, plus the resulting share of remote GC traffic
+// in the ledger. (On this single-core host the wall-clock difference is
+// not meaningful; the locality counters are the observable.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCBenchUtils.h"
+#include "numa/Topology.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace manti;
+using namespace manti::benchutil;
+
+namespace {
+
+struct AblationResult {
+  uint64_t NodeLocalReuses = 0;
+  uint64_t FreshAllocations = 0;
+  double RemoteTrafficFraction = 0;
+  uint64_t GlobalGCs = 0;
+};
+
+AblationResult runChurn(bool PreserveAffinity) {
+  GCConfig Cfg;
+  Cfg.LocalHeapBytes = 256 * 1024;
+  Cfg.MinNurseryBytes = 32 * 1024;
+  Cfg.ChunkBytes = 64 * 1024;
+  Cfg.GlobalGCBytesPerVProc = 256 * 1024;
+  Cfg.PreserveChunkAffinity = PreserveAffinity;
+  GCWorld World(Cfg, Topology::uniform(4, 1), 4);
+
+  // Each vproc promotes live and dead lists on its own thread; the
+  // trigger fires global collections that recycle chunks.
+  runOnWorldThreads(World, [](VProcHeap &H) {
+    GcFrame Frame(H);
+    Value &Keep = Frame.root(Value::nil());
+    for (int Round = 0; Round < 500; ++Round) {
+      {
+        GcFrame Inner(H);
+        Value &Junk = Inner.root(makeIntListB(H, 300));
+        H.promote(Junk);
+      }
+      Keep = H.promote(makeIntListB(H, 40));
+      H.safePoint();
+    }
+  });
+
+  AblationResult R;
+  R.NodeLocalReuses = World.chunks().nodeLocalReuses();
+  R.FreshAllocations = World.chunks().globalAllocations();
+  R.GlobalGCs = World.globalGCCount();
+  uint64_t Total = World.traffic().totalBytes();
+  R.RemoteTrafficFraction =
+      Total ? static_cast<double>(World.traffic().remoteBytes()) / Total : 0;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: global-heap chunk reuse with and without node "
+              "affinity\n");
+  std::printf("(4 vprocs on a 4-node machine, local allocation policy; "
+              "identical churn)\n\n");
+  std::printf("%-22s %-18s %-18s %-18s %-10s\n", "configuration",
+              "node-local reuses", "fresh mappings", "remote traffic",
+              "global GCs");
+  for (bool Affinity : {true, false}) {
+    AblationResult R = runChurn(Affinity);
+    std::printf("%-22s %-18llu %-18llu %-17.1f%% %-10llu\n",
+                Affinity ? "affinity preserved" : "affinity ignored",
+                static_cast<unsigned long long>(R.NodeLocalReuses),
+                static_cast<unsigned long long>(R.FreshAllocations),
+                R.RemoteTrafficFraction * 100.0,
+                static_cast<unsigned long long>(R.GlobalGCs));
+  }
+  std::printf("\nWith affinity preserved, chunk requests are served from "
+              "the requesting\nnode's free list (node-local "
+              "synchronization, node-local copying); with\naffinity "
+              "ignored, vprocs routinely receive remote-homed chunks and "
+              "every\nsubsequent major collection copies across the "
+              "interconnect.\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+//===- bench/fig4_intel_speedup.cpp - reproduce paper Figure 4 ------------===//
+//
+// Part of the manticore-gc project.
+// "Comparative speedup plots for five benchmarks on Intel hardware."
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+using namespace manti;
+using namespace manti::sim;
+
+int main() {
+  return runFigure(
+      "Figure 4: speedups on the 32-core Intel Xeon X7560 machine",
+      "(local page allocation; baseline = 1-thread local run)",
+      SimMachine::intel32(), AllocPolicyKind::Local, AllocPolicyKind::Local,
+      intelThreadAxis());
+}

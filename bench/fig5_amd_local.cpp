@@ -1,0 +1,21 @@
+//===- bench/fig5_amd_local.cpp - reproduce paper Figure 5 ----------------===//
+//
+// Part of the manticore-gc project.
+// "Comparative speedup plots for five benchmarks on AMD hardware using
+// local memory allocation."
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+using namespace manti;
+using namespace manti::sim;
+
+int main() {
+  return runFigure(
+      "Figure 5: speedups on the 48-core AMD Opteron 6172 machine",
+      "(local page allocation -- Manticore's default; baseline = 1-thread "
+      "local run)",
+      SimMachine::amd48(), AllocPolicyKind::Local, AllocPolicyKind::Local,
+      amdThreadAxis());
+}

@@ -1,0 +1,23 @@
+//===- bench/fig6_amd_interleaved.cpp - reproduce paper Figure 6 ----------===//
+//
+// Part of the manticore-gc project.
+// "Comparative speedup plots for five benchmarks on AMD hardware with
+// interleaved memory allocation." (GHC's strategy; plotted relative to
+// the single-processor performance of the local-allocation runs.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+using namespace manti;
+using namespace manti::sim;
+
+int main() {
+  return runFigure(
+      "Figure 6: speedups on the 48-core AMD machine, interleaved "
+      "allocation",
+      "(pages balanced across nodes; baseline = 1-thread LOCAL-policy run, "
+      "as in the paper)",
+      SimMachine::amd48(), AllocPolicyKind::Interleaved,
+      AllocPolicyKind::Local, amdThreadAxis());
+}

@@ -1,0 +1,24 @@
+//===- bench/fig7_amd_socket0.cpp - reproduce paper Figure 7 --------------===//
+//
+// Part of the manticore-gc project.
+// "Comparative speedup plots for five benchmarks on AMD hardware with
+// socket zero memory allocation." (All pages on one node, the default a
+// single-threaded collector inherits; plotted relative to the
+// single-processor performance of the local-allocation runs.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+using namespace manti;
+using namespace manti::sim;
+
+int main() {
+  return runFigure(
+      "Figure 7: speedups on the 48-core AMD machine, socket-zero "
+      "allocation",
+      "(every page on node 0; baseline = 1-thread LOCAL-policy run, as in "
+      "the paper)",
+      SimMachine::amd48(), AllocPolicyKind::SingleNode,
+      AllocPolicyKind::Local, amdThreadAxis());
+}

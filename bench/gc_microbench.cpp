@@ -1,0 +1,156 @@
+//===- bench/gc_microbench.cpp - collector microbenchmarks ----------------===//
+//
+// Part of the manticore-gc project.
+//
+// google-benchmark measurements of the real (not simulated) collector:
+// bump allocation, minor/major collection throughput, promotion cost,
+// and global collection pause, plus the descriptor-driven scanning the
+// paper's Section 3.2 motivates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/HeapVerifier.h"
+#include "numa/Topology.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace manti;
+
+namespace {
+
+GCConfig benchConfig() {
+  GCConfig Cfg;
+  Cfg.LocalHeapBytes = 1024 * 1024;
+  Cfg.MinNurseryBytes = 64 * 1024;
+  Cfg.ChunkBytes = 256 * 1024;
+  Cfg.GlobalGCBytesPerVProc = 64 * 1024 * 1024; // avoid surprise globals
+  return Cfg;
+}
+
+Value makeList(VProcHeap &H, int64_t N) {
+  GcFrame Frame(H);
+  Value List = Value::nil();
+  Frame.root(List);
+  for (int64_t I = 0; I < N; ++I) {
+    Value Elems[2] = {Value::fromInt(I), List};
+    GcFrame Inner(H);
+    Inner.root(Elems[0]);
+    Inner.root(Elems[1]);
+    List = H.allocVector(Elems, 2);
+  }
+  return List;
+}
+
+} // namespace
+
+/// Bump allocation in the nursery ("functional-language implementations
+/// are notorious for their high rate of memory allocation").
+static void BM_NurseryAlloc(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t Words = State.range(0);
+  for (auto _ : State) {
+    Value V = H.allocRaw(nullptr, Words * 8);
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetBytesProcessed(State.iterations() * (Words + 1) * 8);
+}
+BENCHMARK(BM_NurseryAlloc)->Arg(2)->Arg(8)->Arg(64);
+
+/// Allocate a fresh live list, then minor-collect it: measures the
+/// mutator-allocation plus nursery-copy cycle at a given live size.
+static void BM_MinorGC(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t LiveCells = State.range(0);
+  for (auto _ : State) {
+    GcFrame Frame(H);
+    Value &Live = Frame.root(makeList(H, LiveCells));
+    H.minorGC();
+    benchmark::DoNotOptimize(Live);
+  }
+  State.SetBytesProcessed(State.iterations() * LiveCells * 24);
+}
+BENCHMARK(BM_MinorGC)->Arg(64)->Arg(256)->Arg(2048);
+
+/// Major collection: evacuating the old area to the global heap.
+static void BM_MajorGC(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t Cells = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    GcFrame Frame(H);
+    Value &List = Frame.root(makeList(H, Cells));
+    H.minorGC();
+    H.minorGC(); // age the data into the old area
+    State.ResumeTiming();
+    H.majorGC();
+    benchmark::DoNotOptimize(List);
+  }
+  State.SetBytesProcessed(State.iterations() * Cells * 24);
+}
+BENCHMARK(BM_MajorGC)->Arg(256)->Arg(2048)->Arg(8192);
+
+/// Promotion: the cost of sharing an object graph (the burden the lazy
+/// stealing scheme exists to avoid).
+static void BM_Promotion(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t Cells = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    GcFrame Frame(H);
+    Value &List = Frame.root(makeList(H, Cells));
+    State.ResumeTiming();
+    Value P = H.promote(List);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetBytesProcessed(State.iterations() * Cells * 24);
+}
+BENCHMARK(BM_Promotion)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Parallel stop-the-world global collection, single vproc (pause floor).
+static void BM_GlobalGC(benchmark::State &State) {
+  GCConfig Cfg = benchConfig();
+  GCWorld World(Cfg, Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  GcFrame Frame(H);
+  Value &Live = Frame.root(makeList(H, State.range(0)));
+  Live = H.promote(Live);
+  for (auto _ : State) {
+    World.requestGlobalGC();
+    H.safePoint();
+    benchmark::DoNotOptimize(Live);
+  }
+  State.counters["live_cells"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_GlobalGC)->Arg(256)->Arg(4096)->Arg(16384);
+
+/// Descriptor-driven scanning: allocate a chain of mixed objects and
+/// minor-collect it, exercising the per-type generated scanners
+/// (Section 3.2) on every copy.
+static void BM_MixedObjectScan(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  uint16_t Id = World.descriptors().registerMixed("bench-node", 4, {0, 1});
+  VProcHeap &H = World.heap(0);
+  int64_t Chain = State.range(0);
+  for (auto _ : State) {
+    GcFrame Frame(H);
+    Value &Root = Frame.root(Value::nil());
+    for (int64_t I = 0; I < Chain; ++I) {
+      Word Fields[4] = {Root.bits(), Root.bits(), 7, 9};
+      Value *Slots[2] = {&Root, &Root};
+      Root = H.allocMixedRooted(Id, Fields, Slots);
+    }
+    H.minorGC();
+    benchmark::DoNotOptimize(Root);
+  }
+  State.SetItemsProcessed(State.iterations() * Chain);
+}
+BENCHMARK(BM_MixedObjectScan)->Arg(512)->Arg(4096);
+
+BENCHMARK_MAIN();

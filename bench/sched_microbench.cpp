@@ -1,0 +1,115 @@
+//===- bench/sched_microbench.cpp - scheduler microbenchmarks -------------===//
+//
+// Part of the manticore-gc project.
+//
+// Spawn/join overhead, steal-handshake latency, and channel round trips
+// on the real runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/Parallel.h"
+#include "runtime/Runtime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace manti;
+
+namespace {
+
+RuntimeConfig benchRuntimeConfig(unsigned VProcs) {
+  RuntimeConfig Cfg;
+  Cfg.GC.LocalHeapBytes = 512 * 1024;
+  Cfg.GC.GlobalGCBytesPerVProc = 64 * 1024 * 1024;
+  Cfg.NumVProcs = VProcs;
+  Cfg.PinThreads = false;
+  return Cfg;
+}
+
+} // namespace
+
+/// Fork-join spawn/sync overhead: empty parallelFor bodies.
+static void BM_SpawnJoin(benchmark::State &State) {
+  static Runtime *RT;
+  Runtime Local(benchRuntimeConfig(1), Topology::singleNode(1));
+  RT = &Local;
+  int64_t Tasks = State.range(0);
+  for (auto _ : State) {
+    struct Ctx {
+      int64_t Tasks;
+    } C{Tasks};
+    RT->run(
+        [](Runtime &RT, VProc &VP, void *CtxP) {
+          auto *C = static_cast<Ctx *>(CtxP);
+          parallelFor(
+              RT, VP, 0, C->Tasks, 1,
+              [](Runtime &, VProc &, int64_t, int64_t, void *) {},
+              nullptr);
+        },
+        &C);
+  }
+  State.SetItemsProcessed(State.iterations() * Tasks);
+}
+BENCHMARK(BM_SpawnJoin)->Arg(64)->Arg(1024);
+
+/// Local deque push/pop through VProc::spawn + runOneLocal.
+static void BM_LocalDeque(benchmark::State &State) {
+  Runtime RT(benchRuntimeConfig(1), Topology::singleNode(1));
+  static int64_t Sink;
+  RT.run(
+      [](Runtime &, VProc &, void *) {},
+      nullptr); // warm the scheduler epoch
+  VProc &VP = RT.vproc(0);
+  for (auto _ : State) {
+    VP.spawn({[](Runtime &, VProc &, Task) { ++Sink; }, nullptr,
+              Value::nil(), 0, 0});
+    VP.runOneLocal();
+  }
+  benchmark::DoNotOptimize(Sink);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_LocalDeque);
+
+/// Channel round trip between two vprocs (send + recv of a small value).
+static void BM_ChannelPingPong(benchmark::State &State) {
+  Runtime RT(benchRuntimeConfig(2), Topology::uniform(2, 1));
+  static Channel *Chan;
+  Channel C(RT);
+  Chan = &C;
+  static int64_t Rounds;
+  Rounds = static_cast<int64_t>(State.max_iterations);
+  // One run: a responder task ping-pongs with the main vproc.
+  static benchmark::State *St;
+  St = &State;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        static JoinCounter Join;
+        Join.add();
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    for (int64_t I = 0; I < Rounds; ++I) {
+                      Value V = Chan->recv(VP);
+                      Chan->send(VP, Value::fromInt(V.asInt() + 1));
+                    }
+                    Join.sub();
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        int64_t I = 0;
+        for (auto _ : *St) {
+          Chan->send(VP, Value::fromInt(I));
+          Value R = Chan->recv(VP);
+          benchmark::DoNotOptimize(R);
+          ++I;
+        }
+        // Satisfy the responder's loop if the framework stopped early.
+        for (; I < Rounds; ++I) {
+          Chan->send(VP, Value::fromInt(I));
+          Chan->recv(VP);
+        }
+        VP.joinWait(Join);
+      },
+      nullptr);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ChannelPingPong)->Iterations(2000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+//===- bench/table1_bandwidth.cpp - reproduce paper Table 1 ---------------===//
+//
+// Part of the manticore-gc project.
+// "Theoretical bandwidth available between a single node and the rest of
+// the system." The model's topologies encode exactly these numbers; the
+// binary prints paper vs model so drift is obvious.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include <cstdio>
+
+using namespace manti;
+
+int main() {
+  Topology Amd = Topology::amdMagnyCours48();
+  Topology Intel = Topology::intelXeon32();
+
+  std::printf("Table 1: theoretical bandwidth between a single node and "
+              "the rest of the system (GB/s)\n\n");
+  std::printf("%-28s %-12s %-12s %-12s %-12s\n", "", "AMD paper", "AMD model",
+              "Intel paper", "Intel model");
+
+  // Local memory: the node's own controller.
+  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f\n", "Local Memory",
+              21.3, Amd.pathGBps(0, 0), 17.1, Intel.pathGBps(0, 0));
+
+  // Node in same package: AMD pairs dies per package; Intel has one node
+  // per package (n/a in the paper).
+  double AmdSamePkg = 0;
+  for (NodeId B = 0; B < Amd.numNodes(); ++B)
+    if (B != 0 && Amd.samePackage(0, B))
+      for (LinkId L : Amd.route(0, B))
+        AmdSamePkg = Amd.link(L).GBps;
+  std::printf("%-28s %-12.1f %-12.1f %-12s %-12s\n", "Node in same package",
+              19.2, AmdSamePkg, "n/a", "n/a");
+
+  // Node on another package: the single 8-bit HT3 link (AMD), a full QPI
+  // link (Intel). Print the raw link capacity like the paper does.
+  double AmdRemote = 1e9, IntelRemote = 0;
+  for (NodeId B = 0; B < Amd.numNodes(); ++B) {
+    if (Amd.samePackage(0, B) || Amd.hopCount(0, B) != 1)
+      continue;
+    for (LinkId L : Amd.route(0, B))
+      AmdRemote = std::min(AmdRemote, Amd.link(L).GBps);
+  }
+  for (LinkId L : Intel.route(0, 1))
+    IntelRemote = Intel.link(L).GBps;
+  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f\n",
+              "Node on another package", 6.4, AmdRemote, 25.6, IntelRemote);
+
+  std::printf("\nDerived end-to-end path bandwidths (min of controller and "
+              "links):\n");
+  std::printf("  AMD   node0 -> node1 (same package):   %5.1f GB/s\n",
+              Amd.pathGBps(1, 0));
+  std::printf("  AMD   node0 -> node7 (other package):  %5.1f GB/s\n",
+              Amd.pathGBps(7, 0));
+  std::printf("  Intel node0 -> node3 (QPI, controller-bound): %5.1f GB/s\n",
+              Intel.pathGBps(3, 0));
+  std::printf("\nHop counts: AMD max %u (via package mate), Intel max 1 "
+              "(full QPI mesh).\n",
+              [&] {
+                unsigned Max = 0;
+                for (NodeId A = 0; A < Amd.numNodes(); ++A)
+                  for (NodeId B = 0; B < Amd.numNodes(); ++B)
+                    Max = std::max(Max, Amd.hopCount(A, B));
+                return Max;
+              }());
+  return 0;
+}

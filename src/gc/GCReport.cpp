@@ -1,0 +1,99 @@
+//===- gc/GCReport.cpp -----------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GCReport.h"
+
+#include "support/Stats.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <vector>
+
+using namespace manti;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+void appendBytes(std::string &Out, uint64_t Bytes) {
+  char Buf[32];
+  formatBytes(Bytes, Buf, sizeof(Buf));
+  Out += Buf;
+}
+
+void appendPhase(std::string &Out, const char *Name, const DurationStat &D,
+                 uint64_t Bytes) {
+  appendf(Out, "  %-12s %8" PRIu64 " collections, ", Name, D.count());
+  appendBytes(Out, Bytes);
+  appendf(Out, " copied, pauses: mean %.1f us, max %.1f us\n",
+          D.meanNanos() / 1e3, static_cast<double>(D.maxNanos()) / 1e3);
+}
+
+} // namespace
+
+std::string manti::gcReportString(GCWorld &World) {
+  std::string Out;
+  GCStats S = World.aggregateStats();
+
+  Out += "=== manticore-gc report ===\n";
+  appendf(Out, "vprocs: %u on %s (%u nodes, policy %s)\n", World.numVProcs(),
+          World.topology().name().c_str(), World.topology().numNodes(),
+          allocPolicyName(World.policy().kind()));
+
+  Out += "allocation:\n  local:  ";
+  appendBytes(Out, S.BytesAllocatedLocal);
+  Out += "\n  global: ";
+  appendBytes(Out, S.BytesAllocatedGlobal);
+  Out += "\ncollections:\n";
+  appendPhase(Out, "minor", S.MinorPause, S.MinorBytesCopied);
+  appendPhase(Out, "major", S.MajorPause, S.MajorBytesPromoted);
+  appendPhase(Out, "promotion", S.PromotePause, S.PromoteBytes);
+  appendPhase(Out, "global", S.GlobalPause, S.GlobalBytesCopied);
+
+  ChunkManager &CM = World.chunks();
+  appendf(Out,
+          "global heap: %u chunks created, %" PRIu64
+          " node-local reuses, %" PRIu64 " fresh mappings, ",
+          CM.numChunksCreated(), CM.nodeLocalReuses(),
+          CM.globalAllocations());
+  appendBytes(Out, CM.activeBytes());
+  appendf(Out, " active (trigger at ");
+  appendBytes(Out, World.globalGCThresholdBytes());
+  appendf(Out, ")\nglobal collections: %" PRIu64 "\n",
+          World.globalGCCount());
+
+  TrafficMatrix &T = World.traffic();
+  uint64_t Total = T.totalBytes();
+  if (Total > 0) {
+    appendf(Out, "inter-node traffic: ");
+    appendBytes(Out, Total);
+    appendf(Out, " total, %.1f%% remote\n",
+            100.0 * static_cast<double>(T.remoteBytes()) /
+                static_cast<double>(Total));
+    unsigned N = World.topology().numNodes();
+    for (NodeId To = 0; To < N; ++To) {
+      appendf(Out, "  into node %u: ", To);
+      appendBytes(Out, T.bytesInto(To));
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+void manti::printGCReport(std::FILE *Out, GCWorld &World) {
+  std::string Report = gcReportString(World);
+  std::fwrite(Report.data(), 1, Report.size(), Out);
+}

@@ -1,0 +1,34 @@
+//===- gc/GCReport.h - human-readable collector reports -------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a world's collector statistics -- per-phase counts, bytes,
+/// pause times, chunk-manager synchronization classes, and the
+/// inter-node traffic matrix -- as text. Examples and benchmarks use it;
+/// it is the library's equivalent of a runtime's `+RTS -s` output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_GCREPORT_H
+#define MANTI_GC_GCREPORT_H
+
+#include "gc/Heap.h"
+
+#include <cstdio>
+#include <string>
+
+namespace manti {
+
+/// Writes a full report for \p World to \p Out. Call while the vprocs
+/// are quiescent.
+void printGCReport(std::FILE *Out, GCWorld &World);
+
+/// Same report as a string (for tests).
+std::string gcReportString(GCWorld &World);
+
+} // namespace manti
+
+#endif // MANTI_GC_GCREPORT_H

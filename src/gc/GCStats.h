@@ -1,0 +1,69 @@
+//===- gc/GCStats.h - per-vproc collection statistics --------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters and pause timers for every collector phase. Each vproc owns
+/// one GCStats (no synchronization needed); experiments aggregate them
+/// after the vprocs have stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_GCSTATS_H
+#define MANTI_GC_GCSTATS_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+
+namespace manti {
+
+struct GCStats {
+  // Minor collections (nursery -> old data area).
+  DurationStat MinorPause;
+  uint64_t MinorBytesCopied = 0;
+  uint64_t MinorBytesReclaimed = 0;
+
+  // Major collections (old data area -> global heap).
+  DurationStat MajorPause;
+  uint64_t MajorBytesPromoted = 0;
+  uint64_t MajorBytesSlid = 0;
+
+  // Explicit promotions (sharing an object with other vprocs).
+  DurationStat PromotePause;
+  uint64_t PromoteCalls = 0;
+  uint64_t PromoteBytes = 0;
+
+  // Global (parallel stop-the-world) collections.
+  DurationStat GlobalPause;
+  uint64_t GlobalBytesCopied = 0;
+  uint64_t GlobalChunksScanned = 0;
+
+  // Allocation volume.
+  uint64_t BytesAllocatedLocal = 0;
+  uint64_t BytesAllocatedGlobal = 0;
+
+  /// Merges another vproc's stats into this one (for reporting).
+  void merge(const GCStats &O) {
+    MinorPause.merge(O.MinorPause);
+    MinorBytesCopied += O.MinorBytesCopied;
+    MinorBytesReclaimed += O.MinorBytesReclaimed;
+    MajorPause.merge(O.MajorPause);
+    MajorBytesPromoted += O.MajorBytesPromoted;
+    MajorBytesSlid += O.MajorBytesSlid;
+    PromotePause.merge(O.PromotePause);
+    PromoteCalls += O.PromoteCalls;
+    PromoteBytes += O.PromoteBytes;
+    GlobalPause.merge(O.GlobalPause);
+    GlobalBytesCopied += O.GlobalBytesCopied;
+    GlobalChunksScanned += O.GlobalChunksScanned;
+    BytesAllocatedLocal += O.BytesAllocatedLocal;
+    BytesAllocatedGlobal += O.BytesAllocatedGlobal;
+  }
+};
+
+} // namespace manti
+
+#endif // MANTI_GC_GCSTATS_H

@@ -1,0 +1,337 @@
+//===- gc/GlobalGC.cpp - parallel stop-the-world collection (paper 3.4) ---===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global collector. Trigger: active global-heap bytes exceed the
+/// threshold. The triggering vproc sets the pending flag and zeroes
+/// every allocation limit; every vproc then reaches this file through
+/// its next safe point and the phases proceed in lockstep:
+///
+///   1. Each vproc performs its minor and major collections in parallel
+///      (everything live in a local heap ends up in the young area or in
+///      global chunks).
+///   2. A leader gathers all global chunks into per-node from-space
+///      lists.
+///   3. Each vproc obtains a fresh to-space chunk and scans its roots
+///      and its local heap, copying reachable from-space objects.
+///   4. All vprocs drain the per-node lists of unscanned to-space
+///      chunks in parallel, preferring chunks homed on their own node so
+///      copying traffic stays node-local, until no work remains anywhere
+///      (counted-idle termination).
+///   5. The leader returns the from-space chunks to the free pool
+///      (preserving node affinity) and execution resumes.
+///
+/// Copying is racy by design -- two vprocs can reach the same from-space
+/// object -- so forwarding pointers are installed with a compare-and-
+/// swap; the loser rolls back its reservation when it was the last
+/// allocation in its chunk and otherwise abandons the bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorImpl.h"
+
+#include "support/Logging.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace manti {
+
+/// Shared state for one (or more, serially) global collections. Owned by
+/// the GCWorld; reset by the leader at the start of each collection.
+class GlobalCollection {
+public:
+  explicit GlobalCollection(GCWorld &W)
+      : W(W), FromByNode(W.topology().numNodes(), nullptr),
+        PendingByNode(W.topology().numNodes(), nullptr) {}
+
+  void participate(VProcHeap &H);
+
+  // The fields and queue operations below are shared with the per-vproc
+  // GlobalScanner; this class is internal to src/gc, so they are public.
+  void pushPending(Chunk *C) {
+    std::lock_guard<SpinLock> Guard(PendingLock);
+    C->Next = PendingByNode[C->HomeNode];
+    PendingByNode[C->HomeNode] = C;
+    PendingCount.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Pops a pending chunk, preferring \p PreferNode ("the vprocs obtain
+  /// chunks on a per-node basis").
+  Chunk *popPending(NodeId PreferNode) {
+    std::lock_guard<SpinLock> Guard(PendingLock);
+    unsigned N = static_cast<unsigned>(PendingByNode.size());
+    for (unsigned I = 0; I < N; ++I) {
+      NodeId Node = (PreferNode + I) % N;
+      if (Chunk *C = PendingByNode[Node]) {
+        PendingByNode[Node] = C->Next;
+        C->Next = nullptr;
+        PendingCount.fetch_sub(1, std::memory_order_release);
+        return C;
+      }
+    }
+    return nullptr;
+  }
+
+  GCWorld &W;
+  std::vector<Chunk *> FromByNode;
+  std::vector<Chunk *> PendingByNode;
+  SpinLock PendingLock;
+  std::atomic<int> PendingCount{0};
+  std::atomic<unsigned> IdleCount{0};
+};
+
+GlobalCollection *createGlobalCollection(GCWorld &W) {
+  return new GlobalCollection(W);
+}
+
+void GlobalCollectionDeleter::operator()(GlobalCollection *GC) const {
+  delete GC;
+}
+
+namespace {
+
+/// Per-vproc scanning state for one global collection.
+class GlobalScanner {
+public:
+  GlobalScanner(VProcHeap &H, GlobalCollection &GC) : H(H), GC(GC) {}
+
+  /// Forwards one word: from-space global objects are copied into this
+  /// vproc's to-space chunk; local (young) pointers and already-copied
+  /// objects pass through.
+  Word forwardGlobal(Word W) {
+    if (!wordIsPtr(W))
+      return W;
+    Word *Obj = reinterpret_cast<Word *>(W);
+    if (H.local().contains(Obj))
+      return W; // young data stays in the local heap
+    Chunk *Source = H.world().chunks().chunkOf(Obj);
+    if (!Source->InFromSpace)
+      return W; // already in to-space
+
+    std::atomic_ref<Word> HdrRef(headerOf(Obj));
+    Word Hdr = HdrRef.load(std::memory_order_acquire);
+    for (;;) {
+      if (isForwardWord(Hdr))
+        return Hdr; // another vproc won the race
+      uint64_t Foot = objectFootprintWords(Hdr);
+      Chunk *Used = nullptr;
+      Word *NewHdrSlot = reserve(Foot, &Used);
+      std::memcpy(NewHdrSlot, Obj - 1, Foot * sizeof(Word));
+      Word NewW = reinterpret_cast<Word>(NewHdrSlot + 1);
+      if (HdrRef.compare_exchange_strong(Hdr, NewW,
+                                         std::memory_order_acq_rel)) {
+        H.Stats.GlobalBytesCopied += Foot * sizeof(Word);
+        TrafficMatrix &T = H.world().traffic();
+        T.record(Source->HomeNode, H.node(), Foot * sizeof(Word));
+        T.record(H.node(), Used->HomeNode, Foot * sizeof(Word));
+        // A dedicated oversized copy is shared scan work (it is not our
+        // current alloc chunk and nobody else knows about it yet).
+        if (Used != H.CurChunk && Used->ScanPtr < Used->AllocPtr)
+          GC.pushPending(Used);
+        return NewW;
+      }
+      // Lost the race; Hdr now holds the winner's forwarding pointer.
+      // Reclaim the reservation when nothing followed it.
+      if (Used->AllocPtr == NewHdrSlot + Foot)
+        Used->AllocPtr = NewHdrSlot;
+    }
+  }
+
+  void visitSlot(Word *Slot) { *Slot = forwardGlobal(*Slot); }
+
+  /// Phase 3: forward this vproc's roots and scan its local heap for
+  /// pointers into from-space.
+  void forwardRootsAndLocalHeap() {
+    // Forward the proxy-table entries first: they reference proxy
+    // objects in the global heap, and the root walk below visits the
+    // proxies' payload slots, which should land in the to-space copies.
+    for (Word *&Proxy : H.ProxyTable)
+      Proxy = reinterpret_cast<Word *>(
+          forwardGlobal(reinterpret_cast<Word>(Proxy)));
+    forEachVProcRoot(H, [this](Word *Slot) { visitSlot(Slot); });
+
+    // "...and scans the vproc's roots and local heap": after the minor
+    // and major collections the local heap holds only the freshly-minted
+    // young data (now the old area), which is husk-free and linearly
+    // walkable.
+    LocalHeap &L = H.local();
+    const ObjectDescriptorTable &Descs = H.world().descriptors();
+    for (Word *Scan = L.base(); Scan < L.oldTop();) {
+      Word Hdr = *Scan;
+      MANTI_CHECK(isHeaderWord(Hdr), "husk in local heap during global GC");
+      forEachPtrField(Scan + 1, Hdr, Descs,
+                      [this](Word *Slot) { visitSlot(Slot); });
+      Scan += objectFootprintWords(Hdr);
+    }
+  }
+
+  /// Leader only: forward the process-wide roots (join cells, channels).
+  void forwardGlobalRoots() {
+    auto Visit = [this](Word *Slot) { visitSlot(Slot); };
+    H.world().enumerateGlobalRoots(fieldVisitTrampoline<decltype(Visit)>,
+                                   &Visit);
+  }
+
+  /// Phase 4: cooperative parallel scan until no vproc has work.
+  void scanLoop() {
+    unsigned NumVProcs = H.world().numVProcs();
+    for (;;) {
+      if (scanSome())
+        continue;
+      GC.IdleCount.fetch_add(1, std::memory_order_acq_rel);
+      for (;;) {
+        if (GC.PendingCount.load(std::memory_order_acquire) > 0 ||
+            haveLocalWork()) {
+          GC.IdleCount.fetch_sub(1, std::memory_order_acq_rel);
+          break;
+        }
+        if (GC.IdleCount.load(std::memory_order_acquire) == NumVProcs)
+          return; // nobody has work and nobody can create any
+        std::this_thread::yield();
+      }
+    }
+  }
+
+private:
+  Word *reserve(uint64_t Foot, Chunk **Used) {
+    Chunk *Before = H.CurChunk;
+    Word *P = H.globalReserve(Foot, Used);
+    // When the reservation rotated our current chunk, the filled one may
+    // still hold unscanned data: publish it as shared work, unless we
+    // are the one scanning it right now.
+    if (H.CurChunk != Before && Before && Before != ScanC &&
+        Before->ScanPtr < Before->AllocPtr)
+      GC.pushPending(Before);
+    return P;
+  }
+
+  bool haveLocalWork() const {
+    if (ScanC && ScanC->ScanPtr < ScanC->AllocPtr)
+      return true;
+    return H.CurChunk && H.CurChunk->ScanPtr < H.CurChunk->AllocPtr;
+  }
+
+  /// Scans a bounded batch of objects. \returns false when no work was
+  /// available.
+  bool scanSome() {
+    if (!ScanC || ScanC->ScanPtr >= ScanC->AllocPtr) {
+      ScanC = nullptr;
+      if (H.CurChunk && H.CurChunk->ScanPtr < H.CurChunk->AllocPtr)
+        ScanC = H.CurChunk;
+      else if ((ScanC = GC.popPending(H.node())))
+        ++H.Stats.GlobalChunksScanned;
+      if (!ScanC)
+        return false;
+    }
+    const ObjectDescriptorTable &Descs = H.world().descriptors();
+    GCWorld &W = H.world();
+    for (unsigned Budget = 64;
+         Budget != 0 && ScanC->ScanPtr < ScanC->AllocPtr; --Budget) {
+      Word Hdr = *ScanC->ScanPtr;
+      MANTI_CHECK(isHeaderWord(Hdr), "corrupt header in to-space chunk");
+      Word *Obj = ScanC->ScanPtr + 1;
+      if (headerId(Hdr) == IdProxy) {
+        // Proxies are the one sanctioned global-to-local reference: the
+        // payload is traced only when it no longer points into the
+        // owner's local heap (unresolved payloads are kept alive by the
+        // owner's proxy-table roots instead). A negative owner field
+        // marks a resolved proxy, whose payload is always global.
+        Word Payload = Obj[1];
+        if (wordIsPtr(Payload)) {
+          int64_t OwnerOrResolved = Value::fromBits(Obj[0]).asInt();
+          Word *Target = reinterpret_cast<Word *>(Payload);
+          if (OwnerOrResolved < 0 ||
+              !W.heap(static_cast<unsigned>(OwnerOrResolved))
+                   .local()
+                   .contains(Target))
+            Obj[1] = forwardGlobal(Payload);
+        }
+      } else {
+        forEachPtrField(Obj, Hdr, Descs,
+                        [this](Word *Slot) { visitSlot(Slot); });
+      }
+      ScanC->ScanPtr += objectFootprintWords(Hdr);
+    }
+    return true;
+  }
+
+  VProcHeap &H;
+  GlobalCollection &GC;
+  Chunk *ScanC = nullptr;
+};
+
+} // namespace
+
+void GlobalCollection::participate(VProcHeap &H) {
+  ScopedTimer Timer(H.Stats.GlobalPause);
+
+  // Phase 1: parallel local collections; everything live becomes young
+  // data or global-heap objects (end state of Fig. 3 on every vproc).
+  minorGCImpl(H);
+  majorGCImpl(H, EvacuateMode::OldOnly);
+
+  // Phase 2: leader gathers from-space once every vproc's local
+  // collections are done.
+  bool Leader = W.GCBarrier.arriveAndWait();
+  if (Leader) {
+    W.Chunks.gatherFromSpace(FromByNode);
+    for (auto &Head : PendingByNode)
+      Head = nullptr;
+    PendingCount.store(0, std::memory_order_relaxed);
+    IdleCount.store(0, std::memory_order_relaxed);
+  }
+  W.GCBarrier.arriveAndWait();
+
+  // Our current chunk now belongs to from-space.
+  H.CurChunk = nullptr;
+
+  // Phase 3 + 4: roots, local heap, then cooperative parallel scan.
+  GlobalScanner Scanner(H, *this);
+  Scanner.forwardRootsAndLocalHeap();
+  if (Leader)
+    Scanner.forwardGlobalRoots();
+  Scanner.scanLoop();
+
+  // Phase 5: return from-space to the free pool and resume.
+  bool Leader2 = W.GCBarrier.arriveAndWait();
+  if (Leader2) {
+    uint64_t Freed = 0;
+    for (Chunk *&Head : FromByNode) {
+      while (Chunk *C = Head) {
+        Head = C->Next;
+        Freed += C->sizeBytes();
+        W.Chunks.releaseChunk(C);
+      }
+    }
+    // Adapt the trigger so a nearly-live heap does not thrash: at least
+    // the configured budget, and at least twice the surviving data.
+    uint64_t Live = W.Chunks.activeBytes();
+    uint64_t Base = static_cast<uint64_t>(W.Config.GlobalGCBytesPerVProc) *
+                    W.numVProcs();
+    W.GlobalGCThreshold.store(std::max(Base, 2 * Live),
+                              std::memory_order_relaxed);
+    W.GlobalGCsCompleted.fetch_add(1, std::memory_order_relaxed);
+    W.GlobalGCRequested.store(false, std::memory_order_release);
+    MANTI_DEBUG("gc", "global GC #%llu: freed %llu bytes, live %llu bytes",
+                static_cast<unsigned long long>(W.globalGCCount()),
+                static_cast<unsigned long long>(Freed),
+                static_cast<unsigned long long>(Live));
+  }
+  W.GCBarrier.arriveAndWait();
+
+  // Each vproc restores its own allocation limit and resumes.
+  H.local().restoreLimit();
+}
+
+void globalGCParticipate(VProcHeap &H) {
+  H.world().GCState->participate(H);
+}
+
+} // namespace manti

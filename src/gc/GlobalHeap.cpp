@@ -1,0 +1,213 @@
+//===- gc/GlobalHeap.cpp --------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GlobalHeap.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <mutex>
+#include <new>
+#include <utility>
+
+using namespace manti;
+
+Chunk *Chunk::fromInteriorPtr(const Word *P, std::size_t ChunkBytes) {
+  uintptr_t BlockBase =
+      reinterpret_cast<uintptr_t>(P) & ~(static_cast<uintptr_t>(ChunkBytes) - 1);
+  const ChunkMeta *Meta = reinterpret_cast<const ChunkMeta *>(BlockBase);
+  MANTI_CHECK(Meta->Magic == ChunkMeta::ExpectedMagic,
+              "pointer is neither local nor global: heap invariant violated");
+  return Meta->Desc;
+}
+
+ChunkManager::ChunkManager(MemoryBanks &Banks, AllocPolicy &Policy,
+                           std::size_t ChunkBytes, bool PreserveAffinity)
+    : Banks(Banks), Policy(Policy), ChunkBytes(ChunkBytes),
+      PreserveAffinity(PreserveAffinity), FreeByNode(Banks.numNodes(),
+                                                    nullptr) {
+  MANTI_CHECK(ChunkBytes >= MemoryBanks::PageSize && isPowerOf2(ChunkBytes),
+              "chunk size must be a power-of-two multiple of the page size");
+}
+
+ChunkManager::~ChunkManager() {
+  for (Chunk *C : AllChunks) {
+    Banks.freeBlock(C->Base - ChunkMetaWords, ChunkBytes, ChunkBytes);
+    delete C;
+  }
+  for (auto &[Base, C] : Oversized) {
+    Banks.freeBlock(reinterpret_cast<void *>(Base), C->BlockBytes);
+    delete C;
+  }
+}
+
+Chunk *ChunkManager::newChunk(NodeId RequestingNode) {
+  // The allocation policy decides which bank actually backs the pages;
+  // under the paper's default (local) policy this is the requester's
+  // node, under interleaved/single-node it is not.
+  NodeId Home = Policy.homeFor(RequestingNode);
+  // Blocks are aligned to the chunk size so interior pointers can find
+  // the chunk metadata with a mask (Chunk::fromInteriorPtr).
+  void *Mem = Banks.allocBlock(ChunkBytes, Home, /*Align=*/ChunkBytes);
+  Chunk *C = new Chunk();
+  ChunkMeta *Meta = new (Mem) ChunkMeta();
+  Meta->Desc = C;
+  C->Base = static_cast<Word *>(Mem) + ChunkMetaWords;
+  C->Top = static_cast<Word *>(Mem) + ChunkBytes / sizeof(Word);
+  C->resetForReuse();
+  C->HomeNode = Home;
+  NumCreated.fetch_add(1, std::memory_order_relaxed);
+  return C;
+}
+
+Chunk *ChunkManager::acquireChunk(NodeId RequestingNode) {
+  Chunk *C = nullptr;
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    // Node-local reuse first ("preserves node affinity when reusing
+    // chunks"); with affinity disabled, scan all free lists in order so
+    // reuse ignores placement.
+    if (PreserveAffinity && FreeByNode[RequestingNode]) {
+      C = FreeByNode[RequestingNode];
+      FreeByNode[RequestingNode] = C->Next;
+      NodeLocalReuses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (unsigned Node = 0; Node < FreeByNode.size() && !C; ++Node) {
+        if (PreserveAffinity && Node == RequestingNode)
+          continue; // already checked
+        if (FreeByNode[Node]) {
+          C = FreeByNode[Node];
+          FreeByNode[Node] = C->Next;
+          if (C->HomeNode == RequestingNode)
+            NodeLocalReuses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (C) {
+      C->resetForReuse();
+      C->Next = Active;
+      Active = C;
+      ActiveBytes.fetch_add(ChunkBytes, std::memory_order_relaxed);
+      return C;
+    }
+  }
+  // No free chunk anywhere: global-cost path, map fresh memory and
+  // register it with the runtime.
+  C = newChunk(RequestingNode);
+  GlobalAllocs.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    AllChunks.push_back(C);
+    C->Next = Active;
+    Active = C;
+    ActiveBytes.fetch_add(ChunkBytes, std::memory_order_relaxed);
+  }
+  return C;
+}
+
+Chunk *ChunkManager::acquireOversized(NodeId RequestingNode,
+                                      std::size_t MinObjectBytes) {
+  NodeId Home = Policy.homeFor(RequestingNode);
+  std::size_t BlockBytes =
+      alignTo(MinObjectBytes + ChunkMetaWords * sizeof(Word),
+              MemoryBanks::PageSize);
+  void *Mem = Banks.allocBlock(BlockBytes, Home);
+  Chunk *C = new Chunk();
+  ChunkMeta *Meta = new (Mem) ChunkMeta();
+  Meta->Desc = C;
+  C->Base = static_cast<Word *>(Mem) + ChunkMetaWords;
+  C->Top = static_cast<Word *>(Mem) + BlockBytes / sizeof(Word);
+  C->resetForReuse();
+  C->HomeNode = Home;
+  C->IsOversized = true;
+  C->BlockBytes = BlockBytes;
+  NumCreated.fetch_add(1, std::memory_order_relaxed);
+  GlobalAllocs.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<SpinLock> Guard(Lock);
+  auto Entry = std::make_pair(reinterpret_cast<uintptr_t>(Mem), C);
+  Oversized.insert(std::lower_bound(Oversized.begin(), Oversized.end(),
+                                    Entry),
+                   Entry);
+  NumOversized.fetch_add(1, std::memory_order_release);
+  C->Next = Active;
+  Active = C;
+  ActiveBytes.fetch_add(BlockBytes, std::memory_order_relaxed);
+  return C;
+}
+
+Chunk *ChunkManager::chunkOf(const Word *P) const {
+  // Oversized blocks are only page aligned, so for a pointer into one
+  // the alignment mask below would read below the block -- possibly
+  // unmapped memory. Check the (usually empty) oversized index first.
+  if (NumOversized.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    uintptr_t Addr = reinterpret_cast<uintptr_t>(P);
+    auto It = std::upper_bound(
+        Oversized.begin(), Oversized.end(), Addr,
+        [](uintptr_t A, const std::pair<uintptr_t, Chunk *> &E) {
+          return A < E.first;
+        });
+    if (It != Oversized.begin()) {
+      --It;
+      if (Addr < It->first + It->second->BlockBytes)
+        return It->second;
+    }
+  }
+
+  // Standard chunks are size-aligned: the metadata is one mask away.
+  uintptr_t BlockBase = reinterpret_cast<uintptr_t>(P) &
+                        ~(static_cast<uintptr_t>(ChunkBytes) - 1);
+  const ChunkMeta *Meta = reinterpret_cast<const ChunkMeta *>(BlockBase);
+  MANTI_CHECK(Meta->Magic == ChunkMeta::ExpectedMagic && Meta->Desc,
+              "pointer is neither local nor global: heap invariant violated");
+  return Meta->Desc;
+}
+
+void ChunkManager::gatherFromSpace(std::vector<Chunk *> &PerNodeFromLists) {
+  PerNodeFromLists.assign(Banks.numNodes(), nullptr);
+  std::lock_guard<SpinLock> Guard(Lock);
+  Chunk *C = Active;
+  while (C) {
+    Chunk *Next = C->Next;
+    C->ScanPtr = C->Base;
+    C->InFromSpace = true;
+    C->Next = PerNodeFromLists[C->HomeNode];
+    PerNodeFromLists[C->HomeNode] = C;
+    C = Next;
+  }
+  Active = nullptr;
+  ActiveBytes.store(0, std::memory_order_relaxed);
+}
+
+void ChunkManager::releaseChunk(Chunk *C) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  if (C->IsOversized) {
+    // Dedicated blocks go back to the banks rather than the pools.
+    uintptr_t Base = reinterpret_cast<uintptr_t>(C->Base - ChunkMetaWords);
+    auto It = std::lower_bound(
+        Oversized.begin(), Oversized.end(), std::make_pair(Base, C));
+    MANTI_CHECK(It != Oversized.end() && It->second == C,
+                "oversized chunk missing from its index");
+    Oversized.erase(It);
+    NumOversized.fetch_sub(1, std::memory_order_release);
+    Banks.freeBlock(reinterpret_cast<void *>(Base), C->BlockBytes);
+    delete C;
+    return;
+  }
+  C->resetForReuse();
+  C->Next = FreeByNode[C->HomeNode];
+  FreeByNode[C->HomeNode] = C;
+}
+
+bool ChunkManager::activeChunksContain(const Word *P) const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  for (Chunk *C = Active; C; C = C->Next)
+    if (C->contains(P))
+      return true;
+  return false;
+}

@@ -1,0 +1,211 @@
+//===- gc/GlobalHeap.h - chunked global heap with node affinity ----------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global heap of Sections 3.1 and 3.4: a collection of fixed-size
+/// chunks. Each vproc holds a *current chunk* for major collections and
+/// promotions; when it fills, the vproc asks the chunk manager for a new
+/// one. That request is either node-local (reusing a free chunk whose
+/// pages live on the vproc's node -- "our memory system tracks the node
+/// on which a chunk is allocated and preserves node affinity when reusing
+/// chunks") or global (registering a freshly allocated chunk), matching
+/// the paper's two synchronization costs.
+///
+/// A global collection is triggered once the bytes held in live chunks
+/// exceed a threshold (the paper uses 32 MB per vproc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_GLOBALHEAP_H
+#define MANTI_GC_GLOBALHEAP_H
+
+#include "gc/ObjectModel.h"
+#include "numa/AllocPolicy.h"
+#include "numa/MemoryBanks.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace manti {
+
+struct Chunk;
+
+/// Metadata stored in the first cache line of every chunk's memory
+/// block. Chunk blocks are aligned to their (power-of-two) size, so any
+/// interior pointer reaches its chunk's metadata with one mask -- the
+/// global collector uses this to tell from-space objects from to-space
+/// ones, and to diagnose pointers that violate the heap invariants.
+struct ChunkMeta {
+  static constexpr uint64_t ExpectedMagic = 0x4d414e5449474321ull; // MANTIGC!
+  uint64_t Magic = ExpectedMagic;
+  Chunk *Desc = nullptr;
+};
+
+/// Number of words reserved for ChunkMeta at the start of each block.
+inline constexpr std::size_t ChunkMetaWords = 8;
+
+/// One global-heap chunk. Chunks are bump-allocated and carry a scan
+/// pointer so the global collector can Cheney-scan them.
+struct Chunk {
+  Word *Base = nullptr;
+  Word *Top = nullptr;
+  Word *AllocPtr = nullptr;
+  Word *ScanPtr = nullptr;
+  NodeId HomeNode = 0;   ///< node whose bank backs this chunk's pages
+  Chunk *Next = nullptr; ///< intrusive list link (free / active / pending)
+  bool InFromSpace = false; ///< set while condemned by a global collection
+  /// Oversized chunks hold one object larger than a standard chunk; they
+  /// are dedicated allocations freed (not pooled) on release.
+  bool IsOversized = false;
+  std::size_t BlockBytes = 0; ///< full block allocation, metadata included
+
+  /// Recovers the chunk owning interior pointer \p P. \p ChunkBytes must
+  /// be the manager's (power-of-two) chunk size. Aborts if \p P does not
+  /// point into a standard chunk; oversized chunks are found through
+  /// ChunkManager::chunkOf instead.
+  static Chunk *fromInteriorPtr(const Word *P, std::size_t ChunkBytes);
+
+  std::size_t sizeBytes() const {
+    return static_cast<std::size_t>(Top - Base) * sizeof(Word);
+  }
+  std::size_t usedBytes() const {
+    return static_cast<std::size_t>(AllocPtr - Base) * sizeof(Word);
+  }
+  bool contains(const Word *P) const { return P >= Base && P < Top; }
+
+  /// Bump-allocates header + \p LenWords words; null when full.
+  Word *tryAlloc(uint16_t Id, uint64_t LenWords) {
+    Word *Hdr = AllocPtr;
+    if (Hdr + LenWords + 1 > Top)
+      return nullptr;
+    AllocPtr = Hdr + LenWords + 1;
+    Hdr[0] = makeHeader(Id, LenWords);
+    return Hdr + 1;
+  }
+
+  /// Reserves raw space without writing a header (global GC copies whole
+  /// objects, header included). \returns the header slot or null.
+  Word *tryReserve(uint64_t FootprintWords) {
+    Word *Hdr = AllocPtr;
+    if (Hdr + FootprintWords > Top)
+      return nullptr;
+    AllocPtr = Hdr + FootprintWords;
+    return Hdr;
+  }
+
+  void resetForReuse() {
+    AllocPtr = Base;
+    ScanPtr = Base;
+    Next = nullptr;
+    InFromSpace = false;
+  }
+};
+
+/// Thread-safe manager of every chunk in the global heap.
+class ChunkManager {
+public:
+  /// \p ChunkBytes must be a multiple of the page size. When
+  /// \p PreserveAffinity is false the node-affine free lists collapse
+  /// into one pool (the ablation in bench/ablation_chunk_affinity).
+  ChunkManager(MemoryBanks &Banks, AllocPolicy &Policy,
+               std::size_t ChunkBytes, bool PreserveAffinity = true);
+  ~ChunkManager();
+
+  ChunkManager(const ChunkManager &) = delete;
+  ChunkManager &operator=(const ChunkManager &) = delete;
+
+  std::size_t chunkBytes() const { return ChunkBytes; }
+
+  /// Object-area capacity of a standard chunk.
+  std::size_t standardCapacityBytes() const {
+    return ChunkBytes - ChunkMetaWords * sizeof(Word);
+  }
+
+  /// Allocates a dedicated chunk able to hold one object of
+  /// \p MinObjectBytes (used for objects larger than a standard chunk).
+  /// Recorded as active; freed outright when released.
+  Chunk *acquireOversized(NodeId RequestingNode, std::size_t MinObjectBytes);
+
+  /// \returns the chunk containing global-heap address \p P: standard
+  /// chunks through the alignment mask, oversized ones through the
+  /// index. Aborts when \p P is no global address (given the heap
+  /// invariants, that means a local pointer leaked across vprocs).
+  Chunk *chunkOf(const Word *P) const;
+
+  /// Hands out a chunk for allocation by a vproc on \p RequestingNode.
+  /// Prefers a free chunk homed on that node (node-local synchronization);
+  /// otherwise reuses any free chunk or maps a fresh one (global
+  /// synchronization). The chunk is recorded as *active*.
+  Chunk *acquireChunk(NodeId RequestingNode);
+
+  /// Moves every active chunk into the per-node from-space lists, marks
+  /// them condemned, and clears the active set (global GC step: "these
+  /// global heap chunks are gathered on a per-node basis"). Caller must
+  /// have stopped the world.
+  void gatherFromSpace(std::vector<Chunk *> &PerNodeFromLists);
+
+  /// Returns a from-space chunk to the free pool.
+  void releaseChunk(Chunk *C);
+
+  /// Bytes currently held by active chunks (allocation capacity handed
+  /// out, which is what the paper's trigger counts).
+  uint64_t activeBytes() const {
+    return ActiveBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Number of chunks ever created.
+  unsigned numChunksCreated() const {
+    return NumCreated.load(std::memory_order_relaxed);
+  }
+
+  /// Counters distinguishing the two synchronization classes.
+  uint64_t nodeLocalReuses() const {
+    return NodeLocalReuses.load(std::memory_order_relaxed);
+  }
+  uint64_t globalAllocations() const {
+    return GlobalAllocs.load(std::memory_order_relaxed);
+  }
+
+  /// \returns true if \p P points into any active chunk. O(#chunks);
+  /// meant for tests and invariant checks, not hot paths.
+  bool activeChunksContain(const Word *P) const;
+
+  /// Applies \p Fn to every active chunk (stop-the-world only).
+  template <typename FnT> void forEachActiveChunk(FnT Fn) const {
+    for (Chunk *C = Active; C; C = C->Next)
+      Fn(C);
+  }
+
+private:
+  Chunk *newChunk(NodeId RequestingNode);
+
+  MemoryBanks &Banks;
+  AllocPolicy &Policy;
+  const std::size_t ChunkBytes;
+  const bool PreserveAffinity;
+
+  mutable SpinLock Lock;
+  std::vector<Chunk *> FreeByNode; ///< heads of per-node free lists
+  Chunk *Active = nullptr;         ///< all chunks handed out
+  std::vector<Chunk *> AllChunks;  ///< standard-chunk ownership
+  /// Oversized chunks, sorted by block base address (also ownership).
+  std::vector<std::pair<uintptr_t, Chunk *>> Oversized;
+  /// Lock-free emptiness check so chunkOf skips the index lock entirely
+  /// in the common no-oversized-chunks case.
+  std::atomic<unsigned> NumOversized{0};
+
+  std::atomic<uint64_t> ActiveBytes{0};
+  std::atomic<unsigned> NumCreated{0};
+  std::atomic<uint64_t> NodeLocalReuses{0};
+  std::atomic<uint64_t> GlobalAllocs{0};
+};
+
+} // namespace manti
+
+#endif // MANTI_GC_GLOBALHEAP_H

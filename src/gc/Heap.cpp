@@ -1,0 +1,307 @@
+//===- gc/Heap.cpp - GCWorld / VProcHeap and the allocation paths ---------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+
+#include "gc/CollectorImpl.h"
+#include "support/Assert.h"
+#include "support/Logging.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace manti;
+
+//===----------------------------------------------------------------------===//
+// GCWorld
+//===----------------------------------------------------------------------===//
+
+GCWorld::GCWorld(const GCConfig &Config, const Topology &Topo,
+                 unsigned NumVProcs)
+    : Config(Config), Topo(Topo), Banks(Topo.numNodes()),
+      Policy(Config.Policy, Topo.numNodes()), Traffic(Topo.numNodes()),
+      Chunks(Banks, Policy, Config.ChunkBytes, Config.PreserveChunkAffinity),
+      GlobalGCThreshold(static_cast<uint64_t>(Config.GlobalGCBytesPerVProc) *
+                        NumVProcs),
+      GCBarrier(NumVProcs) {
+  MANTI_CHECK(NumVProcs >= 1, "need at least one vproc");
+  MANTI_CHECK(Config.LocalHeapBytes >= 64 * 1024 &&
+                  isAligned(Config.LocalHeapBytes, MemoryBanks::PageSize),
+              "local heap size must be a page multiple >= 64 KiB");
+  MANTI_CHECK(Config.MinNurseryBytes * 4 <= Config.LocalHeapBytes,
+              "minimum nursery too large for the local heap");
+
+  // vprocs are assigned sparsely across the nodes (Section 2.2).
+  std::vector<CoreId> Cores = Topo.assignVProcsSparsely(NumVProcs);
+  Heaps.reserve(NumVProcs);
+  for (unsigned Id = 0; Id < NumVProcs; ++Id)
+    Heaps.push_back(std::make_unique<VProcHeap>(*this, Id, Cores[Id],
+                                                Topo.nodeOfCore(Cores[Id])));
+
+  GCState.reset(createGlobalCollection(*this));
+}
+
+GCWorld::~GCWorld() = default;
+
+void GCWorld::requestGlobalGC() {
+  bool Expected = false;
+  if (!GlobalGCRequested.compare_exchange_strong(Expected, true,
+                                                 std::memory_order_acq_rel))
+    return; // already pending or in progress
+  // Section 3.4, step 2: signal every vproc by zeroing its allocation
+  // limit; each enters the collector at its next safe point.
+  for (auto &H : Heaps)
+    H->local().signalLimit();
+  MANTI_DEBUG("gc", "global collection requested (active=%llu)",
+              static_cast<unsigned long long>(Chunks.activeBytes()));
+}
+
+GCStats GCWorld::aggregateStats() const {
+  GCStats Total;
+  for (const auto &H : Heaps)
+    Total.merge(H->Stats);
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// VProcHeap
+//===----------------------------------------------------------------------===//
+
+VProcHeap::VProcHeap(GCWorld &World, unsigned Id, CoreId Core, NodeId Node)
+    : World(World), Id(Id), Core(Core), Node(Node),
+      LocalHeapHome(World.Policy.homeFor(Node)),
+      LocalMem(World.Banks.allocBlock(World.Config.LocalHeapBytes,
+                                      LocalHeapHome)),
+      Local(LocalMem, World.Config.LocalHeapBytes) {}
+
+VProcHeap::~VProcHeap() {
+  World.Banks.freeBlock(LocalMem, World.Config.LocalHeapBytes);
+}
+
+void VProcHeap::minorGC() { minorGCImpl(*this); }
+
+void VProcHeap::majorGC() {
+  // A major collection is always immediately preceded by a minor one;
+  // the data that minor copies becomes the young area the major retains.
+  minorGCImpl(*this);
+  majorGCImpl(*this, EvacuateMode::OldOnly);
+}
+
+void VProcHeap::safePoint() {
+  if (World.globalGCPending())
+    globalGCParticipate(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// Global-heap bump allocation
+//===----------------------------------------------------------------------===//
+
+Word *VProcHeap::globalReserve(uint64_t FootprintWords, Chunk **UsedChunk) {
+  std::size_t Bytes = FootprintWords * sizeof(Word);
+  if (Bytes > World.Chunks.standardCapacityBytes()) {
+    Chunk *Big = World.Chunks.acquireOversized(Node, Bytes);
+    Word *P = Big->tryReserve(FootprintWords);
+    MANTI_CHECK(P, "oversized chunk cannot hold its object");
+    *UsedChunk = Big;
+    return P;
+  }
+  if (!CurChunk)
+    CurChunk = World.Chunks.acquireChunk(Node);
+  *UsedChunk = CurChunk;
+  if (Word *P = CurChunk->tryReserve(FootprintWords))
+    return P;
+  CurChunk = World.Chunks.acquireChunk(Node);
+  *UsedChunk = CurChunk;
+  Word *P = CurChunk->tryReserve(FootprintWords);
+  MANTI_CHECK(P, "object does not fit in a global-heap chunk");
+  return P;
+}
+
+Word *VProcHeap::globalAllocObject(uint16_t Id, uint64_t LenWords) {
+  Chunk *Used = nullptr;
+  Word *HdrSlot = globalReserve(LenWords + 1, &Used);
+  HdrSlot[0] = makeHeader(Id, LenWords);
+  Stats.BytesAllocatedGlobal += (LenWords + 1) * sizeof(Word);
+  World.Traffic.record(Node, Used->HomeNode, (LenWords + 1) * sizeof(Word));
+  if (World.Chunks.activeBytes() > World.globalGCThresholdBytes())
+    World.requestGlobalGC();
+  return HdrSlot + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Local allocation: fast path and GC-driving slow path
+//===----------------------------------------------------------------------===//
+
+Word *VProcHeap::allocLocalObject(uint16_t Id, uint64_t LenWords) {
+  Stats.BytesAllocatedLocal += (LenWords + 1) * sizeof(Word);
+  if (Word *P = Local.tryAlloc(Id, LenWords))
+    return P;
+  return allocSlowPath(Id, LenWords);
+}
+
+Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {
+  uint64_t FootBytes = (LenWords + 1) * sizeof(Word);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    MANTI_CHECK(Attempt < 8, "allocation cannot make progress");
+
+    // A zeroed limit may mean a pending global collection rather than a
+    // full nursery (Section 3.4 step 2).
+    if (World.globalGCPending())
+      globalGCParticipate(*this);
+    if (Word *P = Local.tryAlloc(Id, LenWords))
+      return P;
+    if (World.globalGCPending())
+      continue;
+
+    // Raw objects too large for the nursery go straight to the global
+    // heap: they contain no pointers, so the no-global-to-local-pointer
+    // invariant cannot be violated. Pointer-carrying objects never take
+    // this path; their public allocators pre-promote and allocate
+    // globally themselves when oversized.
+    if (Id == IdRaw && FootBytes > Local.nurseryCapacityBytes() / 2 &&
+        FootBytes > World.Config.MinNurseryBytes)
+      return globalAllocObject(Id, LenWords);
+
+    // Genuine nursery exhaustion: minor collection, and a major one when
+    // the new nursery falls below the threshold (Section 3.3).
+    minorGCImpl(*this);
+    if (Local.nurseryCapacityBytes() < World.Config.MinNurseryBytes ||
+        Local.nurseryCapacityBytes() < FootBytes * 2)
+      majorGCImpl(*this, EvacuateMode::OldOnly);
+    if (Word *P = Local.tryAlloc(Id, LenWords))
+      return P;
+    if (World.globalGCPending())
+      continue;
+
+    // Still failing: live local data is crowding the heap. Evacuate
+    // everything reachable and retry with an empty local heap.
+    majorGCImpl(*this, EvacuateMode::AllLocal);
+    if (Word *P = Local.tryAlloc(Id, LenWords))
+      return P;
+    MANTI_CHECK(FootBytes <= Local.nurseryCapacityBytes(),
+                "object too large for the local heap; allocate it globally");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public allocators
+//===----------------------------------------------------------------------===//
+
+Value VProcHeap::allocRaw(const void *Data, std::size_t Bytes) {
+  uint64_t LenWords = std::max<uint64_t>(1, divideCeil(Bytes, sizeof(Word)));
+  Word *Obj = allocLocalObject(IdRaw, LenWords);
+  Obj[LenWords - 1] = 0; // zero the tail beyond Bytes
+  if (Data)
+    std::memcpy(Obj, Data, Bytes);
+  else
+    std::memset(Obj, 0, LenWords * sizeof(Word));
+  return Value::fromPtr(Obj);
+}
+
+/// Vectors larger than a quarter of the local heap are allocated in the
+/// global heap directly (the paper's workloads use rope-like segmented
+/// structures for bulk data; this is the corresponding large-object
+/// escape hatch).
+bool VProcHeap::vectorIsOversized(std::size_t N) const {
+  return (std::max<uint64_t>(1, N) + 1) * sizeof(Word) >
+         World.Config.LocalHeapBytes / 4;
+}
+
+Value VProcHeap::allocVector(const Value *Elems, std::size_t N) {
+  uint64_t LenWords = std::max<uint64_t>(1, N);
+  if (vectorIsOversized(N)) {
+    // The object lands in the global heap, so its elements must be
+    // global first (no global-to-local pointers). Promote them in place:
+    // Elems points at rooted slots, so rewriting them is sound, and the
+    // husks left behind repair any other copies at the next minor GC.
+    if (Elems)
+      for (std::size_t I = 0; I < N; ++I)
+        const_cast<Value *>(Elems)[I] = promote(Elems[I]);
+    return allocGlobalVector(Elems, N);
+  }
+  Word *Obj = allocLocalObject(IdVector, LenWords);
+  Obj[LenWords - 1] = Value::nil().bits();
+  for (std::size_t I = 0; I < N; ++I)
+    Obj[I] = Elems ? Elems[I].bits() : Value::nil().bits();
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::allocVectorFill(std::size_t N, Value Fill) {
+  uint64_t LenWords = std::max<uint64_t>(1, N);
+  GcFrame Frame(*this);
+  Frame.root(Fill);
+  if (vectorIsOversized(N)) {
+    Fill = promote(Fill);
+    Word *Obj = globalAllocObject(IdVector, LenWords);
+    Obj[LenWords - 1] = Value::nil().bits();
+    for (std::size_t I = 0; I < N; ++I)
+      Obj[I] = Fill.bits();
+    return Value::fromPtr(Obj);
+  }
+  Word *Obj = allocLocalObject(IdVector, LenWords);
+  Obj[LenWords - 1] = Value::nil().bits();
+  for (std::size_t I = 0; I < N; ++I)
+    Obj[I] = Fill.bits();
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::allocMixed(uint16_t Id, const Word *Fields) {
+  const ObjectDescriptor &Desc = World.Descs.lookup(Id);
+  Word *Obj = allocLocalObject(Id, Desc.sizeWords());
+  std::memcpy(Obj, Fields, Desc.sizeWords() * sizeof(Word));
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::allocMixedRooted(uint16_t Id, const Word *RawFields,
+                                  Value *const *PtrFieldSlots) {
+  const ObjectDescriptor &Desc = World.Descs.lookup(Id);
+  Word *Obj = allocLocalObject(Id, Desc.sizeWords());
+  std::memcpy(Obj, RawFields, Desc.sizeWords() * sizeof(Word));
+  // The allocation may have collected; the rooted slots hold the current
+  // addresses.
+  for (unsigned I = 0; I < Desc.numPtrFields(); ++I)
+    Obj[Desc.ptrOffsets()[I]] = PtrFieldSlots[I]->bits();
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::allocGlobalRaw(const void *Data, std::size_t Bytes) {
+  uint64_t LenWords = std::max<uint64_t>(1, divideCeil(Bytes, sizeof(Word)));
+  Word *Obj = globalAllocObject(IdRaw, LenWords);
+  Obj[LenWords - 1] = 0;
+  if (Data)
+    std::memcpy(Obj, Data, Bytes);
+  else
+    std::memset(Obj, 0, LenWords * sizeof(Word));
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::allocGlobalVector(const Value *Elems, std::size_t N) {
+  uint64_t LenWords = std::max<uint64_t>(1, N);
+  Word *Obj = globalAllocObject(IdVector, LenWords);
+  Obj[LenWords - 1] = Value::nil().bits();
+  for (std::size_t I = 0; I < N; ++I) {
+    Value V = Elems ? Elems[I] : Value::nil();
+    MANTI_CHECK(!V.isPtr() || !Local.contains(V.asPtr()),
+                "global vector element references a local heap");
+    Obj[I] = V.bits();
+  }
+  return Value::fromPtr(Obj);
+}
+
+Value VProcHeap::promote(Value V) {
+  if (!V.isPtr() || !Local.contains(V.asPtr()))
+    return V;
+  ScopedTimer Timer(Stats.PromotePause);
+  ++Stats.PromoteCalls;
+  GlobalEvacuator Evac(*this, EvacuateMode::AllLocal);
+  Word NewW = Evac.forwardWord(V.bits());
+  Evac.drain();
+  Stats.PromoteBytes += Evac.bytesCopied();
+  if (World.Chunks.activeBytes() > World.globalGCThresholdBytes())
+    World.requestGlobalGC();
+  return Value::fromBits(NewW);
+}

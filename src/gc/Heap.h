@@ -1,0 +1,428 @@
+//===- gc/Heap.h - GC world and per-vproc heaps ---------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level garbage-collected heap API.
+///
+/// A GCWorld owns everything shared: the object-descriptor table, the
+/// per-node memory banks, the page-placement policy, the chunk manager
+/// for the global heap, and the coordination state for parallel global
+/// collections. It creates one VProcHeap per virtual processor, each
+/// pinned (logically) to a core chosen sparsely across the NUMA nodes.
+///
+/// A VProcHeap bundles a vproc's local Appel heap, its current global
+/// chunk, its shadow stack of roots, its proxy table, and its GC
+/// statistics. All allocation goes through the VProcHeap and must happen
+/// on the vproc's own thread; the only cross-thread operation is the
+/// global collector zeroing allocation limits.
+///
+/// Rooting discipline: any Value live across an allocation must be
+/// registered in the shadow stack (see GcFrame). Allocation functions
+/// that take source Values receive *pointers to rooted slots* so the
+/// sources survive a collection triggered by the allocation itself.
+///
+/// The language model is mutation-free (PML): once an object's fields
+/// are initialized they never change. That invariant -- not a write
+/// barrier -- is what keeps minor collections synchronization-free and
+/// lets the major collection retain young data (see the paper, Sections
+/// 2.3 and 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_HEAP_H
+#define MANTI_GC_HEAP_H
+
+#include "gc/GCStats.h"
+#include "gc/GlobalHeap.h"
+#include "gc/LocalHeap.h"
+#include "gc/ObjectDescriptor.h"
+#include "gc/ObjectModel.h"
+#include "numa/AllocPolicy.h"
+#include "numa/MemoryBanks.h"
+#include "numa/Topology.h"
+#include "numa/TrafficMatrix.h"
+#include "support/Barrier.h"
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace manti {
+
+class GCWorld;
+class VProcHeap;
+
+/// Opaque per-world state of the parallel global collector (GlobalGC.cpp).
+class GlobalCollection;
+GlobalCollection *createGlobalCollection(GCWorld &W);
+struct GlobalCollectionDeleter {
+  void operator()(GlobalCollection *GC) const;
+};
+
+/// Tunables for the memory system. Defaults are scaled down from the
+/// paper's values (L3-sized local heaps, 32 MB/vproc global trigger) so
+/// the test suite exercises every collector phase quickly.
+struct GCConfig {
+  /// Fixed size of each vproc's local heap ("chosen so that the local
+  /// heaps will fit into the L3 cache").
+  std::size_t LocalHeapBytes = 512 * 1024;
+  /// A minor collection triggers a major one when the new nursery would
+  /// be smaller than this.
+  std::size_t MinNurseryBytes = 64 * 1024;
+  /// Size of each global-heap chunk.
+  std::size_t ChunkBytes = 256 * 1024;
+  /// Global collection triggers when active global bytes exceed
+  /// NumVProcs * this (the paper uses 32 MB).
+  std::size_t GlobalGCBytesPerVProc = 4 * 1024 * 1024;
+  /// Page-placement policy (Section 4.3's experiment knob).
+  AllocPolicyKind Policy = AllocPolicyKind::Local;
+  /// Reuse global chunks on their home node (ablation knob).
+  bool PreserveChunkAffinity = true;
+};
+
+/// Visits one root slot; the visitor may rewrite the slot's word.
+using RootSlotVisitor = void (*)(Word *Slot, void *VisitorCtx);
+
+/// Enumerates extra roots (beyond the shadow stack) owned by a vproc --
+/// the runtime registers its ready-queue and mailbox scanning here.
+/// Implementations call \p Visit once per root slot.
+using VProcRootEnumerator = void (*)(unsigned VProcId, RootSlotVisitor Visit,
+                                     void *VisitorCtx, void *EnumCtx);
+
+/// Enumerates process-wide roots that may only reference the global heap
+/// (join cells, channels). Scanned by the global collector's leader.
+using GlobalRootEnumerator = void (*)(RootSlotVisitor Visit, void *VisitorCtx,
+                                      void *EnumCtx);
+
+//===----------------------------------------------------------------------===//
+// VProcHeap
+//===----------------------------------------------------------------------===//
+
+class VProcHeap {
+public:
+  VProcHeap(GCWorld &World, unsigned Id, CoreId Core, NodeId Node);
+  ~VProcHeap();
+
+  VProcHeap(const VProcHeap &) = delete;
+  VProcHeap &operator=(const VProcHeap &) = delete;
+
+  GCWorld &world() { return World; }
+  unsigned id() const { return Id; }
+  CoreId core() const { return Core; }
+  NodeId node() const { return Node; }
+  LocalHeap &local() { return Local; }
+  const LocalHeap &local() const { return Local; }
+
+  /// Node whose bank actually backs the local heap's pages (differs from
+  /// node() under the interleaved / single-node policies).
+  NodeId localHeapHomeNode() const { return LocalHeapHome; }
+
+  //===--------------------------------------------------------------------===//
+  // Allocation (vproc thread only)
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates a raw-data object holding \p Bytes bytes (copied from
+  /// \p Data when non-null, zeroed otherwise).
+  Value allocRaw(const void *Data, std::size_t Bytes);
+
+  /// Allocates a vector of \p N values. \p Elems (when non-null) points
+  /// at N *rooted* slots that are re-read after any collection.
+  Value allocVector(const Value *Elems, std::size_t N);
+
+  /// Allocates a vector of \p N copies of a non-pointer \p Fill value.
+  Value allocVectorFill(std::size_t N, Value Fill);
+
+  /// Allocates a mixed-type object of registered type \p Id. \p Fields
+  /// supplies the object's SizeWords initial words verbatim. CAUTION:
+  /// the allocation may collect, moving any objects \p Fields points at;
+  /// only use this when the pointer fields are nil/ints or when no
+  /// collection can intervene. Prefer allocMixedRooted.
+  Value allocMixed(uint16_t Id, const Word *Fields);
+
+  /// Collection-safe mixed allocation: \p RawFields supplies every word,
+  /// then each descriptor pointer field is overwritten by re-reading the
+  /// corresponding entry of \p PtrFieldSlots (rooted Value slots, in
+  /// descriptor offset order) *after* the allocation, so a collection
+  /// triggered by the allocation cannot leave stale pointers behind.
+  Value allocMixedRooted(uint16_t Id, const Word *RawFields,
+                         Value *const *PtrFieldSlots);
+
+  /// Allocates a raw object directly in the global heap (used for large
+  /// immutable data shared across vprocs, e.g. benchmark inputs).
+  Value allocGlobalRaw(const void *Data, std::size_t Bytes);
+
+  /// Allocates a vector directly in the global heap. Every element must
+  /// already be a non-pointer or a global-heap pointer (the no
+  /// global-to-local-pointer invariant is checked).
+  Value allocGlobalVector(const Value *Elems, std::size_t N);
+
+  //===--------------------------------------------------------------------===//
+  // Collection entry points (vproc thread only)
+  //===--------------------------------------------------------------------===//
+
+  /// Copies live nursery data into the old-data area (paper Fig. 2).
+  void minorGC();
+
+  /// Runs a minor collection, then copies the old-data area (except the
+  /// young data the minor just produced) to the global heap and slides
+  /// the young data to the heap base (paper Fig. 3).
+  void majorGC();
+
+  /// Promotes \p V's object graph into the global heap and \returns the
+  /// promoted value ("essentially a major collection where the root set
+  /// is a pointer to the promoted object"). Non-local values pass
+  /// through unchanged. Other copies of the promoted value held in
+  /// rooted slots are repaired lazily by the next local collection via
+  /// the forwarding pointers left behind.
+  Value promote(Value V);
+
+  /// Polls for a pending global collection and participates if one was
+  /// signalled. Every potentially-blocking runtime loop calls this.
+  void safePoint();
+
+  /// \returns true if this vproc's allocation limit has been zeroed.
+  bool gcSignalled() const { return Local.limitSignalled(); }
+
+  //===--------------------------------------------------------------------===//
+  // Roots
+  //===--------------------------------------------------------------------===//
+
+  /// The shadow stack: slots whose Values are live across allocations.
+  /// Managed through GcFrame; exposed for the collectors and tests.
+  std::vector<Value *> ShadowStack;
+
+  /// Proxy objects owned by this vproc (see Proxy.h). Entries point at
+  /// the proxy object's first data word in the global heap.
+  std::vector<Word *> ProxyTable;
+
+  GCStats Stats;
+
+  //===--------------------------------------------------------------------===//
+  // Internal state shared with the collector implementation files.
+  //===--------------------------------------------------------------------===//
+
+  /// This vproc's current global-heap chunk (null until first use).
+  Chunk *CurChunk = nullptr;
+
+  /// Bump-allocates an object shell in the global heap, acquiring chunks
+  /// as needed. Used by the major collector, promotion, and the direct
+  /// global allocation paths. Objects larger than a standard chunk get a
+  /// dedicated oversized chunk.
+  Word *globalAllocObject(uint16_t Id, uint64_t LenWords);
+
+  /// Reserves footprint words in the global heap without writing a
+  /// header (global GC copies whole objects). \p UsedChunk receives the
+  /// chunk that satisfied the request: usually CurChunk, or a dedicated
+  /// oversized chunk for very large objects.
+  Word *globalReserve(uint64_t FootprintWords, Chunk **UsedChunk);
+
+private:
+  friend class GCWorld;
+
+  Word *allocLocalObject(uint16_t Id, uint64_t LenWords);
+  Word *allocSlowPath(uint16_t Id, uint64_t LenWords);
+  bool vectorIsOversized(std::size_t N) const;
+
+  GCWorld &World;
+  unsigned Id;
+  CoreId Core;
+  NodeId Node;
+  NodeId LocalHeapHome;
+  void *LocalMem;
+  LocalHeap Local;
+};
+
+/// RAII shadow-stack frame. Usage:
+/// \code
+///   GcFrame Frame(Heap);
+///   Value &Xs = Frame.root(Heap.allocVectorFill(4, Value::fromInt(0)));
+///   ...                      // Xs is updated if a collection moves it
+/// \endcode
+/// Bind the result of rooting a temporary to a *reference*: a by-value
+/// copy would not be updated when a collection forwards the root.
+class GcFrame {
+public:
+  explicit GcFrame(VProcHeap &Heap)
+      : Heap(Heap), Mark(Heap.ShadowStack.size()) {}
+  ~GcFrame() { Heap.ShadowStack.resize(Mark); }
+
+  GcFrame(const GcFrame &) = delete;
+  GcFrame &operator=(const GcFrame &) = delete;
+
+  /// Registers \p Slot (an lvalue that outlives this frame) as a root.
+  Value &root(Value &Slot) {
+    Heap.ShadowStack.push_back(&Slot);
+    return Slot;
+  }
+
+  /// Copies a temporary into frame-owned stable storage and roots it.
+  /// \returns a reference to the rooted slot (bind it as Value&).
+  Value &root(Value &&Temp) {
+    OwnedSlots.push_back(Temp);
+    Heap.ShadowStack.push_back(&OwnedSlots.back());
+    return OwnedSlots.back();
+  }
+
+private:
+  VProcHeap &Heap;
+  std::size_t Mark;
+  /// Deque: growth never invalidates addresses of existing elements.
+  std::deque<Value> OwnedSlots;
+};
+
+//===----------------------------------------------------------------------===//
+// GCWorld
+//===----------------------------------------------------------------------===//
+
+class GCWorld {
+public:
+  /// Builds the shared memory system and \p NumVProcs vproc heaps,
+  /// assigning vprocs to cores sparsely across \p Topo's nodes.
+  GCWorld(const GCConfig &Config, const Topology &Topo, unsigned NumVProcs);
+  ~GCWorld();
+
+  GCWorld(const GCWorld &) = delete;
+  GCWorld &operator=(const GCWorld &) = delete;
+
+  const GCConfig &config() const { return Config; }
+  const Topology &topology() const { return Topo; }
+  unsigned numVProcs() const { return static_cast<unsigned>(Heaps.size()); }
+  VProcHeap &heap(unsigned VProcId) { return *Heaps[VProcId]; }
+
+  ObjectDescriptorTable &descriptors() { return Descs; }
+  const ObjectDescriptorTable &descriptors() const { return Descs; }
+  MemoryBanks &banks() { return Banks; }
+  AllocPolicy &policy() { return Policy; }
+  TrafficMatrix &traffic() { return Traffic; }
+  ChunkManager &chunks() { return Chunks; }
+
+  /// Registers the runtime's extra per-vproc root enumerator.
+  void setVProcRootEnumerator(VProcRootEnumerator Fn, void *Ctx) {
+    VProcRoots = Fn;
+    VProcRootsCtx = Ctx;
+  }
+  /// Registers the runtime's global root enumerator.
+  void setGlobalRootEnumerator(GlobalRootEnumerator Fn, void *Ctx) {
+    GlobalRoots = Fn;
+    GlobalRootsCtx = Ctx;
+  }
+
+  /// Invokes the registered per-vproc root enumerator (collector use).
+  void enumerateExtraVProcRoots(unsigned VProcId, RootSlotVisitor Visit,
+                                void *VisitorCtx) {
+    if (VProcRoots)
+      VProcRoots(VProcId, Visit, VisitorCtx, VProcRootsCtx);
+  }
+
+  /// Invokes the registered global root enumerator (collector use).
+  void enumerateGlobalRoots(RootSlotVisitor Visit, void *VisitorCtx) {
+    if (GlobalRoots)
+      GlobalRoots(Visit, VisitorCtx, GlobalRootsCtx);
+  }
+
+  /// Requests a global collection: sets the pending flag and zeroes every
+  /// vproc's allocation limit (Section 3.4, steps 1-2). No-op when a
+  /// collection is already pending or running.
+  void requestGlobalGC();
+
+  /// \returns true if a global collection has been requested and not yet
+  /// completed.
+  bool globalGCPending() const {
+    return GlobalGCRequested.load(std::memory_order_acquire);
+  }
+
+  /// Number of completed global collections.
+  uint64_t globalGCCount() const {
+    return GlobalGCsCompleted.load(std::memory_order_relaxed);
+  }
+
+  /// Current trigger threshold in bytes (grows adaptively if live data
+  /// exceeds the configured trigger).
+  uint64_t globalGCThresholdBytes() const {
+    return GlobalGCThreshold.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregated statistics across all vprocs.
+  GCStats aggregateStats() const;
+
+  /// Well-known object IDs registered by higher layers (the runtime's
+  /// rope nodes, the Barnes-Hut quadtree). The collector itself never
+  /// interprets these; they are stored here so value-level libraries get
+  /// O(1) access to their IDs.
+  uint16_t RopeNodeId = 0;
+  uint16_t BhNodeId = 0;
+
+private:
+  friend class VProcHeap;
+  friend void globalGCParticipate(VProcHeap &H);
+  friend class GlobalCollection;
+
+  GCConfig Config;
+  Topology Topo;
+  ObjectDescriptorTable Descs;
+  MemoryBanks Banks;
+  AllocPolicy Policy;
+  TrafficMatrix Traffic;
+  ChunkManager Chunks;
+  std::vector<std::unique_ptr<VProcHeap>> Heaps;
+
+  // Global-collection coordination.
+  std::atomic<bool> GlobalGCRequested{false};
+  std::atomic<uint64_t> GlobalGCsCompleted{0};
+  std::atomic<uint64_t> GlobalGCThreshold;
+  Barrier GCBarrier;
+  std::unique_ptr<GlobalCollection, GlobalCollectionDeleter> GCState;
+
+  VProcRootEnumerator VProcRoots = nullptr;
+  void *VProcRootsCtx = nullptr;
+  GlobalRootEnumerator GlobalRoots = nullptr;
+  void *GlobalRootsCtx = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Object accessors (used by the runtime, workloads, and tests)
+//===----------------------------------------------------------------------===//
+
+/// \returns the length in data words of the object \p V points at.
+inline uint64_t objectLenWords(Value V) {
+  return headerLenWords(headerOf(V.asPtr()));
+}
+
+/// \returns the object ID of the object \p V points at.
+inline uint16_t objectId(Value V) { return headerId(headerOf(V.asPtr())); }
+
+/// Vector accessors.
+inline uint64_t vectorLen(Value V) { return objectLenWords(V); }
+inline Value vectorGet(Value V, uint64_t Index) {
+  assert(Index < vectorLen(V) && "vector index out of range");
+  return Value::fromBits(V.asPtr()[Index]);
+}
+/// Initialization-time store; PML values are immutable once published,
+/// so this must only be used before the vector escapes its allocator.
+inline void vectorInit(Value V, uint64_t Index, Value Elem) {
+  assert(Index < vectorLen(V) && "vector index out of range");
+  V.asPtr()[Index] = Elem.bits();
+}
+
+/// Raw-object accessors.
+inline void *rawData(Value V) { return V.asPtr(); }
+inline uint64_t rawSizeBytes(Value V) { return objectLenWords(V) * 8; }
+
+/// Mixed-object field accessors.
+inline Value mixedGet(Value V, unsigned FieldWord) {
+  assert(FieldWord < objectLenWords(V) && "field out of range");
+  return Value::fromBits(V.asPtr()[FieldWord]);
+}
+inline Word mixedGetWord(Value V, unsigned FieldWord) {
+  assert(FieldWord < objectLenWords(V) && "field out of range");
+  return V.asPtr()[FieldWord];
+}
+
+} // namespace manti
+
+#endif // MANTI_GC_HEAP_H

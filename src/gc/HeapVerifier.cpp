@@ -1,0 +1,163 @@
+//===- gc/HeapVerifier.cpp -------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+
+#include "gc/CollectorImpl.h"
+#include "support/Assert.h"
+
+#include <set>
+#include <vector>
+
+using namespace manti;
+
+namespace {
+
+/// Where an object lives, from the tracer's point of view.
+enum class RegionKind { OwnLocal, OtherLocal, Global, Unknown };
+
+class Tracer {
+public:
+  Tracer(GCWorld &W) : W(W) {}
+
+  VerifyResult Result;
+
+  RegionKind classify(const Word *Obj, const VProcHeap *Perspective) const {
+    for (unsigned I = 0; I < W.numVProcs(); ++I) {
+      if (W.heap(I).local().contains(Obj))
+        return &W.heap(I) == Perspective ? RegionKind::OwnLocal
+                                         : RegionKind::OtherLocal;
+    }
+    if (W.chunks().activeChunksContain(Obj))
+      return RegionKind::Global;
+    return RegionKind::Unknown;
+  }
+
+  /// Adds an edge from \p FromHeap (null for global roots / global
+  /// objects) to the value \p Wd.
+  void edge(const VProcHeap *FromHeap, bool FromGlobalObject, Word Wd) {
+    if (!wordIsPtr(Wd))
+      return;
+    ++Result.Edges;
+    Word *Obj = reinterpret_cast<Word *>(Wd);
+
+    // Follow forwarding pointers the way a collector would.
+    unsigned Hops = 0;
+    while (isForwardWord(headerOf(Obj))) {
+      ++Result.ForwardedEdges;
+      Obj = reinterpret_cast<Word *>(headerOf(Obj));
+      MANTI_CHECK(++Hops < 4, "forwarding-pointer cycle");
+    }
+
+    RegionKind Kind = classify(Obj, FromHeap);
+    MANTI_CHECK(Kind != RegionKind::Unknown,
+                "pointer to memory outside every heap");
+    if (FromGlobalObject)
+      MANTI_CHECK(Kind == RegionKind::Global,
+                  "invariant violated: global heap points into a local heap");
+    MANTI_CHECK(Kind != RegionKind::OtherLocal,
+                "invariant violated: pointer into another vproc's local heap");
+
+    if (!Visited.insert(Obj).second)
+      return;
+    Worklist.push_back({Obj, Kind == RegionKind::Global ? nullptr : FromHeap,
+                        Kind == RegionKind::Global});
+  }
+
+  void drain() {
+    while (!Worklist.empty()) {
+      auto [Obj, Heap, IsGlobal] = Worklist.back();
+      Worklist.pop_back();
+      scanObject(Obj, Heap, IsGlobal);
+    }
+  }
+
+private:
+  void scanObject(Word *Obj, const VProcHeap *Heap, bool IsGlobal) {
+    Word Hdr = headerOf(Obj);
+    MANTI_CHECK(isHeaderWord(Hdr), "object with forwarded header reached");
+    uint16_t Id = headerId(Hdr);
+    uint64_t Len = headerLenWords(Hdr);
+    MANTI_CHECK(Len <= MaxObjectWords, "object length out of range");
+
+    if (IsGlobal)
+      ++Result.GlobalObjects;
+    else
+      ++Result.LocalObjects;
+
+    if (Id == IdRaw)
+      return;
+    if (Id == IdProxy) {
+      MANTI_CHECK(IsGlobal, "proxy object found in a local heap");
+      ++Result.Proxies;
+      int64_t OwnerOrResolved = Value::fromBits(Obj[0]).asInt();
+      Word Payload = Obj[1];
+      if (!wordIsPtr(Payload))
+        return;
+      if (OwnerOrResolved >= 0) {
+        // Unresolved: the payload may point into the *owner's* local
+        // heap -- the sanctioned exception. Trace it from the owner's
+        // perspective.
+        MANTI_CHECK(static_cast<uint64_t>(OwnerOrResolved) < W.numVProcs(),
+                    "proxy owner id out of range");
+        VProcHeap &Owner = W.heap(static_cast<unsigned>(OwnerOrResolved));
+        edge(&Owner, /*FromGlobalObject=*/false, Payload);
+      } else {
+        edge(nullptr, /*FromGlobalObject=*/true, Payload);
+      }
+      return;
+    }
+    if (Id == IdVector) {
+      for (uint64_t I = 0; I != Len; ++I)
+        edge(Heap, IsGlobal, Obj[I]);
+      return;
+    }
+    const ObjectDescriptor &Desc = W.descriptors().lookup(Id);
+    MANTI_CHECK(Desc.sizeWords() == Len,
+                "mixed object length disagrees with its descriptor");
+    for (unsigned I = 0; I < Desc.numPtrFields(); ++I)
+      edge(Heap, IsGlobal, Obj[Desc.ptrOffsets()[I]]);
+  }
+
+  GCWorld &W;
+  std::set<Word *> Visited;
+  struct Item {
+    Word *Obj;
+    const VProcHeap *Heap;
+    bool IsGlobal;
+  };
+  std::vector<Item> Worklist;
+};
+
+void traceVProcRoots(Tracer &T, VProcHeap &H) {
+  forEachVProcRoot(H, [&](Word *Slot) {
+    T.edge(&H, /*FromGlobalObject=*/false, *Slot);
+  });
+  for (Word *Proxy : H.ProxyTable)
+    T.edge(&H, /*FromGlobalObject=*/false,
+           reinterpret_cast<Word>(Proxy));
+}
+
+} // namespace
+
+VerifyResult manti::verifyHeap(VProcHeap &H) {
+  Tracer T(H.world());
+  traceVProcRoots(T, H);
+  T.drain();
+  return T.Result;
+}
+
+VerifyResult manti::verifyWorld(GCWorld &W) {
+  Tracer T(W);
+  for (unsigned I = 0; I < W.numVProcs(); ++I)
+    traceVProcRoots(T, W.heap(I));
+  auto Visit = [&](Word *Slot) {
+    T.edge(nullptr, /*FromGlobalObject=*/true, *Slot);
+  };
+  W.enumerateGlobalRoots(fieldVisitTrampoline<decltype(Visit)>, &Visit);
+  T.drain();
+  return T.Result;
+}

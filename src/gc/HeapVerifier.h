@@ -1,0 +1,51 @@
+//===- gc/HeapVerifier.h - heap-invariant checking ------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traces the reachable heap and checks the two invariants the paper's
+/// design rests on (Section 2.3):
+///
+///   1. There are no pointers from one vproc's local heap to another's.
+///   2. There are no pointers from the global heap into any vproc's
+///      local heap (except through registered proxies).
+///
+/// plus structural sanity: valid headers, in-bounds lengths, registered
+/// object IDs, and forwarding pointers that lead to valid objects.
+///
+/// Intended for tests and debugging; the traversal allocates and is not
+/// remotely lock-free, so call it only while the vproc (or the world) is
+/// quiescent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_HEAPVERIFIER_H
+#define MANTI_GC_HEAPVERIFIER_H
+
+#include "gc/Heap.h"
+
+#include <cstdint>
+
+namespace manti {
+
+struct VerifyResult {
+  uint64_t LocalObjects = 0;
+  uint64_t GlobalObjects = 0;
+  uint64_t Proxies = 0;
+  uint64_t ForwardedEdges = 0;
+  uint64_t Edges = 0;
+};
+
+/// Traces everything reachable from \p H's roots, aborting with a
+/// diagnostic on the first invariant violation.
+VerifyResult verifyHeap(VProcHeap &H);
+
+/// Traces from every vproc's roots plus the registered global roots.
+/// All vprocs must be quiescent.
+VerifyResult verifyWorld(GCWorld &W);
+
+} // namespace manti
+
+#endif // MANTI_GC_HEAPVERIFIER_H

@@ -1,0 +1,46 @@
+//===- gc/LocalHeap.cpp ---------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/LocalHeap.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+using namespace manti;
+
+LocalHeap::LocalHeap(void *Mem, std::size_t Bytes) {
+  MANTI_CHECK(Mem && isAligned(reinterpret_cast<uintptr_t>(Mem), 8),
+              "local heap storage must be 8-byte aligned");
+  MANTI_CHECK(Bytes >= 4096, "local heap too small");
+  Base = static_cast<Word *>(Mem);
+  Top = Base + Bytes / sizeof(Word);
+  reset();
+}
+
+void LocalHeap::reset() {
+  YoungStart = Base;
+  OldTop = Base;
+  resplitNursery();
+}
+
+void LocalHeap::setRegions(Word *NewYoungStart, Word *NewOldTop) {
+  MANTI_CHECK(Base <= NewYoungStart && NewYoungStart <= NewOldTop &&
+                  NewOldTop <= Top,
+              "inconsistent local heap regions");
+  YoungStart = NewYoungStart;
+  OldTop = NewOldTop;
+}
+
+void LocalHeap::resplitNursery() {
+  // Divide the free space [OldTop, Top) in half; the upper half is the
+  // new nursery (Fig. 2). Rounding the nursery down keeps the lower gap
+  // at least as large as the nursery, so a minor collection always has
+  // room to copy a fully-live nursery.
+  std::size_t FreeWords = static_cast<std::size_t>(Top - OldTop);
+  NurseryStart = Top - FreeWords / 2;
+  AllocPtr = NurseryStart;
+  Limit.store(Top, std::memory_order_release);
+}

@@ -1,0 +1,98 @@
+//===- gc/ObjectDescriptor.cpp --------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ObjectDescriptor.h"
+
+#include "support/Assert.h"
+
+#include <utility>
+
+using namespace manti;
+
+namespace {
+
+/// Scanner specialized for a fixed pointer-field count: the loop bound is
+/// a template constant, so the compiler fully unrolls small cases --
+/// mirroring what the PML compiler emits per type.
+template <unsigned N>
+void scanFixed(Word *Obj, const ObjectDescriptor &Desc, FieldVisitor Visit,
+               void *Ctx) {
+  const uint16_t *Offsets = Desc.ptrOffsets();
+  for (unsigned I = 0; I < N; ++I)
+    Visit(Obj + Offsets[I], Ctx);
+}
+
+/// Fallback for types with many pointer fields.
+void scanGeneric(Word *Obj, const ObjectDescriptor &Desc, FieldVisitor Visit,
+                 void *Ctx) {
+  const uint16_t *Offsets = Desc.ptrOffsets();
+  for (unsigned I = 0, E = Desc.numPtrFields(); I < E; ++I)
+    Visit(Obj + Offsets[I], Ctx);
+}
+
+ScanFn selectScanner(unsigned NumPtrFields) {
+  switch (NumPtrFields) {
+  case 0:
+    return scanFixed<0>;
+  case 1:
+    return scanFixed<1>;
+  case 2:
+    return scanFixed<2>;
+  case 3:
+    return scanFixed<3>;
+  case 4:
+    return scanFixed<4>;
+  case 5:
+    return scanFixed<5>;
+  case 6:
+    return scanFixed<6>;
+  case 7:
+    return scanFixed<7>;
+  case 8:
+    return scanFixed<8>;
+  default:
+    return scanGeneric;
+  }
+}
+
+} // namespace
+
+ObjectDescriptorTable::ObjectDescriptorTable() = default;
+
+uint16_t
+ObjectDescriptorTable::registerMixed(std::string Name, unsigned SizeWords,
+                                     const std::vector<uint16_t> &Offsets) {
+  MANTI_CHECK(SizeWords > 0 && SizeWords <= MaxObjectWords,
+              "mixed object size out of range");
+  MANTI_CHECK(Offsets.size() <= ObjectDescriptor::MaxFields,
+              "too many pointer fields");
+  MANTI_CHECK(FirstMixedId + Descriptors.size() <= MaxObjectId,
+              "object-descriptor table full");
+
+  ObjectDescriptor Desc;
+  Desc.TypeName = std::move(Name);
+  Desc.Id = static_cast<uint16_t>(FirstMixedId + Descriptors.size());
+  Desc.SizeWords = static_cast<uint16_t>(SizeWords);
+  Desc.NumPtrFields = static_cast<uint16_t>(Offsets.size());
+  uint16_t Prev = 0;
+  for (unsigned I = 0; I < Offsets.size(); ++I) {
+    MANTI_CHECK(Offsets[I] < SizeWords, "pointer field offset out of range");
+    MANTI_CHECK(I == 0 || Offsets[I] > Prev,
+                "pointer field offsets must be strictly increasing");
+    Prev = Offsets[I];
+    Desc.PtrOffsets[I] = Offsets[I];
+  }
+  Desc.Scanner = selectScanner(Desc.NumPtrFields);
+  Descriptors.push_back(std::move(Desc));
+  return Descriptors.back().Id;
+}
+
+const ObjectDescriptor &ObjectDescriptorTable::lookup(uint16_t Id) const {
+  MANTI_CHECK(Id >= FirstMixedId, "reserved IDs have no descriptor");
+  unsigned Index = Id - FirstMixedId;
+  MANTI_CHECK(Index < Descriptors.size(), "unregistered object ID");
+  return Descriptors[Index];
+}

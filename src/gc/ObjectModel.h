@@ -1,0 +1,143 @@
+//===- gc/ObjectModel.h - heap object representation (paper Fig. 1) ------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap objects carry a 64-bit header word laid out exactly as the
+/// paper's Figure 1:
+///
+///   bit  0      : 1  (distinguishes a header from a forwarding pointer)
+///   bits 1..15  : 15-bit object ID
+///   bits 16..63 : 48-bit object length (in 8-byte words)
+///
+/// Because heap objects are 8-byte aligned, a forwarding pointer written
+/// over the header has bit 0 clear, which is how the collectors detect an
+/// already-copied object.
+///
+/// Two IDs are reserved for raw data and for vectors of values; a third is
+/// reserved for object proxies (Section 3.1, footnote 1). All other IDs
+/// index the object-descriptor table (ObjectDescriptor.h), which holds the
+/// per-type scanning and forwarding functions a compiler would generate.
+///
+/// A heap pointer addresses the first data word; the header lives one word
+/// below it, matching the usual functional-language layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_OBJECTMODEL_H
+#define MANTI_GC_OBJECTMODEL_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace manti {
+
+using Word = uint64_t;
+
+/// Reserved object IDs (paper: "We reserve two IDs for raw and vector
+/// data"; proxies get a third so the collectors can special-case them).
+enum ReservedObjectId : uint16_t {
+  IdRaw = 0,
+  IdVector = 1,
+  IdProxy = 2,
+  FirstMixedId = 3,
+  MaxObjectId = (1u << 15) - 1,
+};
+
+inline constexpr unsigned HeaderIdBits = 15;
+inline constexpr unsigned HeaderLenBits = 48;
+inline constexpr uint64_t MaxObjectWords = (uint64_t(1) << HeaderLenBits) - 1;
+
+/// Builds a header word from an object ID and a length in words.
+constexpr Word makeHeader(uint16_t Id, uint64_t LenWords) {
+  return (LenWords << 16) | (static_cast<Word>(Id) << 1) | 1;
+}
+
+/// \returns true if \p W is a header (bit 0 set) rather than a
+/// forwarding pointer.
+constexpr bool isHeaderWord(Word W) { return (W & 1) != 0; }
+
+/// \returns true if \p W is a forwarding pointer (an aligned address).
+constexpr bool isForwardWord(Word W) { return (W & 1) == 0; }
+
+constexpr uint16_t headerId(Word Header) {
+  return static_cast<uint16_t>((Header >> 1) & MaxObjectId);
+}
+
+constexpr uint64_t headerLenWords(Word Header) { return Header >> 16; }
+
+/// Access to the header word of the object whose first data word is at
+/// \p Obj.
+inline Word &headerOf(Word *Obj) { return Obj[-1]; }
+inline Word headerOf(const Word *Obj) { return Obj[-1]; }
+
+/// Total footprint of an object (header + data), in words.
+inline uint64_t objectFootprintWords(Word Header) {
+  return headerLenWords(Header) + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+/// A PML value: either a tagged 63-bit integer (bit 0 set) or an 8-byte
+/// aligned pointer to a heap object's first data word (low bits clear).
+/// The tag assignment is the opposite of the header convention on
+/// purpose: a *stored field* with bit 0 set is data, with bit 0 clear is
+/// a pointer -- which lets vector scanning decide pointerness per word.
+class Value {
+public:
+  constexpr Value() : Bits(0) {}
+
+  static constexpr Value nil() { return Value(); }
+
+  static constexpr Value fromInt(int64_t I) {
+    return Value((static_cast<uint64_t>(I) << 1) | 1);
+  }
+
+  static Value fromPtr(Word *Obj) {
+    assert((reinterpret_cast<uintptr_t>(Obj) & 7) == 0 &&
+           "heap pointers must be 8-byte aligned");
+    return Value(reinterpret_cast<uint64_t>(Obj));
+  }
+
+  static constexpr Value fromBits(uint64_t Bits) { return Value(Bits); }
+
+  constexpr bool isNil() const { return Bits == 0; }
+  constexpr bool isInt() const { return (Bits & 1) != 0; }
+  constexpr bool isPtr() const { return !isNil() && !isInt(); }
+
+  constexpr int64_t asInt() const {
+    assert(isInt() && "Value is not a tagged integer");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+
+  Word *asPtr() const {
+    assert(isPtr() && "Value is not a heap pointer");
+    return reinterpret_cast<Word *>(Bits);
+  }
+
+  constexpr uint64_t bits() const { return Bits; }
+
+  friend constexpr bool operator==(Value A, Value B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(Value A, Value B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  explicit constexpr Value(uint64_t Bits) : Bits(Bits) {}
+  uint64_t Bits;
+};
+
+static_assert(sizeof(Value) == 8, "values are single words");
+
+/// \returns true when field word \p W holds a heap pointer.
+constexpr bool wordIsPtr(Word W) { return W != 0 && (W & 1) == 0; }
+
+} // namespace manti
+
+#endif // MANTI_GC_OBJECTMODEL_H

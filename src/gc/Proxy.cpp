@@ -1,0 +1,65 @@
+//===- gc/Proxy.cpp --------------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Proxy.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace manti;
+
+Value manti::createProxy(VProcHeap &H, Value Payload) {
+  GcFrame Frame(H);
+  Frame.root(Payload);
+  Word *Obj = H.globalAllocObject(IdProxy, 2);
+  Obj[0] = Value::fromInt(static_cast<int64_t>(H.id())).bits();
+  Obj[1] = Payload.bits();
+  H.ProxyTable.push_back(Obj);
+  return Value::fromPtr(Obj);
+}
+
+bool manti::isProxy(Value V) {
+  return V.isPtr() && objectId(V) == IdProxy;
+}
+
+bool manti::proxyResolved(Value V) {
+  assert(isProxy(V) && "not a proxy");
+  return Value::fromBits(V.asPtr()[0]).asInt() < 0;
+}
+
+Value manti::proxyPayload(Value V) {
+  assert(isProxy(V) && "not a proxy");
+  return Value::fromBits(V.asPtr()[1]);
+}
+
+unsigned manti::proxyOwner(Value V) {
+  assert(isProxy(V) && !proxyResolved(V) && "not an unresolved proxy");
+  return static_cast<unsigned>(Value::fromBits(V.asPtr()[0]).asInt());
+}
+
+Value manti::resolveProxy(VProcHeap &H, Value Proxy) {
+  MANTI_CHECK(isProxy(Proxy), "resolveProxy: not a proxy");
+  MANTI_CHECK(!proxyResolved(Proxy), "resolveProxy: already resolved");
+  MANTI_CHECK(proxyOwner(Proxy) == H.id(),
+              "resolveProxy: only the owning vproc may resolve");
+
+  GcFrame Frame(H);
+  Frame.root(Proxy);
+  Value Promoted = H.promote(proxyPayload(Proxy));
+  // Promotion never moves the proxy itself (it is already global), but
+  // re-read through the rooted value for clarity.
+  Word *Obj = Proxy.asPtr();
+  Obj[1] = Promoted.bits();
+  Obj[0] = Value::fromInt(-1).bits();
+
+  auto It = std::find(H.ProxyTable.begin(), H.ProxyTable.end(), Obj);
+  MANTI_CHECK(It != H.ProxyTable.end(),
+              "resolveProxy: proxy not registered with its owner");
+  *It = H.ProxyTable.back();
+  H.ProxyTable.pop_back();
+  return Promoted;
+}

@@ -1,0 +1,68 @@
+//===- gc/Proxy.h - object proxies (paper Section 3.1, footnote 1) -------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Object proxies are a special kind of object that is used to allow
+/// references from the global heap back into the local heap. We use them
+/// in the implementation of our explicit concurrency constructs."
+///
+/// A proxy is a two-word global-heap object:
+///
+///   word 0: tagged integer -- the owning vproc's id while the proxy is
+///           *unresolved*, or -1 once it has been *resolved*;
+///   word 1: the payload -- a pointer into the owner's local heap while
+///           unresolved, or the promoted (global) value once resolved.
+///
+/// The proxy is the one sanctioned exception to the no-global-to-local-
+/// pointer invariant. It stays sound because the owner registers every
+/// unresolved proxy in its proxy table: the payload slot is then part of
+/// the owner's root set, so the owner's minor and major collections keep
+/// the local referent alive and forward the slot, while the global
+/// collector skips payloads that still point into the owner's local heap
+/// (the objects themselves never move during a global collection) and
+/// updates the table entries as the proxies move.
+///
+/// The reproduction's channel implementation (runtime/Channel.h) uses a
+/// proxy per blocked receiver, exactly the use the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_GC_PROXY_H
+#define MANTI_GC_PROXY_H
+
+#include "gc/Heap.h"
+
+namespace manti {
+
+/// Creates a proxy owned by \p H wrapping \p Payload (any value,
+/// typically a pointer into \p H's local heap). The proxy is allocated
+/// in the global heap and registered in \p H's proxy table.
+/// Must run on \p H's vproc thread.
+Value createProxy(VProcHeap &H, Value Payload);
+
+/// \returns true if \p V points at a proxy object.
+bool isProxy(Value V);
+
+/// \returns true if \p V is a resolved proxy.
+bool proxyResolved(Value V);
+
+/// \returns the proxy's current payload. For an unresolved proxy this is
+/// only meaningful on the owning vproc (it may point into its local
+/// heap).
+Value proxyPayload(Value V);
+
+/// \returns the id of the vproc owning unresolved proxy \p V.
+unsigned proxyOwner(Value V);
+
+/// Resolves \p Proxy: promotes the payload into the global heap, stores
+/// the promoted value, marks the proxy resolved, and removes it from the
+/// owner's proxy table. Must run on the owning vproc's thread.
+/// \returns the promoted payload.
+Value resolveProxy(VProcHeap &H, Value Proxy);
+
+} // namespace manti
+
+#endif // MANTI_GC_PROXY_H

@@ -1,0 +1,32 @@
+//===- numa/AllocPolicy.cpp -----------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/AllocPolicy.h"
+
+#include <cstring>
+
+using namespace manti;
+
+const char *manti::allocPolicyName(AllocPolicyKind Kind) {
+  switch (Kind) {
+  case AllocPolicyKind::Local:
+    return "local";
+  case AllocPolicyKind::Interleaved:
+    return "interleaved";
+  case AllocPolicyKind::SingleNode:
+    return "single-node";
+  }
+  return "unknown";
+}
+
+AllocPolicyKind manti::parseAllocPolicy(const char *Name) {
+  if (std::strcmp(Name, "interleaved") == 0)
+    return AllocPolicyKind::Interleaved;
+  if (std::strcmp(Name, "single-node") == 0 ||
+      std::strcmp(Name, "socket0") == 0)
+    return AllocPolicyKind::SingleNode;
+  return AllocPolicyKind::Local;
+}

@@ -1,0 +1,75 @@
+//===- numa/AllocPolicy.h - physical page placement policies -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three page-placement strategies compared in Section 4.3 of the
+/// paper:
+///   * Local       - pages go on the node of the requesting (pinned)
+///                   vproc; Manticore's default and the paper's
+///                   contribution (Fig. 5).
+///   * Interleaved - pages are balanced round-robin across nodes, the
+///                   strategy used by GHC (Fig. 6).
+///   * SingleNode  - everything on node zero, the default behaviour a
+///                   single-threaded collector gets from first-touch on
+///                   one thread (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_NUMA_ALLOCPOLICY_H
+#define MANTI_NUMA_ALLOCPOLICY_H
+
+#include "numa/Topology.h"
+
+#include <atomic>
+
+namespace manti {
+
+enum class AllocPolicyKind {
+  Local,
+  Interleaved,
+  SingleNode,
+};
+
+/// \returns a short stable name ("local", "interleaved", "single-node").
+const char *allocPolicyName(AllocPolicyKind Kind);
+
+/// Parses the result of allocPolicyName; returns Local for unknown input.
+AllocPolicyKind parseAllocPolicy(const char *Name);
+
+/// Decides the home node for each page-granularity allocation. Stateless
+/// except for the interleave cursor, which mimics round-robin physical
+/// page assignment.
+class AllocPolicy {
+public:
+  AllocPolicy(AllocPolicyKind Kind, unsigned NumNodes)
+      : Kind(Kind), NumNodes(NumNodes) {}
+
+  AllocPolicyKind kind() const { return Kind; }
+
+  /// \returns the node that should back an allocation requested from
+  /// \p RequestingNode.
+  NodeId homeFor(NodeId RequestingNode) {
+    switch (Kind) {
+    case AllocPolicyKind::Local:
+      return RequestingNode;
+    case AllocPolicyKind::Interleaved:
+      return static_cast<NodeId>(
+          InterleaveCursor.fetch_add(1, std::memory_order_relaxed) % NumNodes);
+    case AllocPolicyKind::SingleNode:
+      return 0;
+    }
+    return 0;
+  }
+
+private:
+  AllocPolicyKind Kind;
+  unsigned NumNodes;
+  std::atomic<uint64_t> InterleaveCursor{0};
+};
+
+} // namespace manti
+
+#endif // MANTI_NUMA_ALLOCPOLICY_H

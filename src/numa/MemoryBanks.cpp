@@ -1,0 +1,101 @@
+//===- numa/MemoryBanks.cpp -----------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/MemoryBanks.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+using namespace manti;
+
+MemoryBanks::MemoryBanks(unsigned NumNodes) : Banks(NumNodes) {
+  MANTI_CHECK(NumNodes > 0, "memory banks need at least one node");
+}
+
+MemoryBanks::~MemoryBanks() {
+  std::lock_guard<SpinLock> Lock(ExtentLock);
+  for (const Extent &E : Extents)
+    std::free(reinterpret_cast<void *>(E.Begin));
+}
+
+void *MemoryBanks::allocFresh(std::size_t Bytes, std::size_t Align,
+                              NodeId Node) {
+  void *Mem = std::aligned_alloc(Align, Bytes);
+  MANTI_CHECK(Mem, "out of memory in MemoryBanks");
+  Banks[Node].Reserved += Bytes;
+
+  uintptr_t Begin = reinterpret_cast<uintptr_t>(Mem);
+  Extent E{Begin, Begin + Bytes, Node};
+  std::lock_guard<SpinLock> Lock(ExtentLock);
+  auto It = std::lower_bound(
+      Extents.begin(), Extents.end(), E,
+      [](const Extent &A, const Extent &B) { return A.Begin < B.Begin; });
+  Extents.insert(It, E);
+  return Mem;
+}
+
+void *MemoryBanks::allocBlock(std::size_t Bytes, NodeId Node,
+                              std::size_t Align) {
+  MANTI_CHECK(Node < Banks.size(), "allocBlock: bad node");
+  MANTI_CHECK(Align >= PageSize && isPowerOf2(Align),
+              "alignment must be a power of two >= the page size");
+  Bytes = alignTo(alignTo(Bytes, PageSize), Align);
+  Bank &B = Banks[Node];
+  {
+    std::lock_guard<SpinLock> Lock(B.Lock);
+    auto It = B.FreeLists.find({Bytes, Align});
+    if (It != B.FreeLists.end() && !It->second.empty()) {
+      void *Block = It->second.back();
+      It->second.pop_back();
+      B.InUse += Bytes;
+      return Block;
+    }
+    B.InUse += Bytes;
+  }
+  return allocFresh(Bytes, Align, Node);
+}
+
+void MemoryBanks::freeBlock(void *Block, std::size_t Bytes,
+                            std::size_t Align) {
+  Bytes = alignTo(alignTo(Bytes, PageSize), Align);
+  int Node = nodeOf(Block);
+  MANTI_CHECK(Node >= 0, "freeBlock: block not owned by these banks");
+  Bank &B = Banks[static_cast<unsigned>(Node)];
+  std::lock_guard<SpinLock> Lock(B.Lock);
+  B.FreeLists[{Bytes, Align}].push_back(Block);
+  B.InUse -= Bytes;
+}
+
+int MemoryBanks::nodeOf(const void *Addr) const {
+  uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+  std::lock_guard<SpinLock> Lock(ExtentLock);
+  // Find the first extent with Begin > A, then step back.
+  auto It = std::upper_bound(
+      Extents.begin(), Extents.end(), A,
+      [](uintptr_t Value, const Extent &E) { return Value < E.Begin; });
+  if (It == Extents.begin())
+    return -1;
+  --It;
+  if (A < It->End)
+    return static_cast<int>(It->Node);
+  return -1;
+}
+
+uint64_t MemoryBanks::bytesInUse(NodeId Node) const {
+  const Bank &B = Banks[Node];
+  std::lock_guard<SpinLock> Lock(B.Lock);
+  return B.InUse;
+}
+
+uint64_t MemoryBanks::bytesReserved(NodeId Node) const {
+  const Bank &B = Banks[Node];
+  std::lock_guard<SpinLock> Lock(B.Lock);
+  return B.Reserved;
+}

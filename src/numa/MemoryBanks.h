@@ -1,0 +1,96 @@
+//===- numa/MemoryBanks.h - per-node physical memory banks ---------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated per-node memory banks. On the paper's hardware each node has
+/// its own bank of physical RAM and the runtime places pages with
+/// libnuma; this reproduction runs on a machine with one node, so the
+/// banks are process-heap arenas that carry the *placement metadata*: a
+/// block allocated "on node 3" is recorded in a page map, and every later
+/// consumer (the chunk manager's node affinity, the traffic ledger, the
+/// machine model) consults that map exactly as the real system would ask
+/// the OS which node backs a page.
+///
+/// Blocks are allocated at block granularity (a multiple of the page
+/// size) and recycled through per-node, per-size free lists, mirroring
+/// how the runtime reuses memory without returning it to the OS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_NUMA_MEMORYBANKS_H
+#define MANTI_NUMA_MEMORYBANKS_H
+
+#include "numa/Topology.h"
+#include "support/SpinLock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace manti {
+
+/// Per-node block allocator plus the address-to-node page map.
+class MemoryBanks {
+public:
+  static constexpr std::size_t PageSize = 4096;
+
+  explicit MemoryBanks(unsigned NumNodes);
+  ~MemoryBanks();
+
+  MemoryBanks(const MemoryBanks &) = delete;
+  MemoryBanks &operator=(const MemoryBanks &) = delete;
+
+  unsigned numNodes() const { return static_cast<unsigned>(Banks.size()); }
+
+  /// Allocates \p Bytes (rounded up to a page multiple) on \p Node,
+  /// aligned to \p Align (a power of two >= PageSize; Bytes is rounded up
+  /// to a multiple of it). Never returns null; aborts on OOM.
+  void *allocBlock(std::size_t Bytes, NodeId Node,
+                   std::size_t Align = PageSize);
+
+  /// Returns a block obtained from allocBlock to its node's free list.
+  /// \p Bytes and \p Align must match the allocation request.
+  void freeBlock(void *Block, std::size_t Bytes,
+                 std::size_t Align = PageSize);
+
+  /// \returns the home node of the page containing \p Addr, or -1 if the
+  /// address was not allocated from these banks.
+  int nodeOf(const void *Addr) const;
+
+  /// Total bytes currently handed out from \p Node (excludes free lists).
+  uint64_t bytesInUse(NodeId Node) const;
+
+  /// Total bytes ever reserved from the OS for \p Node.
+  uint64_t bytesReserved(NodeId Node) const;
+
+private:
+  struct Bank {
+    mutable SpinLock Lock;
+    /// (size, align) -> stack of recycled blocks of exactly that shape.
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<void *>>
+        FreeLists;
+    uint64_t InUse = 0;
+    uint64_t Reserved = 0;
+  };
+
+  /// One contiguous OS allocation tagged with its home node.
+  struct Extent {
+    uintptr_t Begin;
+    uintptr_t End;
+    NodeId Node;
+  };
+
+  void *allocFresh(std::size_t Bytes, std::size_t Align, NodeId Node);
+
+  std::vector<Bank> Banks;
+  mutable SpinLock ExtentLock;
+  std::vector<Extent> Extents; ///< sorted by Begin
+};
+
+} // namespace manti
+
+#endif // MANTI_NUMA_MEMORYBANKS_H

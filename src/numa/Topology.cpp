@@ -1,0 +1,162 @@
+//===- numa/Topology.cpp --------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <utility>
+
+using namespace manti;
+
+Topology::Topology(std::string Name, unsigned CoresPerNode,
+                   std::vector<unsigned> NodePackage, std::vector<Link> Links,
+                   double LocalMemGBps)
+    : Name(std::move(Name)), CoresPerNode(CoresPerNode),
+      NodePkg(std::move(NodePackage)), Links(std::move(Links)),
+      LocalMemGBps(LocalMemGBps) {
+  assert(!NodePkg.empty() && "topology needs at least one node");
+  assert(CoresPerNode > 0 && "topology needs at least one core per node");
+  NumPackages = 0;
+  for (unsigned Pkg : NodePkg)
+    NumPackages = std::max(NumPackages, Pkg + 1);
+  for (const Link &L : this->Links) {
+    MANTI_CHECK(L.NodeA < NodePkg.size() && L.NodeB < NodePkg.size(),
+                "link references nonexistent node");
+    MANTI_CHECK(L.NodeA != L.NodeB, "self link");
+    MANTI_CHECK(L.GBps > 0.0, "link bandwidth must be positive");
+  }
+  computeRoutes();
+}
+
+void Topology::computeRoutes() {
+  unsigned N = numNodes();
+  Routes.assign(static_cast<std::size_t>(N) * N, {});
+
+  // Adjacency: node -> (neighbor, link id), sorted by link id so that
+  // breadth-first search explores links deterministically.
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> Adj(N);
+  for (LinkId Id = 0; Id < Links.size(); ++Id) {
+    Adj[Links[Id].NodeA].push_back({Links[Id].NodeB, Id});
+    Adj[Links[Id].NodeB].push_back({Links[Id].NodeA, Id});
+  }
+  for (auto &Neighbors : Adj)
+    std::sort(Neighbors.begin(), Neighbors.end(),
+              [](const auto &A, const auto &B) { return A.second < B.second; });
+
+  for (NodeId Src = 0; Src < N; ++Src) {
+    std::vector<unsigned> Dist(N, std::numeric_limits<unsigned>::max());
+    std::vector<LinkId> Via(N, 0);
+    std::vector<NodeId> Prev(N, Src);
+    Dist[Src] = 0;
+    std::deque<NodeId> Queue{Src};
+    while (!Queue.empty()) {
+      NodeId Cur = Queue.front();
+      Queue.pop_front();
+      for (auto [Next, LinkIdx] : Adj[Cur]) {
+        if (Dist[Next] != std::numeric_limits<unsigned>::max())
+          continue;
+        Dist[Next] = Dist[Cur] + 1;
+        Via[Next] = LinkIdx;
+        Prev[Next] = Cur;
+        Queue.push_back(Next);
+      }
+    }
+    for (NodeId Dst = 0; Dst < N; ++Dst) {
+      if (Dst == Src)
+        continue;
+      MANTI_CHECK(Dist[Dst] != std::numeric_limits<unsigned>::max(),
+                  "topology link graph is disconnected");
+      std::vector<LinkId> &Path = Routes[Src * N + Dst];
+      for (NodeId Cur = Dst; Cur != Src; Cur = Prev[Cur])
+        Path.push_back(Via[Cur]);
+      std::reverse(Path.begin(), Path.end());
+    }
+  }
+}
+
+double Topology::pathGBps(NodeId From, NodeId To) const {
+  double Bw = LocalMemGBps;
+  for (LinkId Id : route(From, To))
+    Bw = std::min(Bw, Links[Id].GBps);
+  return Bw;
+}
+
+std::vector<CoreId> Topology::assignVProcsSparsely(unsigned NumVProcs) const {
+  MANTI_CHECK(NumVProcs <= numCores(), "more vprocs than cores");
+  std::vector<CoreId> Cores;
+  Cores.reserve(NumVProcs);
+  // Round-robin over nodes; the i-th visit to a node takes its i-th core.
+  std::vector<unsigned> UsedOnNode(numNodes(), 0);
+  NodeId Node = 0;
+  while (Cores.size() < NumVProcs) {
+    if (UsedOnNode[Node] < CoresPerNode) {
+      Cores.push_back(Node * CoresPerNode + UsedOnNode[Node]);
+      ++UsedOnNode[Node];
+    }
+    Node = (Node + 1) % numNodes();
+  }
+  return Cores;
+}
+
+Topology Topology::amdMagnyCours48() {
+  // Four G34 packages; each package holds two 6-core dies (nodes).
+  // Node numbering: package P contributes nodes 2P and 2P+1.
+  std::vector<unsigned> NodePkg(8);
+  for (unsigned Node = 0; Node < 8; ++Node)
+    NodePkg[Node] = Node / 2;
+
+  // Table 1: local memory 21.3 GB/s; the two dies in one package share a
+  // 16-bit + 8-bit HT3 pair (19.2 GB/s); dies in different packages are
+  // joined by single 8-bit HT3 links (6.4 GB/s). Each die has three
+  // remote links, one per other package (Fig. 8); the exact die-to-die
+  // wiring below balances link endpoints so every die gets three.
+  std::vector<Link> Links;
+  for (unsigned Pkg = 0; Pkg < 4; ++Pkg)
+    Links.push_back({2 * Pkg, 2 * Pkg + 1, 19.2});
+  for (unsigned P = 0; P < 4; ++P) {
+    for (unsigned Q = P + 1; Q < 4; ++Q) {
+      unsigned Flip = (P + Q) % 2;
+      Links.push_back({2 * P + 0, 2 * Q + Flip, 6.4});
+      Links.push_back({2 * P + 1, 2 * Q + (1 - Flip), 6.4});
+    }
+  }
+  return Topology("amd48", /*CoresPerNode=*/6, std::move(NodePkg),
+                  std::move(Links), /*LocalMemGBps=*/21.3);
+}
+
+Topology Topology::intelXeon32() {
+  // Four X7560 packages, one node each, fully connected by QPI
+  // (25.6 GB/s); two DDR3-1066 risers give 17.1 GB/s local (Table 1).
+  std::vector<unsigned> NodePkg = {0, 1, 2, 3};
+  std::vector<Link> Links;
+  for (unsigned A = 0; A < 4; ++A)
+    for (unsigned B = A + 1; B < 4; ++B)
+      Links.push_back({A, B, 25.6});
+  return Topology("intel32", /*CoresPerNode=*/8, std::move(NodePkg),
+                  std::move(Links), /*LocalMemGBps=*/17.1);
+}
+
+Topology Topology::uniform(unsigned Nodes, unsigned CoresPerNode,
+                           double LocalGBps, double RemoteGBps) {
+  std::vector<unsigned> NodePkg(Nodes);
+  for (unsigned Node = 0; Node < Nodes; ++Node)
+    NodePkg[Node] = Node;
+  std::vector<Link> Links;
+  for (unsigned A = 0; A < Nodes; ++A)
+    for (unsigned B = A + 1; B < Nodes; ++B)
+      Links.push_back({A, B, RemoteGBps});
+  return Topology("uniform", CoresPerNode, std::move(NodePkg),
+                  std::move(Links), LocalGBps);
+}
+
+Topology Topology::singleNode(unsigned Cores) {
+  return Topology("single", Cores, {0}, {}, 20.0);
+}

@@ -1,0 +1,117 @@
+//===- numa/Topology.h - NUMA machine description ------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes a NUMA machine: nodes grouped into packages, cores per node,
+/// the inter-node link graph with per-link bandwidth, and per-node memory
+/// controller bandwidth. Two factory functions reproduce the paper's
+/// Appendix A hardware: the 48-core AMD "Magny Cours" (Fig. 8, four G34
+/// packages of two 6-core nodes, HyperTransport 3 links) and the 32-core
+/// Intel Xeon X7560 (Fig. 9, four 8-core nodes fully connected by QPI).
+/// Bandwidths are the theoretical figures from Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_NUMA_TOPOLOGY_H
+#define MANTI_NUMA_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manti {
+
+using NodeId = unsigned;
+using CoreId = unsigned;
+using LinkId = unsigned;
+
+/// One bidirectional inter-node link with a per-direction bandwidth.
+struct Link {
+  NodeId NodeA;
+  NodeId NodeB;
+  double GBps; ///< bandwidth per direction, GB/s
+};
+
+/// An immutable NUMA machine description.
+class Topology {
+public:
+  /// Builds a topology. \p NodePackage maps each node to its package;
+  /// \p Links lists the inter-node links; \p LocalMemGBps is the per-node
+  /// memory-controller bandwidth.
+  Topology(std::string Name, unsigned CoresPerNode,
+           std::vector<unsigned> NodePackage, std::vector<Link> Links,
+           double LocalMemGBps);
+
+  const std::string &name() const { return Name; }
+  unsigned numNodes() const { return static_cast<unsigned>(NodePkg.size()); }
+  unsigned numCores() const { return numNodes() * CoresPerNode; }
+  unsigned coresPerNode() const { return CoresPerNode; }
+  unsigned numPackages() const { return NumPackages; }
+  unsigned numLinks() const { return static_cast<unsigned>(Links.size()); }
+
+  NodeId nodeOfCore(CoreId Core) const { return Core / CoresPerNode; }
+  unsigned packageOfNode(NodeId Node) const { return NodePkg[Node]; }
+  bool samePackage(NodeId A, NodeId B) const {
+    return NodePkg[A] == NodePkg[B];
+  }
+
+  const Link &link(LinkId Id) const { return Links[Id]; }
+
+  /// Per-node local memory-controller bandwidth (Table 1 "Local Memory").
+  double localMemoryGBps() const { return LocalMemGBps; }
+
+  /// \returns the precomputed link route from \p From to \p To (empty when
+  /// From == To). Routes are shortest paths, ties broken by lowest LinkId,
+  /// so routing is deterministic.
+  const std::vector<LinkId> &route(NodeId From, NodeId To) const {
+    return Routes[From * numNodes() + To];
+  }
+
+  /// Number of link hops between two nodes (0 for the same node).
+  unsigned hopCount(NodeId From, NodeId To) const {
+    return static_cast<unsigned>(route(From, To).size());
+  }
+
+  /// Theoretical bandwidth available from a core on \p From to memory on
+  /// \p To: the minimum of the memory-controller bandwidth and every link
+  /// along the route (Table 1's three rows fall out of this).
+  double pathGBps(NodeId From, NodeId To) const;
+
+  /// Assigns \p NumVProcs vprocs to cores "sparsely across the nodes to
+  /// minimize contention on the node-shared L3" (paper Section 2.2):
+  /// round-robin over nodes, filling each node's cores in order.
+  std::vector<CoreId> assignVProcsSparsely(unsigned NumVProcs) const;
+
+  /// The 48-core AMD Opteron 6172 machine of Appendix A.1.
+  static Topology amdMagnyCours48();
+
+  /// The 32-core Intel Xeon X7560 machine of Appendix A.2.
+  static Topology intelXeon32();
+
+  /// A uniform machine: \p Nodes nodes of \p CoresPerNode cores, fully
+  /// connected with \p RemoteGBps links and \p LocalGBps local memory.
+  static Topology uniform(unsigned Nodes, unsigned CoresPerNode,
+                          double LocalGBps = 20.0, double RemoteGBps = 10.0);
+
+  /// A single-node machine (no NUMA effects) with \p Cores cores.
+  static Topology singleNode(unsigned Cores);
+
+private:
+  void computeRoutes();
+
+  std::string Name;
+  unsigned CoresPerNode;
+  unsigned NumPackages;
+  std::vector<unsigned> NodePkg; ///< node -> package
+  std::vector<Link> Links;
+  double LocalMemGBps;
+  /// Routes[From * N + To] = link ids along the shortest path.
+  std::vector<std::vector<LinkId>> Routes;
+};
+
+} // namespace manti
+
+#endif // MANTI_NUMA_TOPOLOGY_H

@@ -1,0 +1,65 @@
+//===- numa/TrafficMatrix.cpp ---------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/TrafficMatrix.h"
+
+#include "support/Assert.h"
+
+using namespace manti;
+
+TrafficMatrix::TrafficMatrix(unsigned NumNodes)
+    : NumNodes(NumNodes),
+      Cells(new std::atomic<uint64_t>[static_cast<std::size_t>(NumNodes) *
+                                      NumNodes]) {
+  MANTI_CHECK(NumNodes > 0, "traffic matrix needs at least one node");
+  reset();
+}
+
+uint64_t TrafficMatrix::bytesInto(NodeId To) const {
+  uint64_t Sum = 0;
+  for (NodeId From = 0; From < NumNodes; ++From)
+    Sum += bytes(From, To);
+  return Sum;
+}
+
+uint64_t TrafficMatrix::remoteBytes() const {
+  uint64_t Sum = 0;
+  for (NodeId From = 0; From < NumNodes; ++From)
+    for (NodeId To = 0; To < NumNodes; ++To)
+      if (From != To)
+        Sum += bytes(From, To);
+  return Sum;
+}
+
+uint64_t TrafficMatrix::totalBytes() const {
+  uint64_t Sum = 0;
+  for (NodeId From = 0; From < NumNodes; ++From)
+    for (NodeId To = 0; To < NumNodes; ++To)
+      Sum += bytes(From, To);
+  return Sum;
+}
+
+std::vector<uint64_t> TrafficMatrix::perLinkBytes(const Topology &Topo) const {
+  MANTI_CHECK(Topo.numNodes() == NumNodes,
+              "topology node count does not match traffic matrix");
+  std::vector<uint64_t> PerLink(Topo.numLinks(), 0);
+  for (NodeId From = 0; From < NumNodes; ++From) {
+    for (NodeId To = 0; To < NumNodes; ++To) {
+      uint64_t B = bytes(From, To);
+      if (B == 0 || From == To)
+        continue;
+      for (LinkId Id : Topo.route(From, To))
+        PerLink[Id] += B;
+    }
+  }
+  return PerLink;
+}
+
+void TrafficMatrix::reset() {
+  for (std::size_t I = 0; I < static_cast<std::size_t>(NumNodes) * NumNodes;
+       ++I)
+    Cells[I].store(0, std::memory_order_relaxed);
+}

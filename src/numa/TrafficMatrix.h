@@ -1,0 +1,66 @@
+//===- numa/TrafficMatrix.h - inter-node traffic ledger ------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records bytes moved between NUMA nodes. The collector feeds it on
+/// every copy (minor, major, promotion, global) and on benchmark data
+/// accesses, so experiments can report how much memory traffic each
+/// allocation policy put on each link -- the quantity whose saturation
+/// explains Figs. 5-7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_NUMA_TRAFFICMATRIX_H
+#define MANTI_NUMA_TRAFFICMATRIX_H
+
+#include "numa/Topology.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace manti {
+
+class TrafficMatrix {
+public:
+  explicit TrafficMatrix(unsigned NumNodes);
+
+  unsigned numNodes() const { return NumNodes; }
+
+  /// Records \p Bytes moving from \p From to \p To (self-traffic allowed;
+  /// it represents local-bank bandwidth consumption).
+  void record(NodeId From, NodeId To, uint64_t Bytes) {
+    Cells[From * NumNodes + To].fetch_add(Bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t bytes(NodeId From, NodeId To) const {
+    return Cells[From * NumNodes + To].load(std::memory_order_relaxed);
+  }
+
+  /// Sum over all source nodes of traffic into \p To.
+  uint64_t bytesInto(NodeId To) const;
+
+  /// Sum of all off-node (From != To) traffic.
+  uint64_t remoteBytes() const;
+
+  /// Sum of all recorded traffic.
+  uint64_t totalBytes() const;
+
+  /// Projects the ledger onto a topology's links: returns per-link bytes,
+  /// assuming every From->To transfer crosses each link on route(From,To).
+  std::vector<uint64_t> perLinkBytes(const Topology &Topo) const;
+
+  void reset();
+
+private:
+  unsigned NumNodes;
+  std::unique_ptr<std::atomic<uint64_t>[]> Cells;
+};
+
+} // namespace manti
+
+#endif // MANTI_NUMA_TRAFFICMATRIX_H

@@ -1,0 +1,161 @@
+//===- runtime/Channel.cpp -------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+
+#include "gc/Proxy.h"
+#include "support/Assert.h"
+
+#include <mutex>
+#include <thread>
+
+using namespace manti;
+
+Channel::Channel(Runtime &RT) : RT(RT) { RT.registerChannel(this); }
+
+Channel::~Channel() { RT.unregisterChannel(this); }
+
+void Channel::send(VProc &VP, Value V) {
+  GcFrame Frame(VP.heap());
+  Frame.root(V);
+  // Messages are shared with other vprocs: promote before publishing.
+  V = VP.heap().promote(V);
+
+  SendItem Item{V.bits(), {}};
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    // Hand off to the oldest *unfilled* waiter. The waiter stays in the
+    // queue until the receiver consumes the message, so the channel's
+    // root enumeration keeps the handed-off value alive across a global
+    // collection that lands between hand-off and wake-up.
+    for (Waiter *W : Receivers) {
+      if (W->Ready.load(std::memory_order_relaxed))
+        continue;
+      W->CellBits = V.bits();
+      W->Ready.store(true, std::memory_order_release);
+      return;
+    }
+    Senders.push_back(&Item);
+  }
+  // Synchronous send: block until a receiver takes the message. Keep
+  // polling so steals are answered and collections can proceed.
+  while (!Item.Taken.load(std::memory_order_acquire)) {
+    VP.poll();
+    std::this_thread::yield();
+  }
+}
+
+bool Channel::tryRecv(VProc &VP, Value &Out) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  (void)VP;
+  if (Senders.empty())
+    return false;
+  SendItem *Item = Senders.front();
+  Senders.pop_front();
+  Out = Value::fromBits(Item->Bits);
+  Item->Taken.store(true, std::memory_order_release);
+  return true;
+}
+
+Value Channel::recv(VProc &VP, Value ContData, Value *ContOut) {
+  {
+    Value Direct;
+    if (tryRecv(VP, Direct)) {
+      if (ContOut)
+        *ContOut = ContData;
+      return Direct;
+    }
+  }
+
+  // Block: park a proxy-wrapped continuation record. The record lives in
+  // this vproc's local heap; the proxy is the sanctioned global-to-local
+  // reference that keeps it alive and tracked while we are parked.
+  GcFrame Frame(VP.heap());
+  Frame.root(ContData);
+  Value &Proxy = Frame.root(createProxy(VP.heap(), ContData));
+
+  Waiter W;
+  W.ProxyBits = Proxy.bits();
+  bool Enqueued = false;
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    // Re-check under the lock: a sender may have arrived meanwhile.
+    if (!Senders.empty()) {
+      SendItem *Item = Senders.front();
+      Senders.pop_front();
+      W.CellBits = Item->Bits;
+      W.Ready.store(true, std::memory_order_relaxed);
+      Item->Taken.store(true, std::memory_order_release);
+    } else {
+      Receivers.push_back(&W);
+      Enqueued = true;
+    }
+  }
+  while (!W.Ready.load(std::memory_order_acquire)) {
+    VP.poll();
+    std::this_thread::yield();
+  }
+
+  // Root the message before leaving the waiter queue; there is no safe
+  // point between observing Ready and this line, so the value cannot
+  // have moved since the channel roots last covered it.
+  Value &Msg = Frame.root(Value::fromBits(W.CellBits));
+  if (Enqueued) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    for (std::size_t I = 0; I < Receivers.size(); ++I) {
+      if (Receivers[I] == &W) {
+        Receivers.erase(Receivers.begin() +
+                        static_cast<std::ptrdiff_t>(I));
+        break;
+      }
+    }
+  }
+
+  // Wake-up: collections may have moved both the proxy and the record.
+  // Resolve through the rooted proxy slot to recover the continuation.
+  Value Cont = resolveProxy(VP.heap(), Proxy);
+  if (ContOut)
+    *ContOut = Cont;
+  return Msg;
+}
+
+Value Channel::selectRecv(VProc &VP, Channel *const *Chans, unsigned N,
+                          unsigned *WhichOut) {
+  MANTI_CHECK(N > 0, "selectRecv needs at least one channel");
+  for (;;) {
+    for (unsigned I = 0; I < N; ++I) {
+      Value Out;
+      if (Chans[I]->tryRecv(VP, Out)) {
+        if (WhichOut)
+          *WhichOut = I;
+        return Out;
+      }
+    }
+    VP.poll();
+    std::this_thread::yield();
+  }
+}
+
+std::size_t Channel::pendingSends() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return Senders.size();
+}
+
+std::size_t Channel::pendingRecvs() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return Receivers.size();
+}
+
+void Channel::enumerateRoots(RootSlotVisitor Visit, void *Ctx) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  for (SendItem *Item : Senders)
+    Visit(&Item->Bits, Ctx);
+  for (Waiter *W : Receivers) {
+    Visit(&W->ProxyBits, Ctx);
+    if (W->Ready.load(std::memory_order_acquire))
+      Visit(&W->CellBits, Ctx);
+  }
+}

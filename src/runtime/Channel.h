@@ -1,0 +1,100 @@
+//===- runtime/Channel.h - CML-style synchronous channels -----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicitly-threaded layer: synchronous message passing in the
+/// style of Concurrent ML (paper Section 2.1, [RRX09]). A send blocks
+/// until a receiver takes the message and vice versa.
+///
+/// Messages cross vprocs, so a sent value is promoted to the global heap
+/// before it is enqueued -- the second of the paper's two points where
+/// data leaves a local heap (Section 2.3).
+///
+/// A blocked receiver parks a *continuation record* in its own local
+/// heap and hands the channel an object proxy wrapping it (Section 3.1,
+/// footnote 1: proxies "allow references from the global heap back into
+/// the local heap. We use them in the implementation of our explicit
+/// concurrency constructs"). The proxy keeps the local record alive and
+/// trackable across the receiver's local collections and across global
+/// collections while the receiver is blocked; on wake-up the receiver
+/// resolves the proxy and resumes with its continuation data.
+///
+/// The channel object itself is runtime (C++) state registered as a
+/// global GC root provider; everything it references in the heap is
+/// global or proxy-mediated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_CHANNEL_H
+#define MANTI_RUNTIME_CHANNEL_H
+
+#include "gc/Heap.h"
+#include "runtime/Runtime.h"
+#include "support/SpinLock.h"
+
+#include <deque>
+
+namespace manti {
+
+class Channel {
+public:
+  explicit Channel(Runtime &RT);
+  ~Channel();
+
+  Channel(const Channel &) = delete;
+  Channel &operator=(const Channel &) = delete;
+
+  /// Sends \p V, blocking until a receiver takes it. \p V is promoted.
+  void send(VProc &VP, Value V);
+
+  /// Receives a value, blocking until a sender provides one.
+  /// \p ContData, when non-nil, is local continuation data the receiver
+  /// wants back on wake-up; it rides in a proxy while blocked. \returns
+  /// the (global) message; *ContOut, when non-null, receives the
+  /// continuation data back.
+  Value recv(VProc &VP, Value ContData = Value::nil(),
+             Value *ContOut = nullptr);
+
+  /// Non-blocking receive; \returns true and stores into \p Out if a
+  /// sender was waiting.
+  bool tryRecv(VProc &VP, Value &Out);
+
+  /// CML-style choice over several channels: blocks until one of
+  /// \p Chans has a message, receives it, and \returns it; *WhichOut
+  /// (when non-null) gets the index of the chosen channel. Implemented
+  /// by polling with safe points (losers are never committed, matching
+  /// CML's choose semantics for recv events).
+  static Value selectRecv(VProc &VP, Channel *const *Chans, unsigned N,
+                          unsigned *WhichOut = nullptr);
+
+  /// Number of blocked senders / receivers (racy; for tests and stats).
+  std::size_t pendingSends() const;
+  std::size_t pendingRecvs() const;
+
+  /// Global-root enumeration (called by the global collector's leader
+  /// while the world is stopped).
+  void enumerateRoots(RootSlotVisitor Visit, void *Ctx);
+
+private:
+  struct SendItem {
+    Word Bits;
+    std::atomic<bool> Taken{false};
+  };
+  struct Waiter {
+    Word CellBits = 0;
+    Word ProxyBits = 0;
+    std::atomic<bool> Ready{false};
+  };
+
+  Runtime &RT;
+  mutable SpinLock Lock;
+  std::deque<SendItem *> Senders;
+  std::deque<Waiter *> Receivers;
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_CHANNEL_H

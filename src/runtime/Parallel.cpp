@@ -1,0 +1,207 @@
+//===- runtime/Parallel.cpp ------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Parallel.h"
+
+#include "support/Assert.h"
+
+using namespace manti;
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Spawner-stack state shared by all tasks of one parallelFor.
+struct ForJob {
+  RangeFn Body;
+  void *Ctx;
+  int64_t Grain;
+  JoinCounter Join;
+};
+
+void forRange(Runtime &RT, VProc &VP, ForJob &Job, int64_t Lo, int64_t Hi);
+
+void forTask(Runtime &RT, VProc &VP, Task T) {
+  auto &Job = *static_cast<ForJob *>(T.Ctx);
+  forRange(RT, VP, Job, T.A, T.B);
+  Job.Join.sub();
+}
+
+void forRange(Runtime &RT, VProc &VP, ForJob &Job, int64_t Lo, int64_t Hi) {
+  while (Hi - Lo > Job.Grain) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    Job.Join.add();
+    VP.spawn({forTask, &Job, Value::nil(), Mid, Hi});
+    Hi = Mid;
+  }
+  if (Lo < Hi)
+    Job.Body(RT, VP, Lo, Hi, Job.Ctx);
+}
+
+} // namespace
+
+void manti::parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                        int64_t Grain, RangeFn Body, void *Ctx) {
+  MANTI_CHECK(Grain > 0, "parallelFor grain must be positive");
+  if (Lo >= Hi)
+    return;
+  ForJob Job{Body, Ctx, Grain, JoinCounter(0)};
+  forRange(RT, VP, Job, Lo, Hi);
+  VP.joinWait(Job.Join);
+}
+
+//===----------------------------------------------------------------------===//
+// parallelReduce (Value results)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ReduceJob {
+  LeafFn Leaf;
+  CombineFn Combine;
+  void *Ctx;
+  int64_t Grain;
+};
+
+Value reduceRange(Runtime &RT, VProc &VP, ReduceJob &Job, int64_t Lo,
+                  int64_t Hi);
+
+/// Per-split state for the spawned right half.
+struct ReduceSplit {
+  ReduceJob *Job;
+  ResultCell *Cell;
+  JoinCounter Join{1};
+};
+
+void reduceTask(Runtime &RT, VProc &VP, Task T) {
+  auto &Split = *static_cast<ReduceSplit *>(T.Ctx);
+  Value Result = reduceRange(RT, VP, *Split.Job, T.A, T.B);
+  Split.Cell->fill(VP, Result); // promotes when VP is not the owner
+  Split.Join.sub();
+}
+
+Value reduceRange(Runtime &RT, VProc &VP, ReduceJob &Job, int64_t Lo,
+                  int64_t Hi) {
+  if (Hi - Lo <= Job.Grain)
+    return Job.Leaf(RT, VP, Lo, Hi, Job.Ctx);
+
+  int64_t Mid = Lo + (Hi - Lo) / 2;
+  ResultCell Cell(VP);
+  ReduceSplit Split{&Job, &Cell};
+  VP.spawn({reduceTask, &Split, Value::nil(), Mid, Hi});
+
+  GcFrame Frame(VP.heap());
+  Value &Left = Frame.root(reduceRange(RT, VP, Job, Lo, Mid));
+  VP.joinWait(Split.Join);
+  Value &Right = Frame.root(Cell.take());
+  return Job.Combine(RT, VP, Left, Right, Job.Ctx);
+}
+
+} // namespace
+
+Value manti::parallelReduce(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                            int64_t Grain, LeafFn Leaf, CombineFn Combine,
+                            void *Ctx) {
+  MANTI_CHECK(Grain > 0, "parallelReduce grain must be positive");
+  ReduceJob Job{Leaf, Combine, Ctx, Grain};
+  return reduceRange(RT, VP, Job, Lo, Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// Numeric reductions (plain C++ accumulation through atomic cells)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SumDoubleJob {
+  LeafDoubleFn Leaf;
+  void *Ctx;
+  int64_t Grain;
+};
+
+double sumDoubleRange(Runtime &RT, VProc &VP, SumDoubleJob &Job, int64_t Lo,
+                      int64_t Hi);
+
+struct SumDoubleSplit {
+  SumDoubleJob *Job;
+  double Result = 0.0;
+  JoinCounter Join{1};
+};
+
+void sumDoubleTask(Runtime &RT, VProc &VP, Task T) {
+  auto &Split = *static_cast<SumDoubleSplit *>(T.Ctx);
+  Split.Result = sumDoubleRange(RT, VP, *Split.Job, T.A, T.B);
+  Split.Join.sub(); // release: publishes Result to the joiner
+}
+
+double sumDoubleRange(Runtime &RT, VProc &VP, SumDoubleJob &Job, int64_t Lo,
+                      int64_t Hi) {
+  if (Hi - Lo <= Job.Grain)
+    return Job.Leaf(RT, VP, Lo, Hi, Job.Ctx);
+  int64_t Mid = Lo + (Hi - Lo) / 2;
+  SumDoubleSplit Split{&Job};
+  VP.spawn({sumDoubleTask, &Split, Value::nil(), Mid, Hi});
+  double Left = sumDoubleRange(RT, VP, Job, Lo, Mid);
+  VP.joinWait(Split.Join);
+  return Left + Split.Result;
+}
+
+struct SumInt64Job {
+  LeafInt64Fn Leaf;
+  void *Ctx;
+  int64_t Grain;
+};
+
+int64_t sumInt64Range(Runtime &RT, VProc &VP, SumInt64Job &Job, int64_t Lo,
+                      int64_t Hi);
+
+struct SumInt64Split {
+  SumInt64Job *Job;
+  int64_t Result = 0;
+  JoinCounter Join{1};
+};
+
+void sumInt64Task(Runtime &RT, VProc &VP, Task T) {
+  auto &Split = *static_cast<SumInt64Split *>(T.Ctx);
+  Split.Result = sumInt64Range(RT, VP, *Split.Job, T.A, T.B);
+  Split.Join.sub();
+}
+
+int64_t sumInt64Range(Runtime &RT, VProc &VP, SumInt64Job &Job, int64_t Lo,
+                      int64_t Hi) {
+  if (Hi - Lo <= Job.Grain)
+    return Job.Leaf(RT, VP, Lo, Hi, Job.Ctx);
+  int64_t Mid = Lo + (Hi - Lo) / 2;
+  SumInt64Split Split{&Job};
+  VP.spawn({sumInt64Task, &Split, Value::nil(), Mid, Hi});
+  int64_t Left = sumInt64Range(RT, VP, Job, Lo, Mid);
+  VP.joinWait(Split.Join);
+  return Left + Split.Result;
+}
+
+} // namespace
+
+double manti::parallelSumDouble(Runtime &RT, VProc &VP, int64_t Lo,
+                                int64_t Hi, int64_t Grain, LeafDoubleFn Leaf,
+                                void *Ctx) {
+  MANTI_CHECK(Grain > 0, "parallelSumDouble grain must be positive");
+  if (Lo >= Hi)
+    return 0.0;
+  SumDoubleJob Job{Leaf, Ctx, Grain};
+  return sumDoubleRange(RT, VP, Job, Lo, Hi);
+}
+
+int64_t manti::parallelSumInt64(Runtime &RT, VProc &VP, int64_t Lo,
+                                int64_t Hi, int64_t Grain, LeafInt64Fn Leaf,
+                                void *Ctx) {
+  MANTI_CHECK(Grain > 0, "parallelSumInt64 grain must be positive");
+  if (Lo >= Hi)
+    return 0;
+  SumInt64Job Job{Leaf, Ctx, Grain};
+  return sumInt64Range(RT, VP, Job, Lo, Hi);
+}

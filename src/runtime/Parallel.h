@@ -1,0 +1,72 @@
+//===- runtime/Parallel.h - implicitly-threaded combinators ---------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library face of PML's implicitly-threaded parallelism (Section
+/// 2.1): fork-join range parallelism and parallel reduction. Work is
+/// expressed as plain functions over [lo, hi) ranges; the combinators
+/// split ranges in half, pushing the right halves onto the calling
+/// vproc's queue where idle vprocs steal them ("this strategy is
+/// designed to keep memory and computation local to the thread that
+/// began the work whenever possible").
+///
+/// Reductions that produce heap Values route results through
+/// ResultCells, which promote automatically when a task ran on a
+/// different vproc than its spawner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_PARALLEL_H
+#define MANTI_RUNTIME_PARALLEL_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+
+namespace manti {
+
+/// Executes a half-open index range.
+using RangeFn = void (*)(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                         void *Ctx);
+
+/// Produces a Value from a leaf range.
+using LeafFn = Value (*)(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                         void *Ctx);
+
+/// Combines two subtree Values. Arguments are rooted by the caller.
+using CombineFn = Value (*)(Runtime &RT, VProc &VP, Value Left, Value Right,
+                            void *Ctx);
+
+/// Produces a double from a leaf range (for numeric reductions).
+using LeafDoubleFn = double (*)(Runtime &RT, VProc &VP, int64_t Lo,
+                                int64_t Hi, void *Ctx);
+
+/// Produces an int64 from a leaf range.
+using LeafInt64Fn = int64_t (*)(Runtime &RT, VProc &VP, int64_t Lo,
+                                int64_t Hi, void *Ctx);
+
+/// Runs \p Body over [Lo, Hi) in parallel, splitting down to \p Grain.
+void parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                 int64_t Grain, RangeFn Body, void *Ctx);
+
+/// Parallel tree reduction producing a heap Value.
+Value parallelReduce(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                     int64_t Grain, LeafFn Leaf, CombineFn Combine,
+                     void *Ctx);
+
+/// Parallel sum of per-range doubles (associative reduction; the
+/// combination order is the split tree's, so results are deterministic
+/// for a fixed range and grain).
+double parallelSumDouble(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                         int64_t Grain, LeafDoubleFn Leaf, void *Ctx);
+
+/// Parallel sum of per-range int64s.
+int64_t parallelSumInt64(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                         int64_t Grain, LeafInt64Fn Leaf, void *Ctx);
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_PARALLEL_H

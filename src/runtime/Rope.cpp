@@ -1,0 +1,207 @@
+//===- runtime/Rope.cpp ----------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Rope.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace manti;
+using namespace manti::rope;
+
+// Rope node layout (mixed object, 4 words):
+//   word 0: left subrope (pointer)
+//   word 1: right subrope (pointer)
+//   word 2: total scalar count (raw)
+//   word 3: depth (raw; leaves are 0)
+namespace {
+constexpr unsigned NodeLeft = 0;
+constexpr unsigned NodeRight = 1;
+constexpr unsigned NodeLen = 2;
+constexpr unsigned NodeDepth = 3;
+
+bool isLeaf(Value Rope) { return objectId(Rope) == IdRaw; }
+
+int64_t leafLen(Value Leaf) {
+  return static_cast<int64_t>(objectLenWords(Leaf));
+}
+
+Value makeNode(VProcHeap &H, Value Left, Value Right) {
+  GcFrame Frame(H);
+  Frame.root(Left);
+  Frame.root(Right);
+  uint16_t Id = H.world().RopeNodeId;
+  MANTI_CHECK(Id != 0, "rope descriptors not registered with this world");
+  Word Fields[4];
+  Fields[NodeLeft] = Left.bits();
+  Fields[NodeRight] = Right.bits();
+  Fields[NodeLen] = static_cast<Word>(length(Left) + length(Right));
+  Fields[NodeDepth] =
+      static_cast<Word>(std::max(depth(Left), depth(Right)) + 1);
+  Value *Slots[2] = {&Left, &Right};
+  return H.allocMixedRooted(Id, Fields, Slots);
+}
+
+/// Builds a balanced rope over Gen for [Lo, Hi).
+Value buildBalanced(VProcHeap &H, int64_t Lo, int64_t Hi,
+                    uint64_t (*Gen)(int64_t, void *), void *Ctx) {
+  int64_t N = Hi - Lo;
+  if (N <= LeafElems) {
+    Value Leaf = H.allocRaw(nullptr, static_cast<std::size_t>(N) * 8);
+    uint64_t *Data = static_cast<uint64_t *>(rawData(Leaf));
+    for (int64_t I = 0; I < N; ++I)
+      Data[I] = Gen(Lo + I, Ctx);
+    return Leaf;
+  }
+  // Split on a leaf-aligned midpoint for a balanced tree.
+  int64_t Leaves = divideCeil(static_cast<uint64_t>(N), LeafElems);
+  int64_t Mid = Lo + (Leaves / 2) * LeafElems;
+  GcFrame Frame(H);
+  Value &Left = Frame.root(buildBalanced(H, Lo, Mid, Gen, Ctx));
+  Value &Right = Frame.root(buildBalanced(H, Mid, Hi, Gen, Ctx));
+  return makeNode(H, Left, Right);
+}
+
+} // namespace
+
+void manti::registerRopeDescriptors(GCWorld &World) {
+  MANTI_CHECK(World.RopeNodeId == 0, "rope descriptors already registered");
+  World.RopeNodeId = World.descriptors().registerMixed(
+      "rope-node", 4, {NodeLeft, NodeRight});
+}
+
+int64_t manti::rope::length(Value Rope) {
+  if (Rope.isNil())
+    return 0;
+  if (isLeaf(Rope))
+    return leafLen(Rope);
+  return static_cast<int64_t>(Rope.asPtr()[NodeLen]);
+}
+
+int64_t manti::rope::depth(Value Rope) {
+  if (Rope.isNil() || isLeaf(Rope))
+    return 0;
+  return static_cast<int64_t>(Rope.asPtr()[NodeDepth]);
+}
+
+Value manti::rope::fromFunction(VProcHeap &H, int64_t N,
+                                uint64_t (*Gen)(int64_t, void *), void *Ctx) {
+  if (N <= 0)
+    return Value::nil();
+  return buildBalanced(H, 0, N, Gen, Ctx);
+}
+
+Value manti::rope::fromArray(VProcHeap &H, const uint64_t *Data, int64_t N) {
+  struct Ctx {
+    const uint64_t *Data;
+  } C{Data};
+  return fromFunction(
+      H, N,
+      [](int64_t I, void *CtxP) {
+        return static_cast<Ctx *>(CtxP)->Data[I];
+      },
+      &C);
+}
+
+uint64_t manti::rope::get(Value Rope, int64_t Index) {
+  assert(Index >= 0 && Index < length(Rope) && "rope index out of range");
+  while (!isLeaf(Rope)) {
+    Value Left = Value::fromBits(Rope.asPtr()[NodeLeft]);
+    int64_t LeftLen = length(Left);
+    if (Index < LeftLen) {
+      Rope = Left;
+    } else {
+      Index -= LeftLen;
+      Rope = Value::fromBits(Rope.asPtr()[NodeRight]);
+    }
+  }
+  return static_cast<uint64_t *>(rawData(Rope))[Index];
+}
+
+int64_t manti::rope::getInt(Value Rope, int64_t Index) {
+  return static_cast<int64_t>(get(Rope, Index));
+}
+
+double manti::rope::getDouble(Value Rope, int64_t Index) {
+  return unpackDouble(get(Rope, Index));
+}
+
+void manti::rope::toArray(Value Rope, uint64_t *Out) {
+  if (Rope.isNil())
+    return;
+  // Iterative traversal: explicit stack avoids deep recursion on skewed
+  // ropes.
+  std::vector<Value> Stack{Rope};
+  int64_t Pos = 0;
+  // Depth-first, left to right. Pop order: process node by pushing
+  // right then left.
+  while (!Stack.empty()) {
+    Value Cur = Stack.back();
+    Stack.pop_back();
+    if (isLeaf(Cur)) {
+      int64_t N = leafLen(Cur);
+      const uint64_t *Data = static_cast<const uint64_t *>(rawData(Cur));
+      std::copy(Data, Data + N, Out + Pos);
+      Pos += N;
+      continue;
+    }
+    Stack.push_back(Value::fromBits(Cur.asPtr()[NodeRight]));
+    Stack.push_back(Value::fromBits(Cur.asPtr()[NodeLeft]));
+  }
+}
+
+Value manti::rope::concat(VProcHeap &H, Value Left, Value Right) {
+  if (Left.isNil())
+    return Right;
+  if (Right.isNil())
+    return Left;
+  GcFrame Frame(H);
+  Frame.root(Left);
+  Frame.root(Right);
+  Value &Node = Frame.root(makeNode(H, Left, Right));
+
+  // Keep depth logarithmic: when the spine grows far beyond what a
+  // balanced tree of this size needs, rebuild. Rebuilding is O(n) but
+  // amortizes across the O(n) concats that caused the skew.
+  int64_t Len = length(Node);
+  int64_t Leaves = std::max<int64_t>(
+      1, static_cast<int64_t>(divideCeil(static_cast<uint64_t>(Len),
+                                         LeafElems)));
+  int64_t Budget = 2 * static_cast<int64_t>(log2Floor(
+                           nextPowerOf2(static_cast<uint64_t>(Leaves)))) +
+                   8;
+  if (depth(Node) <= Budget)
+    return Node;
+  std::vector<uint64_t> Tmp(static_cast<std::size_t>(Len));
+  toArray(Node, Tmp.data());
+  return fromArray(H, Tmp.data(), Len);
+}
+
+Value manti::rope::slice(VProcHeap &H, Value Rope, int64_t Lo, int64_t Hi) {
+  MANTI_CHECK(Lo >= 0 && Lo <= Hi && Hi <= length(Rope),
+              "rope slice out of range");
+  int64_t N = Hi - Lo;
+  if (N == 0)
+    return Value::nil();
+  GcFrame Frame(H);
+  Frame.root(Rope);
+  // Materialize then rebuild balanced; simple and O(n) like any copy.
+  std::vector<uint64_t> Tmp(static_cast<std::size_t>(length(Rope)));
+  toArray(Rope, Tmp.data());
+  return fromArray(H, Tmp.data() + Lo, N);
+}
+
+bool manti::rope::isRope(GCWorld &W, Value V) {
+  if (V.isNil())
+    return true;
+  if (!V.isPtr())
+    return false;
+  uint16_t Id = objectId(V);
+  return Id == IdRaw || (W.RopeNodeId != 0 && Id == W.RopeNodeId);
+}

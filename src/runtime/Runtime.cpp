@@ -1,0 +1,143 @@
+//===- runtime/Runtime.cpp -------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "runtime/Channel.h"
+#include "runtime/Rope.h"
+#include "support/Assert.h"
+#include "support/Logging.h"
+
+#include <mutex>
+
+#include <pthread.h>
+#include <sched.h>
+
+using namespace manti;
+
+Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
+    : Config(Config), World(Config.GC, Topo, Config.NumVProcs) {
+  registerRopeDescriptors(World);
+  VProcs.reserve(Config.NumVProcs);
+  for (unsigned I = 0; I < Config.NumVProcs; ++I)
+    VProcs.push_back(std::make_unique<VProc>(*this, World.heap(I)));
+
+  World.setVProcRootEnumerator(&Runtime::enumerateVProcRootsThunk, this);
+  World.setGlobalRootEnumerator(&Runtime::enumerateGlobalRootsThunk, this);
+
+  // Initially "between runs": workers idle in the drained state.
+  ShuttingDown.store(true, std::memory_order_release);
+  for (unsigned I = 1; I < Config.NumVProcs; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  if (Config.PinThreads)
+    pinThread(World.heap(0).core());
+}
+
+Runtime::~Runtime() {
+  Terminating.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+  MANTI_CHECK(Channels.empty(),
+              "channels must be destroyed before the runtime");
+}
+
+void Runtime::pinThread(CoreId Core) {
+  unsigned HostCores = std::thread::hardware_concurrency();
+  if (HostCores == 0)
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Core % HostCores, &Set);
+  // Best effort: pinning fails in restricted containers, which is fine.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+}
+
+void Runtime::workerLoop(unsigned Id) {
+  if (Config.PinThreads)
+    pinThread(World.heap(Id).core());
+  VProc &VP = vproc(Id);
+
+  uint64_t SeenEpoch = 0;
+  bool Counted = true; // nothing to drain before the first run
+  while (!Terminating.load(std::memory_order_acquire)) {
+    uint64_t E = RunEpoch.load(std::memory_order_acquire);
+    if (E != SeenEpoch) {
+      SeenEpoch = E;
+      Counted = false;
+    }
+    if (!ShuttingDown.load(std::memory_order_acquire)) {
+      VP.poll();
+      if (VP.runOneLocal())
+        continue;
+      if (VP.stealAndRun())
+        continue;
+      std::this_thread::yield();
+      continue;
+    }
+    // Drain phase: count ourselves once, then keep polling so pending
+    // collections (which need every vproc) can finish.
+    if (!Counted) {
+      Counted = true;
+      Drained.fetch_add(1, std::memory_order_acq_rel);
+    }
+    VP.poll();
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::run(MainFn Main, void *Ctx) {
+  MANTI_CHECK(ShuttingDown.load(std::memory_order_acquire),
+              "run() is not reentrant");
+  Drained.store(0, std::memory_order_release);
+  RunEpoch.fetch_add(1, std::memory_order_acq_rel);
+  ShuttingDown.store(false, std::memory_order_release);
+
+  VProc &VP0 = vproc(0);
+  Main(*this, VP0, Ctx);
+
+  // Main returned: all fork-join regions it created are complete. Drain:
+  // every vproc checks in, and nobody leaves while a collection is
+  // pending (a collection needs all vprocs at its barriers).
+  ShuttingDown.store(true, std::memory_order_release);
+  Drained.fetch_add(1, std::memory_order_acq_rel);
+  while (Drained.load(std::memory_order_acquire) < numVProcs() ||
+         World.globalGCPending()) {
+    VP0.poll();
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::registerChannel(Channel *C) {
+  std::lock_guard<SpinLock> Guard(ChannelLock);
+  Channels.push_back(C);
+}
+
+void Runtime::unregisterChannel(Channel *C) {
+  std::lock_guard<SpinLock> Guard(ChannelLock);
+  for (std::size_t I = Channels.size(); I-- > 0;) {
+    if (Channels[I] == C) {
+      Channels[I] = Channels.back();
+      Channels.pop_back();
+      return;
+    }
+  }
+  MANTI_UNREACHABLE("channel was not registered");
+}
+
+void Runtime::enumerateVProcRootsThunk(unsigned VProcId, RootSlotVisitor V,
+                                       void *VisitorCtx, void *EnumCtx) {
+  Runtime *RT = static_cast<Runtime *>(EnumCtx);
+  RT->vproc(VProcId).forEachSchedulerRoot(
+      [&](Word *Slot) { V(Slot, VisitorCtx); });
+}
+
+void Runtime::enumerateGlobalRootsThunk(RootSlotVisitor V, void *VisitorCtx,
+                                        void *EnumCtx) {
+  Runtime *RT = static_cast<Runtime *>(EnumCtx);
+  std::lock_guard<SpinLock> Guard(RT->ChannelLock);
+  for (Channel *C : RT->Channels)
+    C->enumerateRoots(V, VisitorCtx);
+}

@@ -1,0 +1,110 @@
+//===- runtime/Runtime.h - the Manticore-style runtime system -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware-abstraction level of Section 2.2: hosts one vproc per
+/// pthread, pins threads (best effort) to the cores the topology's
+/// sparse assignment chose, wires the scheduler's roots into the
+/// collector, and owns process-wide structures (channel registry).
+///
+/// Usage:
+/// \code
+///   RuntimeConfig Cfg;
+///   Cfg.NumVProcs = 4;
+///   Runtime RT(Cfg, Topology::intelXeon32());
+///   RT.run([](Runtime &RT, VProc &VP, void *) {
+///     // parallel program, running as vproc 0
+///   }, nullptr);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_RUNTIME_H
+#define MANTI_RUNTIME_RUNTIME_H
+
+#include "gc/Heap.h"
+#include "numa/Topology.h"
+#include "runtime/VProc.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace manti {
+
+class Channel;
+
+struct RuntimeConfig {
+  GCConfig GC;
+  unsigned NumVProcs = 2;
+  /// Promote stolen environments at steal time (true, Manticore's lazy
+  /// scheme) or at spawn time (false; ablation).
+  bool LazyPromotion = true;
+  /// Pin vproc threads to their assigned cores (ignored when the host
+  /// has fewer cores than the simulated machine).
+  bool PinThreads = true;
+};
+
+using MainFn = void (*)(Runtime &RT, VProc &VP, void *Ctx);
+
+class Runtime {
+public:
+  Runtime(const RuntimeConfig &Config, const Topology &Topo);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  const RuntimeConfig &config() const { return Config; }
+  GCWorld &world() { return World; }
+  unsigned numVProcs() const { return static_cast<unsigned>(VProcs.size()); }
+  VProc &vproc(unsigned Id) { return *VProcs[Id]; }
+
+  /// Executes \p Main as vproc 0 on the calling thread, with the worker
+  /// threads scheduling in parallel, and returns once \p Main has
+  /// returned, all vprocs have drained, and no collection is pending.
+  /// May be called repeatedly (sequentially).
+  void run(MainFn Main, void *Ctx);
+
+  /// True while run() wants workers to keep scheduling.
+  bool schedulerActive() const {
+    return !ShuttingDown.load(std::memory_order_acquire);
+  }
+
+  bool lazyPromotion() const { return Config.LazyPromotion; }
+
+  /// Channel registry (global GC roots live in channels).
+  void registerChannel(Channel *C);
+  void unregisterChannel(Channel *C);
+
+private:
+  static void enumerateVProcRootsThunk(unsigned VProcId, RootSlotVisitor V,
+                                       void *VisitorCtx, void *EnumCtx);
+  static void enumerateGlobalRootsThunk(RootSlotVisitor V, void *VisitorCtx,
+                                        void *EnumCtx);
+  void workerLoop(unsigned Id);
+  void drainLoop(VProc &VP);
+  void pinThread(CoreId Core);
+
+  RuntimeConfig Config;
+  GCWorld World;
+  std::vector<std::unique_ptr<VProc>> VProcs;
+  std::vector<std::thread> Workers;
+
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<bool> Terminating{false};
+  std::atomic<unsigned> Drained{0};
+  std::atomic<uint64_t> RunEpoch{0};
+
+  SpinLock ChannelLock;
+  std::vector<Channel *> Channels;
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_RUNTIME_H

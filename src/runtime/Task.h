@@ -1,0 +1,102 @@
+//===- runtime/Task.h - units of parallel work ----------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The implicitly-threaded layer pushes units of parallel work onto a
+/// vproc-local queue (paper Section 2.3). A Task pairs a function with
+/// three kinds of state:
+///
+///   * Env  -- a GC-managed value. This is the "data captured in a
+///             closure": when another vproc steals the task, Env must be
+///             promoted to the global heap first (the paper's one of two
+///             points where data leaves a local heap).
+///   * Ctx  -- a plain C++ pointer to spawner-owned control state (join
+///             counters, loop bodies); never garbage collected and never
+///             containing heap values.
+///   * A, B -- two immediate integers (typically a [lo, hi) range), so
+///             data-parallel loops need no heap allocation per spawn.
+///
+/// JoinCounter and ResultCell implement fork-join synchronization and
+/// cross-vproc result passing; a result written by a different vproc
+/// than the one that will read it is promoted by the producer, keeping
+/// the heap invariants intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_TASK_H
+#define MANTI_RUNTIME_TASK_H
+
+#include "gc/ObjectModel.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace manti {
+
+class Runtime;
+class VProc;
+struct Task;
+
+using TaskFn = void (*)(Runtime &RT, VProc &VP, Task T);
+
+struct Task {
+  TaskFn Fn = nullptr;
+  void *Ctx = nullptr;
+  Value Env;
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+/// Counts outstanding subtasks of a fork-join region. The spawner waits
+/// in VProc::joinWait, running other work meanwhile ("help-first").
+class JoinCounter {
+public:
+  explicit JoinCounter(int64_t Initial = 0) : Pending(Initial) {}
+
+  void add(int64_t N = 1) { Pending.fetch_add(N, std::memory_order_relaxed); }
+  void sub(int64_t N = 1) { Pending.fetch_sub(N, std::memory_order_acq_rel); }
+  bool done() const { return Pending.load(std::memory_order_acquire) <= 0; }
+
+private:
+  std::atomic<int64_t> Pending;
+};
+
+/// A single-assignment result slot owned by the spawning vproc.
+///
+/// The producing task calls fill() exactly once; if the producer is a
+/// different vproc the value is promoted first, so the owner only ever
+/// sees values that are legal in its root set (its own local heap or the
+/// global heap). The owner's root enumeration visits filled cells, which
+/// is what keeps results alive across collections while the owner is
+/// still joining. Construction and destruction must happen on the
+/// owner's thread.
+class ResultCell {
+public:
+  explicit ResultCell(VProc &Owner);
+  ~ResultCell();
+
+  ResultCell(const ResultCell &) = delete;
+  ResultCell &operator=(const ResultCell &) = delete;
+
+  /// Called by the producing task (any vproc, exactly once).
+  void fill(VProc &Producer, Value V);
+
+  /// Read by the owner after the corresponding join completes.
+  Value take() const { return Value::fromBits(Bits); }
+
+  /// Root-enumeration hooks (owner thread only).
+  bool filled() const { return Filled.load(std::memory_order_acquire); }
+  Word *slot() { return &Bits; }
+
+private:
+  VProc &Owner;
+  std::atomic<bool> Filled{false};
+  Word Bits = Value::nil().bits();
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_TASK_H

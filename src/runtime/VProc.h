@@ -1,0 +1,137 @@
+//===- runtime/VProc.h - virtual processors and work stealing -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vproc is "an abstraction of a computational resource ... hosted by
+/// its own pthread, which is pinned to a physical node" (Section 2.2).
+/// Each vproc owns a ready queue of tasks; new work is pushed and popped
+/// at the bottom (LIFO) by the owner, and stolen from the top (FIFO).
+///
+/// Stealing is a two-party handshake through a mailbox rather than a
+/// concurrent deque: the thief posts a StealRequest on the victim's
+/// mailbox and the victim answers at its next poll point. This mirrors
+/// Manticore's message-based steals and, crucially, lets the *victim*
+/// promote the stolen task's environment out of its own local heap --
+/// only the owner of a local heap may copy from it. With lazy promotion
+/// (the default, after Rainey 2010) that cost is paid only when a task
+/// is actually stolen; the eager alternative promotes at spawn time and
+/// is kept as an ablation knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_VPROC_H
+#define MANTI_RUNTIME_VPROC_H
+
+#include "gc/Heap.h"
+#include "runtime/Task.h"
+#include "support/XorShift.h"
+
+#include <atomic>
+#include <deque>
+#include <vector>
+
+namespace manti {
+
+class Runtime;
+
+/// One steal-handshake mailbox message. Each vproc owns exactly one
+/// request object for the steals *it* initiates.
+struct StealRequest {
+  enum StateKind : int { Idle, Posted, Filled, Failed };
+  std::atomic<int> State{Idle};
+  Task Stolen; ///< valid when State == Filled; Env already promoted
+};
+
+class VProc {
+public:
+  VProc(Runtime &RT, VProcHeap &Heap);
+
+  VProc(const VProc &) = delete;
+  VProc &operator=(const VProc &) = delete;
+
+  Runtime &runtime() { return RT; }
+  VProcHeap &heap() { return Heap; }
+  unsigned id() const { return Heap.id(); }
+  NodeId node() const { return Heap.node(); }
+
+  //===--------------------------------------------------------------------===//
+  // Owner-thread scheduler operations
+  //===--------------------------------------------------------------------===//
+
+  /// Pushes a task on the bottom of the ready queue. Under eager
+  /// promotion the environment is promoted here.
+  void spawn(Task T);
+
+  /// Pops and runs the newest local task. \returns false if empty.
+  bool runOneLocal();
+
+  /// Answers a pending steal request, if any. \returns true if one was
+  /// serviced (successfully or not).
+  bool serviceSteal();
+
+  /// Safe point: answers steal requests and joins any pending global
+  /// collection. Call this from every loop that can block.
+  void poll();
+
+  /// Attempts to steal (and run) one task from a random victim.
+  /// \returns true if a task was executed.
+  bool stealAndRun();
+
+  /// Runs local and stolen work until \p Join completes.
+  void joinWait(JoinCounter &Join);
+
+  /// Runs \p T with its environment rooted.
+  void runTask(Task T);
+
+  /// Number of tasks currently in the local queue.
+  std::size_t queueDepth() const { return ReadyQ.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Scheduler statistics
+  //===--------------------------------------------------------------------===//
+
+  uint64_t spawns() const { return NumSpawns; }
+  uint64_t stealsOut() const { return NumStealsOut; }     ///< tasks we stole
+  uint64_t stealsServiced() const { return NumServiced; } ///< tasks taken from us
+  uint64_t failedSteals() const { return NumFailedSteals; }
+
+  //===--------------------------------------------------------------------===//
+  // Root enumeration (GC callbacks; run on this vproc's thread)
+  //===--------------------------------------------------------------------===//
+
+  template <typename FnT> void forEachSchedulerRoot(FnT Fn) {
+    for (Task &T : ReadyQ)
+      Fn(reinterpret_cast<Word *>(&T.Env));
+    if (MyRequest.State.load(std::memory_order_acquire) ==
+        StealRequest::Filled)
+      Fn(reinterpret_cast<Word *>(&MyRequest.Stolen.Env));
+    for (ResultCell *Cell : Cells) {
+      if (Cell->filled())
+        Fn(Cell->slot());
+    }
+  }
+
+private:
+  friend class ResultCell;
+
+  Runtime &RT;
+  VProcHeap &Heap;
+
+  std::deque<Task> ReadyQ;             ///< owner-only
+  std::atomic<StealRequest *> Mailbox{nullptr}; ///< posted by thieves
+  StealRequest MyRequest;              ///< used when this vproc steals
+  std::vector<ResultCell *> Cells;     ///< live result cells we own
+  XorShift64 Rng;
+
+  uint64_t NumSpawns = 0;
+  uint64_t NumStealsOut = 0;
+  uint64_t NumServiced = 0;
+  uint64_t NumFailedSteals = 0;
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_VPROC_H

@@ -1,0 +1,453 @@
+//===- sim/Engine.cpp ------------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Engine.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace manti;
+using namespace manti::sim;
+
+namespace {
+
+constexpr double GB = 1e9;
+constexpr double Eps = 1e-9;
+
+/// One memory stream of a leaf: Bytes moving between the core's node and
+/// a DRAM node (Write = core -> dram, read = dram -> core).
+struct Stream {
+  unsigned DramNode;
+  bool Write;
+  double Bytes;
+  // Filled during rate allocation:
+  double Rate = 0;
+  double Cap = 0;
+  bool Fixed = false;
+  std::vector<unsigned> Resources;
+};
+
+struct Leaf {
+  bool Active = false;
+  double CpuRemaining = 0;
+  std::vector<Stream> Streams;
+};
+
+/// Half-open remaining range of a vproc within the current phase.
+struct Range {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  int64_t size() const { return Hi - Lo; }
+};
+
+class Engine {
+public:
+  Engine(const SimMachine &M, const WorkloadProfile &W, const SimParams &P)
+      : M(M), W(W), P(P), Hz(M.CoreGHz * 1e9) {
+    Cores = M.Topo.assignVProcsSparsely(P.Threads);
+    CoreNode.reserve(Cores.size());
+    for (CoreId C : Cores)
+      CoreNode.push_back(M.Topo.nodeOfCore(C));
+    NumNodes = M.Topo.numNodes();
+    Result.NodeDramBytes.assign(NumNodes, 0.0);
+    Result.LinkBytes.assign(M.Topo.numLinks(), 0.0);
+    // Resources: [0, NumNodes) memory controllers;
+    // [NumNodes, NumNodes + 2*Links) directed links;
+    // [.., + Threads) per-core ceilings.
+    ResCap.assign(NumNodes + 2 * M.Topo.numLinks() + P.Threads, 0.0);
+    for (unsigned N = 0; N < NumNodes; ++N)
+      ResCap[N] = M.Topo.localMemoryGBps() * GB;
+    for (unsigned L = 0; L < M.Topo.numLinks(); ++L) {
+      ResCap[NumNodes + 2 * L] = M.Topo.link(L).GBps * GB;
+      ResCap[NumNodes + 2 * L + 1] = M.Topo.link(L).GBps * GB;
+    }
+    for (unsigned V = 0; V < P.Threads; ++V)
+      ResCap[NumNodes + 2 * M.Topo.numLinks() + V] = M.PerCoreGBps * GB;
+  }
+
+  SimResult run() {
+    double Total = 0;
+    for (unsigned R = 0; R < 1; ++R) { // phases repeat identically
+      for (const PhaseSpec &Ph : W.Phases)
+        Total += runPhase(Ph);
+    }
+    Total *= W.Repeats;
+    for (double &B : Result.NodeDramBytes)
+      B *= W.Repeats;
+    for (double &B : Result.LinkBytes)
+      B *= W.Repeats;
+    Result.Seconds = Total;
+    Result.CpuBusyFraction =
+        Total > 0 ? BusySeconds * W.Repeats / (Total * P.Threads) : 0;
+    return Result;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Placement and residency
+  //===--------------------------------------------------------------------===//
+
+  /// Fraction of a region's pages on each node, as seen from \p VProc.
+  void regionDist(const RegionSpec &R, unsigned VProc, double *Dist) {
+    std::fill(Dist, Dist + NumNodes, 0.0);
+    switch (P.Policy) {
+    case AllocPolicyKind::SingleNode:
+      Dist[0] = 1.0;
+      return;
+    case AllocPolicyKind::Interleaved:
+      for (unsigned N = 0; N < NumNodes; ++N)
+        Dist[N] = 1.0 / NumNodes;
+      return;
+    case AllocPolicyKind::Local:
+      if (R.Placement == PlacementKind::SharedByVProc0)
+        Dist[CoreNode[0]] = 1.0; // allocated once by the main vproc
+      else
+        Dist[CoreNode[VProc]] = 1.0; // first-touched by its computer
+      return;
+    }
+  }
+
+  /// Local-heap page distribution for \p VProc (nursery / chunk pages).
+  void localHeapDist(unsigned VProc, double *Dist) {
+    std::fill(Dist, Dist + NumNodes, 0.0);
+    switch (P.Policy) {
+    case AllocPolicyKind::SingleNode:
+      Dist[0] = 1.0;
+      return;
+    case AllocPolicyKind::Interleaved:
+      for (unsigned N = 0; N < NumNodes; ++N)
+        Dist[N] = 1.0 / NumNodes;
+      return;
+    case AllocPolicyKind::Local:
+      Dist[CoreNode[VProc]] = 1.0;
+      return;
+    }
+  }
+
+  /// DRAM fraction of demanded bytes after cache filtering.
+  double missFactor(const RegionSpec &R) const {
+    double Footprint = R.Bytes;
+    if (R.Placement == PlacementKind::PartitionedFirstTouch)
+      Footprint /= static_cast<double>(P.Threads);
+    return Footprint <= M.L3UsableBytes ? P.ColdMissFactor : 1.0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Leaf construction
+  //===--------------------------------------------------------------------===//
+
+  void addStream(Leaf &L, unsigned VProc, const double *Dist, double Bytes,
+                 bool Write) {
+    if (Bytes <= Eps)
+      return;
+    for (unsigned N = 0; N < NumNodes; ++N) {
+      double Part = Bytes * Dist[N];
+      if (Part <= Eps)
+        continue;
+      // Merge with an existing stream of the same node/direction.
+      bool Merged = false;
+      for (Stream &S : L.Streams) {
+        if (S.DramNode == N && S.Write == Write) {
+          S.Bytes += Part;
+          Merged = true;
+          break;
+        }
+      }
+      if (!Merged) {
+        Stream S;
+        S.DramNode = N;
+        S.Write = Write;
+        S.Bytes = Part;
+        S.Resources = resourcesFor(VProc, N, Write);
+        L.Streams.push_back(S);
+      }
+    }
+  }
+
+  std::vector<unsigned> resourcesFor(unsigned VProc, unsigned DramNode,
+                                     bool Write) {
+    std::vector<unsigned> Res;
+    Res.push_back(DramNode); // memory controller
+    Res.push_back(NumNodes + 2 * M.Topo.numLinks() + VProc); // core ceiling
+    NodeId From = Write ? CoreNode[VProc] : DramNode;
+    NodeId To = Write ? DramNode : CoreNode[VProc];
+    NodeId Cur = From;
+    for (LinkId L : M.Topo.route(From, To)) {
+      const Link &Lk = M.Topo.link(L);
+      unsigned Dir = (Cur == Lk.NodeA) ? 0 : 1;
+      Res.push_back(NumNodes + 2 * L + Dir);
+      Cur = (Cur == Lk.NodeA) ? Lk.NodeB : Lk.NodeA;
+    }
+    return Res;
+  }
+
+  Leaf makeLeaf(const PhaseSpec &Ph, unsigned VProc, int64_t Elems,
+                bool Stolen) {
+    Leaf L;
+    L.Active = true;
+    double E = static_cast<double>(Elems);
+    L.CpuRemaining = E * Ph.CpuCyclesPerElem + P.SpawnCycles +
+                     E * Ph.AllocBytesPerElem * P.GcCpuPerAllocByte +
+                     (Stolen ? P.StealCycles : 0);
+    double Dist[16];
+    MANTI_CHECK(NumNodes <= 16, "engine supports at most 16 nodes");
+    for (const AccessSpec &A : Ph.Reads) {
+      const RegionSpec &R = W.Regions[A.Region];
+      regionDist(R, VProc, Dist);
+      double RemoteFrac = 1.0 - Dist[CoreNode[VProc]];
+      double Miss = missFactor(R);
+      addStream(L, VProc, Dist, E * A.BytesPerElem * Miss,
+                /*Write=*/false);
+      // Cache-resident shared data gathered from another node still
+      // pays cache-to-cache probe latency per access.
+      if (A.Gather && Miss < 1.0)
+        L.CpuRemaining +=
+            E * A.BytesPerElem * RemoteFrac * P.GatherStallCyclesPerByte;
+    }
+    for (const AccessSpec &A : Ph.Writes) {
+      const RegionSpec &R = W.Regions[A.Region];
+      regionDist(R, VProc, Dist);
+      double RemoteFrac = 1.0 - Dist[CoreNode[VProc]];
+      addStream(L, VProc, Dist, E * A.BytesPerElem, /*Write=*/true);
+      L.CpuRemaining +=
+          E * A.BytesPerElem * RemoteFrac * P.WriteStallCyclesPerByte;
+    }
+    if (Ph.AllocBytesPerElem > 0) {
+      localHeapDist(VProc, Dist);
+      double RemoteFrac = 1.0 - Dist[CoreNode[VProc]];
+      addStream(L, VProc, Dist,
+                E * Ph.AllocBytesPerElem * P.GcMemPerAllocByte,
+                /*Write=*/true);
+      // Allocating into remote-homed nursery pages costs the mutator.
+      L.CpuRemaining += E * Ph.AllocBytesPerElem * RemoteFrac *
+                        P.WriteStallCyclesPerByte;
+    }
+    return L;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rate allocation (max-min fair with per-stream caps)
+  //===--------------------------------------------------------------------===//
+
+  void allocateRates(std::vector<Leaf> &Leaves) {
+    std::vector<Stream *> Streams;
+    for (Leaf &L : Leaves) {
+      if (!L.Active)
+        continue;
+      double CpuSec = std::max(L.CpuRemaining / Hz, 1e-12);
+      for (Stream &S : L.Streams) {
+        if (S.Bytes <= Eps) {
+          S.Rate = 0;
+          S.Fixed = true;
+          continue;
+        }
+        S.Fixed = false;
+        S.Rate = 0;
+        // No point demanding more than what finishes with the CPU work.
+        S.Cap = S.Bytes / CpuSec;
+        Streams.push_back(&S);
+      }
+    }
+    if (Streams.empty())
+      return;
+
+    std::vector<double> Slack = ResCap;
+    unsigned Unfixed = static_cast<unsigned>(Streams.size());
+    while (Unfixed > 0) {
+      // Count unfixed streams per resource.
+      std::vector<unsigned> Count(ResCap.size(), 0);
+      for (Stream *S : Streams)
+        if (!S->Fixed)
+          for (unsigned R : S->Resources)
+            ++Count[R];
+      double Fair = std::numeric_limits<double>::infinity();
+      for (unsigned R = 0; R < ResCap.size(); ++R)
+        if (Count[R] > 0)
+          Fair = std::min(Fair, std::max(0.0, Slack[R]) / Count[R]);
+
+      // Cap-limited streams first: anything whose cap fits under the
+      // fair share can take its cap without hurting the others.
+      bool FixedAny = false;
+      for (Stream *S : Streams) {
+        if (S->Fixed || S->Cap > Fair)
+          continue;
+        S->Rate = S->Cap;
+        S->Fixed = true;
+        --Unfixed;
+        FixedAny = true;
+        for (unsigned R : S->Resources)
+          Slack[R] -= S->Rate;
+      }
+      if (FixedAny)
+        continue;
+
+      // Otherwise saturate the bottleneck resource at the fair share.
+      unsigned Bottleneck = 0;
+      double Best = std::numeric_limits<double>::infinity();
+      for (unsigned R = 0; R < ResCap.size(); ++R) {
+        if (Count[R] == 0)
+          continue;
+        double F = std::max(0.0, Slack[R]) / Count[R];
+        if (F < Best) {
+          Best = F;
+          Bottleneck = R;
+        }
+      }
+      for (Stream *S : Streams) {
+        if (S->Fixed)
+          continue;
+        bool OnBottleneck = false;
+        for (unsigned R : S->Resources)
+          OnBottleneck |= (R == Bottleneck);
+        if (!OnBottleneck)
+          continue;
+        S->Rate = Best;
+        S->Fixed = true;
+        --Unfixed;
+        for (unsigned R : S->Resources)
+          Slack[R] -= S->Rate;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase execution
+  //===--------------------------------------------------------------------===//
+
+  double runPhase(const PhaseSpec &Ph) {
+    unsigned T = P.Threads;
+    std::vector<Range> Ranges(T);
+    int64_t N = Ph.NumElems;
+    // Sequential setup (scan combines, fork/join bookkeeping) on vproc 0.
+    double Elapsed = Ph.SeqSetupCycles / Hz;
+    BusySeconds += Elapsed;
+    if (Ph.Sequential || T == 1) {
+      Ranges[0] = {0, N};
+    } else {
+      // Even initial split; stealing rebalances the tail.
+      int64_t Per = N / T, Extra = N % T;
+      int64_t Cur = 0;
+      for (unsigned V = 0; V < T; ++V) {
+        int64_t Len = Per + (V < static_cast<unsigned>(Extra) ? 1 : 0);
+        Ranges[V] = {Cur, Cur + Len};
+        Cur += Len;
+      }
+    }
+    int64_t Grain =
+        std::max<int64_t>(Ph.MinGrain,
+                          N / std::max<int64_t>(1, int64_t(T) *
+                                                       P.LeavesPerCore));
+
+    std::vector<Leaf> Leaves(T);
+    for (;;) {
+      // Hand work to idle vprocs.
+      for (unsigned V = 0; V < T; ++V) {
+        if (Leaves[V].Active)
+          continue;
+        bool Stolen = false;
+        if (Ranges[V].size() == 0 && !Ph.Sequential) {
+          // Steal half of the largest remaining range.
+          unsigned Victim = V;
+          int64_t BestSize = 0;
+          for (unsigned U = 0; U < T; ++U) {
+            if (U != V && Ranges[U].size() > BestSize) {
+              BestSize = Ranges[U].size();
+              Victim = U;
+            }
+          }
+          if (BestSize > Grain) {
+            int64_t Mid = Ranges[Victim].Lo + BestSize / 2;
+            Ranges[V] = {Mid, Ranges[Victim].Hi};
+            Ranges[Victim].Hi = Mid;
+            Stolen = true;
+          }
+        }
+        if (Ranges[V].size() > 0) {
+          int64_t Take = std::min(Grain, Ranges[V].size());
+          Leaves[V] = makeLeaf(Ph, V, Take, Stolen);
+          Ranges[V].Lo += Take;
+        }
+      }
+
+      // Collect active leaves; finished phase when none.
+      bool AnyActive = false;
+      for (Leaf &L : Leaves)
+        AnyActive |= L.Active;
+      if (!AnyActive)
+        break;
+
+      allocateRates(Leaves);
+
+      // Earliest completion among active leaves.
+      double Dt = std::numeric_limits<double>::infinity();
+      for (Leaf &L : Leaves) {
+        if (!L.Active)
+          continue;
+        double TLeaf = L.CpuRemaining / Hz;
+        for (const Stream &S : L.Streams)
+          if (S.Bytes > Eps)
+            TLeaf = std::max(TLeaf,
+                             S.Rate > Eps
+                                 ? S.Bytes / S.Rate
+                                 : std::numeric_limits<double>::infinity());
+        Dt = std::min(Dt, TLeaf);
+      }
+      MANTI_CHECK(std::isfinite(Dt) && Dt >= 0, "simulator stalled");
+      Dt = std::max(Dt, 1e-12);
+
+      // Advance the fluid state by Dt.
+      for (unsigned V = 0; V < T; ++V) {
+        Leaf &L = Leaves[V];
+        if (!L.Active)
+          continue;
+        BusySeconds += Dt;
+        L.CpuRemaining = std::max(0.0, L.CpuRemaining - Dt * Hz);
+        bool MemDone = true;
+        for (Stream &S : L.Streams) {
+          double Served = std::min(S.Bytes, S.Rate * Dt);
+          S.Bytes -= Served;
+          Result.NodeDramBytes[S.DramNode] += Served;
+          // Link accounting (per physical link, both directions merged).
+          for (unsigned R : S.Resources) {
+            if (R >= NumNodes && R < NumNodes + 2 * M.Topo.numLinks())
+              Result.LinkBytes[(R - NumNodes) / 2] += Served;
+          }
+          MemDone &= (S.Bytes <= Eps);
+        }
+        if (L.CpuRemaining <= Eps && MemDone) {
+          L.Active = false;
+          L.Streams.clear();
+        }
+      }
+      Elapsed += Dt;
+    }
+    return Elapsed;
+  }
+
+  const SimMachine &M;
+  const WorkloadProfile &W;
+  SimParams P;
+  double Hz;
+  unsigned NumNodes = 0;
+  std::vector<CoreId> Cores;
+  std::vector<NodeId> CoreNode;
+  std::vector<double> ResCap;
+  double BusySeconds = 0;
+  SimResult Result;
+};
+
+} // namespace
+
+SimResult manti::sim::simulate(const SimMachine &M, const WorkloadProfile &W,
+                               const SimParams &P) {
+  MANTI_CHECK(P.Threads >= 1 && P.Threads <= M.Topo.numCores(),
+              "thread count must fit the simulated machine");
+  Engine E(M, W, P);
+  return E.run();
+}

@@ -1,0 +1,64 @@
+//===- sim/Speedup.cpp -----------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Speedup.h"
+
+using namespace manti;
+using namespace manti::sim;
+
+std::vector<SpeedupSeries>
+manti::sim::speedupSweep(const SimMachine &M, AllocPolicyKind Policy,
+                         AllocPolicyKind BaselinePolicy,
+                         const std::vector<unsigned> &Threads) {
+  std::vector<SpeedupSeries> Out;
+  for (const WorkloadProfile &W : allProfiles()) {
+    SpeedupSeries S;
+    S.Benchmark = W.Name;
+    S.Threads = Threads;
+
+    SimParams Base;
+    Base.Policy = BaselinePolicy;
+    Base.Threads = 1;
+    double T1 = simulate(M, W, Base).Seconds;
+
+    for (unsigned T : Threads) {
+      SimParams P;
+      P.Policy = Policy;
+      P.Threads = T;
+      double Secs = simulate(M, W, P).Seconds;
+      S.Seconds.push_back(Secs);
+      S.Speedup.push_back(T1 / Secs);
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+void manti::sim::printSpeedupTable(std::FILE *Out, const char *Title,
+                                   const std::vector<SpeedupSeries> &Series) {
+  std::fprintf(Out, "%s\n", Title);
+  std::fprintf(Out, "%-8s %-8s", "Threads", "Ideal");
+  for (const SpeedupSeries &S : Series)
+    std::fprintf(Out, " %-22s", S.Benchmark.c_str());
+  std::fprintf(Out, "\n");
+  if (Series.empty())
+    return;
+  for (std::size_t I = 0; I < Series[0].Threads.size(); ++I) {
+    std::fprintf(Out, "%-8u %-8u", Series[0].Threads[I],
+                 Series[0].Threads[I]);
+    for (const SpeedupSeries &S : Series)
+      std::fprintf(Out, " %-22.2f", S.Speedup[I]);
+    std::fprintf(Out, "\n");
+  }
+}
+
+std::vector<unsigned> manti::sim::intelThreadAxis() {
+  return {1, 2, 4, 8, 12, 16, 24, 32};
+}
+
+std::vector<unsigned> manti::sim::amdThreadAxis() {
+  return {1, 2, 4, 8, 12, 24, 36, 48};
+}

@@ -1,0 +1,54 @@
+//===- sim/Speedup.h - speedup sweeps for the paper's figures -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the machine model across thread counts and reports speedups the
+/// way the paper plots them: Figures 4 and 5 are relative to each
+/// configuration's own single-thread run; Figures 6 and 7 (alternative
+/// allocation policies) are "plotted relative to the single-processor
+/// performance for the AMD machine in Figure 5", i.e. the *local*
+/// policy's one-thread time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SIM_SPEEDUP_H
+#define MANTI_SIM_SPEEDUP_H
+
+#include "sim/Engine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace manti::sim {
+
+struct SpeedupSeries {
+  std::string Benchmark;
+  std::vector<unsigned> Threads;
+  std::vector<double> Speedup;
+  std::vector<double> Seconds;
+};
+
+/// Sweeps all five benchmarks over \p Threads under \p Policy.
+/// Speedups are computed against the one-thread run under
+/// \p BaselinePolicy (pass the same policy for Figs. 4/5 behaviour).
+std::vector<SpeedupSeries> speedupSweep(const SimMachine &M,
+                                        AllocPolicyKind Policy,
+                                        AllocPolicyKind BaselinePolicy,
+                                        const std::vector<unsigned> &Threads);
+
+/// Prints a figure-style table: one row per thread count, one column per
+/// benchmark, plus the ideal-speedup column.
+void printSpeedupTable(std::FILE *Out, const char *Title,
+                       const std::vector<SpeedupSeries> &Series);
+
+/// Thread axes used by the paper's plots.
+std::vector<unsigned> intelThreadAxis(); ///< 1,2,4,8,12,16,24,32
+std::vector<unsigned> amdThreadAxis();   ///< 1,2,4,8,12,24,36,48
+
+} // namespace manti::sim
+
+#endif // MANTI_SIM_SPEEDUP_H

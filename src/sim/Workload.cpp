@@ -1,0 +1,196 @@
+//===- sim/Workload.cpp ----------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmark profiles. Constants follow from the benchmark structure:
+/// arithmetic per element from the algorithm, bytes per element from the
+/// data layout, and -- crucially for a functional language -- allocation
+/// per element from how a pure program materializes results (fresh
+/// tuples, fold accumulators, rope segments; no in-place update). The
+/// allocation term is what the paper's design is about: under the local
+/// policy its memory traffic stays on each vproc's node; under the
+/// single-node policy it all lands on node zero, which is why *every*
+/// benchmark collapses past ~12 cores in Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Workload.h"
+
+#include <cmath>
+
+using namespace manti;
+using namespace manti::sim;
+
+WorkloadProfile manti::sim::profileDmm() {
+  // C = A * B, 600 x 600 doubles, parallel over rows of C.
+  const double N = 600;
+  WorkloadProfile P;
+  P.Name = "Dense-Matrix-Multiply";
+  P.Regions = {
+      {"A", N * N * 8, PlacementKind::SharedByVProc0},
+      {"B", N * N * 8, PlacementKind::SharedByVProc0},
+      {"C", N * N * 8, PlacementKind::PartitionedFirstTouch},
+  };
+  PhaseSpec Rows;
+  Rows.Name = "rows";
+  Rows.NumElems = 600;
+  Rows.MinGrain = 1;
+  // Per output row: N*N multiply-adds.
+  Rows.CpuCyclesPerElem = 2.0 * N * N;
+  Rows.Reads = {{0, N * 8, false},      // one row of A
+                {1, N * N * 8, false}}; // a pass over B (cache-filtered)
+  Rows.Writes = {{2, N * 8, false}};    // one row of C
+  // Pure-functional inner products: fresh float boxes and fold tuples
+  // per element (~3.3 KB/element of nursery churn).
+  Rows.AllocBytesPerElem = 2.0e6;
+  P.Phases = {Rows};
+  P.Repeats = 4;
+  return P;
+}
+
+WorkloadProfile manti::sim::profileRaytracer() {
+  // 512 x 512 pixels, parallel over rows; the scene is tiny and
+  // cache-resident, so this is compute plus allocation churn (the ID
+  // original allocates vectors for every intersection test).
+  WorkloadProfile P;
+  P.Name = "Raytracer";
+  P.Regions = {
+      {"scene", 64.0 * 1024, PlacementKind::SharedByVProc0},
+      {"image", 512.0 * 512 * 8, PlacementKind::PartitionedFirstTouch},
+  };
+  PhaseSpec Rows;
+  Rows.Name = "rows";
+  Rows.NumElems = 512;
+  Rows.MinGrain = 1;
+  Rows.CpuCyclesPerElem = 512 * 3000.0; // ~3k cycles per pixel
+  Rows.Reads = {{0, 512 * 200.0, true}}; // scene probes per pixel
+  Rows.Writes = {{1, 512 * 8.0, false}};
+  Rows.AllocBytesPerElem = 512 * 12.0e3; // ray/color vectors per pixel
+  P.Phases = {Rows};
+  P.Repeats = 2;
+  return P;
+}
+
+WorkloadProfile manti::sim::profileQuicksort() {
+  // NESL quicksort of 10M integers: each level partitions in parallel
+  // (flattened filters), with a sequential scan-combine per level; the
+  // leaf sorts are fully parallel. The per-level barriers plus the
+  // streaming volume are what cap this benchmark.
+  const double N = 10e6;
+  const int Levels = 9; // down to ~39k-element subproblems
+  WorkloadProfile P;
+  P.Name = "Quicksort";
+  P.Regions = {
+      {"ropes", N * 8, PlacementKind::PartitionedFirstTouch},
+  };
+  for (int L = 0; L < Levels; ++L) {
+    PhaseSpec Part;
+    Part.Name = "partition-level-" + std::to_string(L);
+    Part.NumElems = static_cast<int64_t>(N);
+    Part.MinGrain = 8192;
+    Part.SeqSetupCycles = 3.0e6; // pivot broadcast + scan combine
+    Part.CpuCyclesPerElem = 10.0;
+    // Boxed sequence elements: each partition level streams the rope
+    // spine plus element boxes both ways.
+    Part.Reads = {{0, 10.0, false}};
+    Part.Writes = {{0, 10.0, false}};
+    Part.AllocBytesPerElem = 14.0; // fresh partition ropes
+    P.Phases.push_back(Part);
+  }
+  PhaseSpec Leaf;
+  Leaf.Name = "leaf-sorts";
+  Leaf.NumElems = 256;
+  Leaf.MinGrain = 1;
+  double LeafElems = N / 256.0;
+  Leaf.CpuCyclesPerElem = LeafElems * std::log2(LeafElems) * 4.0;
+  Leaf.Reads = {{0, LeafElems * 10, false}};
+  Leaf.Writes = {{0, LeafElems * 10, false}};
+  Leaf.AllocBytesPerElem = LeafElems * 14.0;
+  P.Phases.push_back(Leaf);
+  return P;
+}
+
+WorkloadProfile manti::sim::profileBarnesHut() {
+  // 400k bodies. Tree build is the sequential portion the paper blames
+  // for the scaling knee; the force phase is parallel but allocates
+  // heavily (accumulator tuples along every traversal).
+  const double N = 400e3;
+  WorkloadProfile P;
+  P.Name = "Barnes-Hut";
+  P.Regions = {
+      {"tree", N * 90.0, PlacementKind::SharedByVProc0},   // ~36 MB
+      {"bodies", N * 40.0, PlacementKind::PartitionedFirstTouch},
+  };
+  PhaseSpec Build;
+  Build.Name = "tree-build";
+  Build.Sequential = true;
+  Build.NumElems = 1;
+  Build.CpuCyclesPerElem = N * 110.0;
+  Build.Reads = {{1, N * 40.0, true}};
+  Build.Writes = {{0, N * 90.0, false}};
+  Build.AllocBytesPerElem = N * 90.0; // the tree itself
+  P.Phases.push_back(Build);
+
+  PhaseSpec Force;
+  Force.Name = "force";
+  Force.NumElems = 400000;
+  Force.MinGrain = 256;
+  Force.CpuCyclesPerElem = 11000.0;
+  // Hot tree levels cache; the cold tail streams from the tree's home.
+  Force.Reads = {{0, 1400.0, true}, {1, 40.0, false}};
+  Force.Writes = {{1, 16.0, false}};
+  Force.AllocBytesPerElem = 16.0e3; // accumulator tuples per traversal
+  P.Phases.push_back(Force);
+
+  PhaseSpec Advance;
+  Advance.Name = "advance";
+  Advance.NumElems = 400000;
+  Advance.MinGrain = 4096;
+  Advance.CpuCyclesPerElem = 24.0;
+  Advance.Reads = {{1, 40.0, false}};
+  Advance.Writes = {{1, 32.0, false}};
+  Advance.AllocBytesPerElem = 48.0;
+  P.Phases.push_back(Advance);
+
+  P.Repeats = 4; // representative slice of the 20 iterations
+  return P;
+}
+
+WorkloadProfile manti::sim::profileSmvm() {
+  // y = A*x with 1,091,362 non-zeros over 16,614 rows (~65.7 nnz/row).
+  // The CSR arrays are ~17.5 MB of shared data: they stream from their
+  // home node(s) on the AMD machine (5 MB usable L3) but stay resident
+  // on the Intel machine (21 MB), where remote cache probes for the
+  // gathered vector become the limiter instead -- the paper's account of
+  // why the Intel machine handles SMVM so much better and why the
+  // interleaved policy wins past 24 AMD cores.
+  const double Rows = 16614;
+  const double Nnz = 1091362;
+  const double NnzPerRow = Nnz / Rows;
+  WorkloadProfile P;
+  P.Name = "SMVM";
+  P.Regions = {
+      {"matrix", Nnz * 16.0, PlacementKind::SharedByVProc0}, // vals+colidx
+      {"x", Rows * 8.0, PlacementKind::SharedByVProc0},
+      {"y", Rows * 8.0, PlacementKind::PartitionedFirstTouch},
+  };
+  PhaseSpec Mult;
+  Mult.Name = "multiply";
+  Mult.NumElems = 16614;
+  Mult.MinGrain = 32;
+  Mult.CpuCyclesPerElem = NnzPerRow * 20.0; // boxed CSR traversal
+  Mult.Reads = {{0, NnzPerRow * 16.0, true}, {1, NnzPerRow * 8.0, true}};
+  Mult.Writes = {{2, 8.0, false}};
+  Mult.AllocBytesPerElem = 300.0; // result segments, cursor tuples
+  P.Phases = {Mult};
+  P.Repeats = 40; // iterative-solver usage: many multiplies
+  return P;
+}
+
+std::vector<WorkloadProfile> manti::sim::allProfiles() {
+  return {profileDmm(), profileRaytracer(), profileQuicksort(),
+          profileBarnesHut(), profileSmvm()};
+}

@@ -1,0 +1,17 @@
+//===- support/Assert.cpp -------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void manti::reportFatalError(const char *Msg, const char *File,
+                             unsigned Line) {
+  std::fprintf(stderr, "fatal error: %s (at %s:%u)\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,39 @@
+//===- support/Assert.h - fatal errors and unreachable markers -----------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the MANTI_UNREACHABLE marker. Library code
+/// never throws; invariant violations abort with a diagnostic, exactly as
+/// the LLVM coding standards recommend for programmatic errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_ASSERT_H
+#define MANTI_SUPPORT_ASSERT_H
+
+#include <cassert>
+
+namespace manti {
+
+/// Prints "fatal error: <Msg> (at File:Line)" to stderr and aborts.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   unsigned Line);
+
+} // namespace manti
+
+/// Marks a point in the program that is unconditionally a bug to reach.
+#define MANTI_UNREACHABLE(MSG)                                                 \
+  ::manti::reportFatalError(MSG, __FILE__, __LINE__)
+
+/// Checks an invariant even in release builds; use for cheap checks on
+/// cold paths (the GC uses it to validate heap invariants at phase edges).
+#define MANTI_CHECK(COND, MSG)                                                 \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::manti::reportFatalError(MSG, __FILE__, __LINE__);                      \
+  } while (false)
+
+#endif // MANTI_SUPPORT_ASSERT_H

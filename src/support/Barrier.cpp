@@ -1,0 +1,28 @@
+//===- support/Barrier.cpp ------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+
+#include <cassert>
+
+using namespace manti;
+
+Barrier::Barrier(std::size_t Count) : Count(Count) {
+  assert(Count > 0 && "barrier needs at least one participant");
+}
+
+bool Barrier::arriveAndWait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  std::size_t MyPhase = Phase;
+  if (++Waiting == Count) {
+    Waiting = 0;
+    ++Phase;
+    Cond.notify_all();
+    return true;
+  }
+  Cond.wait(Lock, [&] { return Phase != MyPhase; });
+  return false;
+}

@@ -1,0 +1,47 @@
+//===- support/Barrier.h - reusable thread barrier ------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable (phase-counting) barrier built on a mutex and condition
+/// variable. The global collector uses it to line vprocs up between the
+/// local-collection, root-scanning, and chunk-scanning phases. A blocking
+/// barrier (rather than a spinning sense-reversal barrier) is used because
+/// vprocs can outnumber hardware threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_BARRIER_H
+#define MANTI_SUPPORT_BARRIER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace manti {
+
+class Barrier {
+public:
+  /// Creates a barrier for \p Count participating threads.
+  explicit Barrier(std::size_t Count);
+
+  /// Blocks until all participants have arrived. \returns true on exactly
+  /// one participant per phase (the "serial thread"), false on the others.
+  bool arriveAndWait();
+
+  /// Number of participants this barrier synchronizes.
+  std::size_t participants() const { return Count; }
+
+private:
+  const std::size_t Count;
+  std::size_t Waiting = 0;
+  std::size_t Phase = 0;
+  std::mutex Mutex;
+  std::condition_variable Cond;
+};
+
+} // namespace manti
+
+#endif // MANTI_SUPPORT_BARRIER_H

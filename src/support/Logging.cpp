@@ -1,0 +1,76 @@
+//===- support/Logging.cpp ------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace manti;
+
+namespace {
+
+/// Parsed value of the MANTI_DEBUG environment variable.
+struct DebugConfig {
+  bool All = false;
+  std::vector<std::string> Channels;
+
+  DebugConfig() {
+    const char *Env = std::getenv("MANTI_DEBUG");
+    if (!Env)
+      return;
+    std::string Spec(Env);
+    std::size_t Pos = 0;
+    while (Pos < Spec.size()) {
+      std::size_t Comma = Spec.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Spec.size();
+      std::string Name = Spec.substr(Pos, Comma - Pos);
+      if (Name == "all")
+        All = true;
+      else if (!Name.empty())
+        Channels.push_back(Name);
+      Pos = Comma + 1;
+    }
+  }
+
+  bool enabled(const char *Channel) const {
+    if (All)
+      return true;
+    for (const std::string &Name : Channels)
+      if (Name == Channel)
+        return true;
+    return false;
+  }
+};
+
+} // namespace
+
+static const DebugConfig &getConfig() {
+  static DebugConfig Config;
+  return Config;
+}
+
+bool manti::isDebugChannelEnabled(const char *Channel) {
+  return getConfig().enabled(Channel);
+}
+
+void manti::debugLog(const char *Channel, const char *Fmt, ...) {
+  // Serialize whole lines so interleaved vproc output stays readable.
+  static std::mutex LogMutex;
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  std::fprintf(stderr, "[%s] ", Channel);
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}

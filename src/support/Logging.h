@@ -1,0 +1,36 @@
+//===- support/Logging.h - debug logging ----------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style debug logging gated by the MANTI_DEBUG environment
+/// variable. Modeled on LLVM_DEBUG/-debug-only: set MANTI_DEBUG=gc,sched
+/// to enable the "gc" and "sched" channels, or MANTI_DEBUG=all for
+/// everything. Disabled channels cost one branch on a cached flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_LOGGING_H
+#define MANTI_SUPPORT_LOGGING_H
+
+namespace manti {
+
+/// \returns true if debug channel \p Channel was requested via MANTI_DEBUG.
+bool isDebugChannelEnabled(const char *Channel);
+
+/// Writes one formatted line, prefixed with "[<Channel>] ", to stderr.
+void debugLog(const char *Channel, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace manti
+
+/// Emits \p ... (printf style) on \p CHANNEL when enabled.
+#define MANTI_DEBUG(CHANNEL, ...)                                              \
+  do {                                                                         \
+    if (::manti::isDebugChannelEnabled(CHANNEL))                               \
+      ::manti::debugLog(CHANNEL, __VA_ARGS__);                                 \
+  } while (false)
+
+#endif // MANTI_SUPPORT_LOGGING_H

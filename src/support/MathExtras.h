@@ -1,0 +1,63 @@
+//===- support/MathExtras.h - bit and alignment helpers ------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment and power-of-two arithmetic used by the heap layout code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_MATHEXTRAS_H
+#define MANTI_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace manti {
+
+/// \returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// \returns \p Value rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// \returns \p Value rounded down to the previous multiple of \p Align.
+constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return Value & ~(Align - 1);
+}
+
+/// \returns true if \p Value is a multiple of power-of-two \p Align.
+constexpr bool isAligned(uint64_t Value, uint64_t Align) {
+  return (Value & (Align - 1)) == 0;
+}
+
+/// \returns ceil(Numerator / Denominator) for Denominator > 0.
+constexpr uint64_t divideCeil(uint64_t Numerator, uint64_t Denominator) {
+  assert(Denominator != 0 && "division by zero");
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// \returns floor(log2(Value)); Value must be nonzero.
+constexpr unsigned log2Floor(uint64_t Value) {
+  assert(Value != 0 && "log2 of zero");
+  return 63 - static_cast<unsigned>(__builtin_clzll(Value));
+}
+
+/// \returns the smallest power of two >= \p Value (Value >= 1).
+constexpr uint64_t nextPowerOf2(uint64_t Value) {
+  assert(Value != 0 && "nextPowerOf2 of zero");
+  return isPowerOf2(Value) ? Value : uint64_t(1) << (log2Floor(Value) + 1);
+}
+
+} // namespace manti
+
+#endif // MANTI_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,24 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+
+void manti::formatBytes(uint64_t Bytes, char *Buf, unsigned BufSize) {
+  if (Bytes >= (uint64_t(1) << 30))
+    std::snprintf(Buf, BufSize, "%.2f GiB",
+                  static_cast<double>(Bytes) / (1 << 30));
+  else if (Bytes >= (uint64_t(1) << 20))
+    std::snprintf(Buf, BufSize, "%.2f MiB",
+                  static_cast<double>(Bytes) / (1 << 20));
+  else if (Bytes >= (uint64_t(1) << 10))
+    std::snprintf(Buf, BufSize, "%.2f KiB",
+                  static_cast<double>(Bytes) / (1 << 10));
+  else
+    std::snprintf(Buf, BufSize, "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+}

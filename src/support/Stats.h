@@ -1,0 +1,85 @@
+//===- support/Stats.h - counters, timers, and summaries -----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight statistics: monotonic counters and accumulating timers the
+/// GC phases use to report the numbers behind the paper's evaluation
+/// (collection counts, bytes copied, pause times). Counters are plain
+/// (non-atomic) because each vproc owns its own GCStats; cross-vproc
+/// aggregation happens at report time while the world is stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_STATS_H
+#define MANTI_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace manti {
+
+/// Accumulates a duration total, a count, and the maximum single sample.
+/// Used for GC pause tracking (count, total, max pause).
+class DurationStat {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  void addSample(std::chrono::nanoseconds Sample) {
+    uint64_t Nanos = Sample.count() < 0
+                         ? 0
+                         : static_cast<uint64_t>(Sample.count());
+    ++NumSamples;
+    TotalNanos += Nanos;
+    if (Nanos > MaxNanos)
+      MaxNanos = Nanos;
+  }
+
+  uint64_t count() const { return NumSamples; }
+  uint64_t totalNanos() const { return TotalNanos; }
+  uint64_t maxNanos() const { return MaxNanos; }
+  double meanNanos() const {
+    return NumSamples == 0 ? 0.0
+                           : static_cast<double>(TotalNanos) /
+                                 static_cast<double>(NumSamples);
+  }
+
+  /// Merges \p Other into this stat (used when aggregating vproc stats).
+  void merge(const DurationStat &Other) {
+    NumSamples += Other.NumSamples;
+    TotalNanos += Other.TotalNanos;
+    if (Other.MaxNanos > MaxNanos)
+      MaxNanos = Other.MaxNanos;
+  }
+
+private:
+  uint64_t NumSamples = 0;
+  uint64_t TotalNanos = 0;
+  uint64_t MaxNanos = 0;
+};
+
+/// RAII timer that feeds a DurationStat on destruction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(DurationStat &Stat)
+      : Stat(Stat), Start(DurationStat::Clock::now()) {}
+  ~ScopedTimer() {
+    Stat.addSample(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        DurationStat::Clock::now() - Start));
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  DurationStat &Stat;
+  DurationStat::Clock::time_point Start;
+};
+
+/// Formats \p Bytes as a human-readable quantity into \p Buf (size >= 32).
+void formatBytes(uint64_t Bytes, char *Buf, unsigned BufSize);
+
+} // namespace manti
+
+#endif // MANTI_SUPPORT_STATS_H

@@ -1,0 +1,65 @@
+//===- support/XorShift.h - deterministic pseudo-random numbers ----------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small xorshift64* generator. Every randomized component in the
+/// project (work-stealing victim selection, workload generation, the
+/// Plummer distribution for Barnes-Hut) draws from this generator so that
+/// runs are reproducible across machines; std::mt19937 is avoided because
+/// its distributions are not specified bit-exactly across libstdc++
+/// versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SUPPORT_XORSHIFT_H
+#define MANTI_SUPPORT_XORSHIFT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace manti {
+
+/// xorshift64* PRNG (Vigna 2014). Deterministic and seedable; passes
+/// BigCrush on the high bits, which is more than enough for scheduling
+/// and synthetic-workload decisions.
+class XorShift64 {
+public:
+  explicit XorShift64(uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// \returns a uniform integer in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Multiply-shift range reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \returns a uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace manti
+
+#endif // MANTI_SUPPORT_XORSHIFT_H

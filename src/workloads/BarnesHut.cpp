@@ -1,0 +1,322 @@
+//===- workloads/BarnesHut.cpp ---------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BarnesHut.h"
+
+#include "runtime/Parallel.h"
+#include "support/Assert.h"
+#include "support/XorShift.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+using namespace manti;
+using namespace manti::workloads;
+
+// Quadtree node (mixed object, 9 words):
+//   0-3: children NW/NE/SW/SE (pointer or nil)
+//   4:   total mass        (raw double bits)
+//   5,6: center of mass x,y (raw double bits)
+//   7:   body count         (raw int)
+//   8:   cell half-width    (raw double bits)
+// A leaf is a raw object of 3 doubles: x, y, mass.
+namespace {
+
+constexpr unsigned NodeMass = 4;
+constexpr unsigned NodeCmx = 5;
+constexpr unsigned NodeCmy = 6;
+constexpr unsigned NodeCount = 7;
+constexpr unsigned NodeHalf = 8;
+
+constexpr double Softening = 1e-9;
+
+uint64_t packD(double D) {
+  uint64_t Bits;
+  __builtin_memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+double unpackD(uint64_t Bits) {
+  double D;
+  __builtin_memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+Value makeLeaf(VProcHeap &H, double X, double Y, double M) {
+  uint64_t Data[3] = {packD(X), packD(Y), packD(M)};
+  return H.allocRaw(Data, sizeof(Data));
+}
+
+struct BuildScratch {
+  const Bodies *B;
+  std::vector<int64_t> Quadrant[4]; // reused per level? no: per call
+};
+
+/// Recursively builds the tree over the body indices in \p Idx, covering
+/// the square cell centered at (Cx, Cy) with half-width Half.
+Value buildRec(VProcHeap &H, const Bodies &B, std::vector<int64_t> &Idx,
+               double Cx, double Cy, double Half, unsigned Depth) {
+  if (Idx.empty())
+    return Value::nil();
+  if (Idx.size() == 1) {
+    int64_t I = Idx[0];
+    return makeLeaf(H, B.X[static_cast<std::size_t>(I)],
+                    B.Y[static_cast<std::size_t>(I)],
+                    B.Mass[static_cast<std::size_t>(I)]);
+  }
+  if (Depth > 64) {
+    // Pathologically coincident points: aggregate into one pseudo-body.
+    double M = 0, Mx = 0, My = 0;
+    for (int64_t I : Idx) {
+      auto S = static_cast<std::size_t>(I);
+      M += B.Mass[S];
+      Mx += B.Mass[S] * B.X[S];
+      My += B.Mass[S] * B.Y[S];
+    }
+    return makeLeaf(H, Mx / M, My / M, M);
+  }
+
+  std::vector<int64_t> Quads[4];
+  for (int64_t I : Idx) {
+    auto S = static_cast<std::size_t>(I);
+    unsigned Q = (B.X[S] >= Cx ? 1u : 0u) | (B.Y[S] >= Cy ? 2u : 0u);
+    Quads[Q].push_back(I);
+  }
+  Idx.clear();
+  Idx.shrink_to_fit();
+
+  GcFrame Frame(H);
+  Value Children[4] = {};
+  for (Value &C : Children)
+    Frame.root(C);
+  double H2 = Half / 2;
+  const double QCx[4] = {Cx - H2, Cx + H2, Cx - H2, Cx + H2};
+  const double QCy[4] = {Cy - H2, Cy - H2, Cy + H2, Cy + H2};
+  for (unsigned Q = 0; Q < 4; ++Q)
+    Children[Q] = buildRec(H, B, Quads[Q], QCx[Q], QCy[Q], H2, Depth + 1);
+
+  // Aggregate mass and center of mass from the children.
+  double M = 0, Mx = 0, My = 0;
+  int64_t Count = 0;
+  for (Value C : Children) {
+    if (C.isNil())
+      continue;
+    if (objectId(C) == IdRaw) {
+      const uint64_t *L = static_cast<const uint64_t *>(rawData(C));
+      double Lm = unpackD(L[2]);
+      M += Lm;
+      Mx += Lm * unpackD(L[0]);
+      My += Lm * unpackD(L[1]);
+      ++Count;
+    } else {
+      Word *N = C.asPtr();
+      double Nm = unpackD(N[NodeMass]);
+      M += Nm;
+      Mx += Nm * unpackD(N[NodeCmx]);
+      My += Nm * unpackD(N[NodeCmy]);
+      Count += static_cast<int64_t>(N[NodeCount]);
+    }
+  }
+
+  Word Fields[9];
+  for (unsigned Q = 0; Q < 4; ++Q)
+    Fields[Q] = Children[Q].bits();
+  Fields[NodeMass] = packD(M);
+  Fields[NodeCmx] = packD(M > 0 ? Mx / M : Cx);
+  Fields[NodeCmy] = packD(M > 0 ? My / M : Cy);
+  Fields[NodeCount] = static_cast<Word>(Count);
+  Fields[NodeHalf] = packD(Half);
+  Value *Slots[4] = {&Children[0], &Children[1], &Children[2], &Children[3]};
+  return H.allocMixedRooted(H.world().BhNodeId, Fields, Slots);
+}
+
+} // namespace
+
+void manti::workloads::registerBarnesHutDescriptors(GCWorld &World) {
+  MANTI_CHECK(World.BhNodeId == 0, "Barnes-Hut descriptors already registered");
+  World.BhNodeId =
+      World.descriptors().registerMixed("bh-quadtree-node", 9, {0, 1, 2, 3});
+}
+
+Bodies manti::workloads::plummerDistribution(int64_t N, uint64_t Seed) {
+  Bodies B;
+  B.X.resize(static_cast<std::size_t>(N));
+  B.Y.resize(static_cast<std::size_t>(N));
+  B.Mass.resize(static_cast<std::size_t>(N));
+  B.Vx.assign(static_cast<std::size_t>(N), 0.0);
+  B.Vy.assign(static_cast<std::size_t>(N), 0.0);
+  XorShift64 Rng(Seed);
+  for (int64_t I = 0; I < N; ++I) {
+    auto S = static_cast<std::size_t>(I);
+    // Plummer radial profile: r = (u^{-2/3} - 1)^{-1/2}.
+    double U = std::max(1e-12, Rng.nextDouble());
+    double R = 1.0 / std::sqrt(std::pow(U, -2.0 / 3.0) - 1.0);
+    R = std::min(R, 10.0); // clip the rare far tail
+    double Phi = 2.0 * M_PI * Rng.nextDouble();
+    B.X[S] = R * std::cos(Phi);
+    B.Y[S] = R * std::sin(Phi);
+    B.Mass[S] = 1.0 / static_cast<double>(N);
+  }
+  return B;
+}
+
+Value manti::workloads::buildQuadtree(VProcHeap &H, const Bodies &B) {
+  double MaxAbs = 1.0;
+  for (int64_t I = 0; I < B.size(); ++I) {
+    auto S = static_cast<std::size_t>(I);
+    MaxAbs = std::max({MaxAbs, std::fabs(B.X[S]), std::fabs(B.Y[S])});
+  }
+  std::vector<int64_t> Idx(static_cast<std::size_t>(B.size()));
+  for (int64_t I = 0; I < B.size(); ++I)
+    Idx[static_cast<std::size_t>(I)] = I;
+  return buildRec(H, B, Idx, 0.0, 0.0, MaxAbs * 1.001, 0);
+}
+
+void manti::workloads::treeForce(Value Root, const Bodies &B, int64_t I,
+                                 double Theta, double *AxOut, double *AyOut) {
+  auto S = static_cast<std::size_t>(I);
+  double Px = B.X[S], Py = B.Y[S];
+  double Ax = 0, Ay = 0;
+
+  Value Stack[128];
+  unsigned Top = 0;
+  if (!Root.isNil())
+    Stack[Top++] = Root;
+  auto Accumulate = [&](double Qx, double Qy, double Qm) {
+    double Dx = Qx - Px, Dy = Qy - Py;
+    double D2 = Dx * Dx + Dy * Dy + Softening;
+    if (D2 < 1e-18)
+      return; // self
+    double Inv = 1.0 / std::sqrt(D2);
+    double F = Qm * Inv * Inv * Inv;
+    Ax += F * Dx;
+    Ay += F * Dy;
+  };
+
+  while (Top > 0) {
+    Value Cur = Stack[--Top];
+    if (objectId(Cur) == IdRaw) {
+      const uint64_t *L = static_cast<const uint64_t *>(rawData(Cur));
+      Accumulate(unpackD(L[0]), unpackD(L[1]), unpackD(L[2]));
+      continue;
+    }
+    const Word *N = Cur.asPtr();
+    double Cmx = unpackD(N[NodeCmx]), Cmy = unpackD(N[NodeCmy]);
+    double Dx = Cmx - Px, Dy = Cmy - Py;
+    double Dist = std::sqrt(Dx * Dx + Dy * Dy + Softening);
+    double Width = 2.0 * unpackD(N[NodeHalf]);
+    if (Width / Dist < Theta) {
+      Accumulate(Cmx, Cmy, unpackD(N[NodeMass]));
+      continue;
+    }
+    for (unsigned Q = 0; Q < 4; ++Q) {
+      Word W = N[Q];
+      if (wordIsPtr(W)) {
+        MANTI_CHECK(Top < 128, "quadtree deeper than traversal stack");
+        Stack[Top++] = Value::fromBits(W);
+      }
+    }
+  }
+  *AxOut = Ax;
+  *AyOut = Ay;
+}
+
+void manti::workloads::directForce(const Bodies &B, int64_t I, double *AxOut,
+                                   double *AyOut) {
+  auto S = static_cast<std::size_t>(I);
+  double Px = B.X[S], Py = B.Y[S];
+  double Ax = 0, Ay = 0;
+  for (int64_t J = 0; J < B.size(); ++J) {
+    if (J == I)
+      continue;
+    auto T = static_cast<std::size_t>(J);
+    double Dx = B.X[T] - Px, Dy = B.Y[T] - Py;
+    double D2 = Dx * Dx + Dy * Dy + Softening;
+    double Inv = 1.0 / std::sqrt(D2);
+    double F = B.Mass[T] * Inv * Inv * Inv;
+    Ax += F * Dx;
+    Ay += F * Dy;
+  }
+  *AxOut = Ax;
+  *AyOut = Ay;
+}
+
+namespace {
+
+struct ForceCtx {
+  const Value *RootSlot; ///< rooted by vproc 0's frame; re-read per grain
+  Bodies *B;
+  double Theta;
+  double Dt;
+};
+
+void forceRange(Runtime &, VProc &, int64_t Lo, int64_t Hi, void *CtxP) {
+  auto *Ctx = static_cast<ForceCtx *>(CtxP);
+  // Re-read the root through the rooted slot: a collection at any safe
+  // point between grains may have moved the tree.
+  Value Root = *Ctx->RootSlot;
+  Bodies &B = *Ctx->B;
+  for (int64_t I = Lo; I < Hi; ++I) {
+    double Ax, Ay;
+    treeForce(Root, B, I, Ctx->Theta, &Ax, &Ay);
+    auto S = static_cast<std::size_t>(I);
+    B.Vx[S] += Ax * Ctx->Dt;
+    B.Vy[S] += Ay * Ctx->Dt;
+  }
+}
+
+void advanceRange(Runtime &, VProc &, int64_t Lo, int64_t Hi, void *CtxP) {
+  auto *Ctx = static_cast<ForceCtx *>(CtxP);
+  Bodies &B = *Ctx->B;
+  for (int64_t I = Lo; I < Hi; ++I) {
+    auto S = static_cast<std::size_t>(I);
+    B.X[S] += B.Vx[S] * Ctx->Dt;
+    B.Y[S] += B.Vy[S] * Ctx->Dt;
+  }
+}
+
+} // namespace
+
+BarnesHutResult manti::workloads::runBarnesHut(Runtime &RT, VProc &VP,
+                                               const BarnesHutParams &P) {
+  if (RT.world().BhNodeId == 0)
+    registerBarnesHutDescriptors(RT.world());
+
+  Bodies B = plummerDistribution(P.NumBodies, P.Seed);
+  auto Start = std::chrono::steady_clock::now();
+
+  GcFrame Frame(VP.heap());
+  Value &Root = Frame.root(Value::nil());
+  for (unsigned Iter = 0; Iter < P.Iterations; ++Iter) {
+    // Phase 1 (sequential, as in the paper's analysis): build the tree,
+    // then promote it so every vproc may traverse it.
+    Root = buildQuadtree(VP.heap(), B);
+    Root = VP.heap().promote(Root);
+
+    // Phase 2 (parallel): forces, then positions.
+    ForceCtx Ctx{&Root, &B, P.Theta, P.Dt};
+    int64_t Grain = std::max<int64_t>(64, P.NumBodies / 256);
+    parallelFor(RT, VP, 0, P.NumBodies, Grain, forceRange, &Ctx);
+    parallelFor(RT, VP, 0, P.NumBodies, 1024, advanceRange, &Ctx);
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  BarnesHutResult Res;
+  Res.Seconds = std::chrono::duration<double>(End - Start).count();
+  double M = 0;
+  for (int64_t I = 0; I < B.size(); ++I) {
+    auto S = static_cast<std::size_t>(I);
+    Res.CenterOfMassX += B.Mass[S] * B.X[S];
+    Res.CenterOfMassY += B.Mass[S] * B.Y[S];
+    Res.KineticEnergy +=
+        0.5 * B.Mass[S] * (B.Vx[S] * B.Vx[S] + B.Vy[S] * B.Vy[S]);
+    M += B.Mass[S];
+  }
+  Res.CenterOfMassX /= M;
+  Res.CenterOfMassY /= M;
+  return Res;
+}

@@ -1,0 +1,77 @@
+//===- workloads/BarnesHut.h - hierarchical N-body solver -----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Barnes-Hut benchmark [BH86]: "Each iteration has two
+/// phases. In the first phase, a quadtree is constructed from a sequence
+/// of mass points. The second phase then uses this tree to accelerate
+/// the computation of the gravitational force on the bodies ... 20
+/// iterations over 400,000 particles generated in a random Plummer
+/// distribution."
+///
+/// This reproduction works in 2D (quadtree, like the Haskell/ndp version
+/// the paper ports). The tree is built on one vproc -- the sequential
+/// portion the paper blames for the benchmark's scaling knee -- then the
+/// root is promoted so every vproc can traverse it during the fully
+/// parallel force phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_WORKLOADS_BARNESHUT_H
+#define MANTI_WORKLOADS_BARNESHUT_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace manti::workloads {
+
+struct BarnesHutParams {
+  int64_t NumBodies = 10000;
+  unsigned Iterations = 1;
+  uint64_t Seed = 7;
+  double Theta = 0.5; ///< opening angle
+  double Dt = 0.025;  ///< integration step
+};
+
+struct BarnesHutResult {
+  double CenterOfMassX = 0.0;
+  double CenterOfMassY = 0.0;
+  double KineticEnergy = 0.0;
+  double Seconds = 0.0;
+};
+
+/// Plain-old-data body state (C++ side; the tree lives in the GC heap).
+struct Bodies {
+  std::vector<double> X, Y, Mass, Vx, Vy;
+  int64_t size() const { return static_cast<int64_t>(X.size()); }
+};
+
+/// Samples \p N bodies from a Plummer distribution.
+Bodies plummerDistribution(int64_t N, uint64_t Seed);
+
+/// Runs the full benchmark on the runtime.
+BarnesHutResult runBarnesHut(Runtime &RT, VProc &VP,
+                             const BarnesHutParams &P);
+
+/// Registers the quadtree node descriptor. Runtime users need not call
+/// this (runBarnesHut does, once per world).
+void registerBarnesHutDescriptors(GCWorld &World);
+
+/// Builds the quadtree for \p B in \p H's heap; \returns the root.
+Value buildQuadtree(VProcHeap &H, const Bodies &B);
+
+/// Computes the approximate force on body \p I via tree traversal.
+void treeForce(Value Root, const Bodies &B, int64_t I, double Theta,
+               double *AxOut, double *AyOut);
+
+/// Exact O(n^2) force for verification.
+void directForce(const Bodies &B, int64_t I, double *AxOut, double *AyOut);
+
+} // namespace manti::workloads
+
+#endif // MANTI_WORKLOADS_BARNESHUT_H

@@ -1,0 +1,49 @@
+//===- workloads/Dmm.h - dense matrix multiplication ----------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's DMM benchmark: "a dense-matrix by dense-matrix
+/// multiplication in which each matrix is 600 x 600". The inputs are
+/// shared immutable global-heap arrays; the output rows are computed in
+/// parallel. High arithmetic intensity and perfect partitioning make
+/// this the paper's best-scaling benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_WORKLOADS_DMM_H
+#define MANTI_WORKLOADS_DMM_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace manti::workloads {
+
+struct DmmParams {
+  int64_t N = 600; ///< square matrix dimension
+  uint64_t Seed = 17;
+};
+
+struct DmmResult {
+  double FrobeniusNorm = 0.0;
+  double Seconds = 0.0;
+  int64_t N = 0;
+};
+
+/// C = A * B over row blocks; A and B are global raw double arrays
+/// (row-major), C is caller storage.
+void dmm(Runtime &RT, VProc &VP, Value A, Value B, int64_t N, double *C);
+
+/// Serial reference.
+void dmmSerial(const double *A, const double *B, int64_t N, double *C);
+
+/// Full benchmark with verification against the serial reference.
+DmmResult runDmm(Runtime &RT, VProc &VP, const DmmParams &P);
+
+} // namespace manti::workloads
+
+#endif // MANTI_WORKLOADS_DMM_H

@@ -1,0 +1,135 @@
+//===- workloads/Quicksort.cpp ---------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Quicksort.h"
+
+#include "runtime/Rope.h"
+#include "support/XorShift.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+using namespace manti;
+using namespace manti::workloads;
+
+namespace {
+
+/// Shared state for one spawned sub-sort.
+struct SortSplit {
+  Runtime *RT;
+  int64_t Cutoff;
+  ResultCell *Cell;
+  JoinCounter Join{1};
+};
+
+void sortTask(Runtime &RT, VProc &VP, Task T) {
+  auto &Split = *static_cast<SortSplit *>(T.Ctx);
+  GcFrame Frame(VP.heap());
+  Frame.root(T.Env);
+  Value Sorted = quicksort(RT, VP, T.Env, Split.Cutoff);
+  Split.Cell->fill(VP, Sorted);
+  Split.Join.sub();
+}
+
+/// Sequential base case: materialize, std::sort, rebuild.
+Value sortLeaf(VProc &VP, Value R) {
+  int64_t N = rope::length(R);
+  std::vector<uint64_t> Buf(static_cast<std::size_t>(N));
+  rope::toArray(R, Buf.data());
+  std::sort(Buf.begin(), Buf.end(), [](uint64_t A, uint64_t B) {
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+  });
+  return rope::fromArray(VP.heap(), Buf.data(), N);
+}
+
+} // namespace
+
+Value manti::workloads::quicksort(Runtime &RT, VProc &VP, Value R,
+                                  int64_t Cutoff) {
+  int64_t N = rope::length(R);
+  if (N <= Cutoff)
+    return sortLeaf(VP, R);
+
+  GcFrame Frame(VP.heap());
+  Frame.root(R);
+
+  // NESL-style three-way partition on a median-of-three pivot.
+  std::vector<uint64_t> Buf(static_cast<std::size_t>(N));
+  rope::toArray(R, Buf.data());
+  auto AsInt = [](uint64_t W) { return static_cast<int64_t>(W); };
+  int64_t A = AsInt(Buf.front());
+  int64_t B = AsInt(Buf[static_cast<std::size_t>(N / 2)]);
+  int64_t C = AsInt(Buf.back());
+  int64_t Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+
+  std::vector<uint64_t> Less, Equal, Greater;
+  Less.reserve(Buf.size() / 2);
+  Greater.reserve(Buf.size() / 2);
+  for (uint64_t W : Buf) {
+    int64_t V = AsInt(W);
+    if (V < Pivot)
+      Less.push_back(W);
+    else if (V > Pivot)
+      Greater.push_back(W);
+    else
+      Equal.push_back(W);
+  }
+
+  Value &LessRope = Frame.root(rope::fromArray(
+      VP.heap(), Less.data(), static_cast<int64_t>(Less.size())));
+  Value &EqualRope = Frame.root(rope::fromArray(
+      VP.heap(), Equal.data(), static_cast<int64_t>(Equal.size())));
+  Value &GreaterRope = Frame.root(rope::fromArray(
+      VP.heap(), Greater.data(), static_cast<int64_t>(Greater.size())));
+
+  // Fork: sort the greater partition as a stealable task whose
+  // environment is the rope itself; sort the lesser partition here.
+  ResultCell Cell(VP);
+  SortSplit Split{&RT, Cutoff, &Cell};
+  VP.spawn({sortTask, &Split, GreaterRope, 0, 0});
+
+  Value &SortedLess = Frame.root(quicksort(RT, VP, LessRope, Cutoff));
+  VP.joinWait(Split.Join);
+  Value &SortedGreater = Frame.root(Cell.take());
+
+  Value &Front = Frame.root(rope::concat(VP.heap(), SortedLess, EqualRope));
+  return rope::concat(VP.heap(), Front, SortedGreater);
+}
+
+QuicksortResult manti::workloads::runQuicksort(Runtime &RT, VProc &VP,
+                                               const QuicksortParams &P) {
+  GcFrame Frame(VP.heap());
+  XorShift64 Rng(P.Seed);
+  uint64_t CheckIn = 0;
+  std::vector<uint64_t> Input(static_cast<std::size_t>(P.NumElements));
+  for (auto &W : Input) {
+    W = Rng.next() >> 8; // keep values positive as int64
+    CheckIn += W;
+  }
+  Value &R = Frame.root(rope::fromArray(
+      VP.heap(), Input.data(), static_cast<int64_t>(Input.size())));
+
+  auto Start = std::chrono::steady_clock::now();
+  Value &Sorted = Frame.root(quicksort(RT, VP, R, P.Cutoff));
+  auto End = std::chrono::steady_clock::now();
+
+  QuicksortResult Res;
+  Res.Length = rope::length(Sorted);
+  Res.Seconds = std::chrono::duration<double>(End - Start).count();
+  std::vector<uint64_t> Out(static_cast<std::size_t>(Res.Length));
+  rope::toArray(Sorted, Out.data());
+  Res.Sorted = std::is_sorted(Out.begin(), Out.end(),
+                              [](uint64_t A, uint64_t B) {
+                                return static_cast<int64_t>(A) <
+                                       static_cast<int64_t>(B);
+                              });
+  for (uint64_t W : Out)
+    Res.Checksum += W;
+  Res.Sorted = Res.Sorted && Res.Checksum == CheckIn &&
+               Res.Length == P.NumElements;
+  return Res;
+}

@@ -1,0 +1,192 @@
+//===- workloads/Raytracer.cpp ---------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Raytracer.h"
+
+#include "runtime/Parallel.h"
+#include "runtime/Rope.h"
+#include "support/XorShift.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace manti;
+using namespace manti::workloads;
+
+namespace {
+
+struct Vec3 {
+  double X, Y, Z;
+};
+
+Vec3 operator+(Vec3 A, Vec3 B) { return {A.X + B.X, A.Y + B.Y, A.Z + B.Z}; }
+Vec3 operator-(Vec3 A, Vec3 B) { return {A.X - B.X, A.Y - B.Y, A.Z - B.Z}; }
+Vec3 operator*(Vec3 A, double S) { return {A.X * S, A.Y * S, A.Z * S}; }
+double dot(Vec3 A, Vec3 B) { return A.X * B.X + A.Y * B.Y + A.Z * B.Z; }
+Vec3 normalize(Vec3 A) {
+  double L = std::sqrt(dot(A, A));
+  return L > 0 ? A * (1.0 / L) : A;
+}
+
+constexpr double Inf = 1e30;
+const Vec3 LightPos = {-4.0, 6.0, -2.0};
+
+/// Ray-sphere intersection; \returns distance or Inf.
+double hitSphere(const Sphere &S, Vec3 Origin, Vec3 Dir) {
+  Vec3 Oc = Origin - Vec3{S.Cx, S.Cy, S.Cz};
+  double B = 2.0 * dot(Oc, Dir);
+  double C = dot(Oc, Oc) - S.Radius * S.Radius;
+  double Disc = B * B - 4 * C;
+  if (Disc < 0)
+    return Inf;
+  double Sq = std::sqrt(Disc);
+  double T0 = (-B - Sq) / 2.0;
+  if (T0 > 1e-6)
+    return T0;
+  double T1 = (-B + Sq) / 2.0;
+  if (T1 > 1e-6)
+    return T1;
+  return Inf;
+}
+
+struct Hit {
+  double T = Inf;
+  const Sphere *S = nullptr;
+};
+
+Hit closestHit(const std::vector<Sphere> &Scene, Vec3 Origin, Vec3 Dir) {
+  Hit Best;
+  for (const Sphere &S : Scene) {
+    double T = hitSphere(S, Origin, Dir);
+    if (T < Best.T) {
+      Best.T = T;
+      Best.S = &S;
+    }
+  }
+  return Best;
+}
+
+Vec3 shade(const std::vector<Sphere> &Scene, Vec3 Origin, Vec3 Dir,
+           unsigned Depth) {
+  Hit H = closestHit(Scene, Origin, Dir);
+  if (!H.S) {
+    // Sky gradient.
+    double T = 0.5 * (Dir.Y + 1.0);
+    return Vec3{0.4, 0.55, 0.8} * T + Vec3{0.05, 0.05, 0.08} * (1.0 - T);
+  }
+  const Sphere &S = *H.S;
+  Vec3 P = Origin + Dir * H.T;
+  Vec3 N = normalize(P - Vec3{S.Cx, S.Cy, S.Cz});
+  Vec3 ToLight = normalize(LightPos - P);
+
+  // Hard shadow.
+  double LightDist = std::sqrt(dot(LightPos - P, LightPos - P));
+  Hit Sh = closestHit(Scene, P + N * 1e-6, ToLight);
+  bool Shadowed = Sh.T < LightDist;
+
+  double Diffuse = Shadowed ? 0.0 : std::max(0.0, dot(N, ToLight));
+  double Ambient = 0.12;
+  Vec3 Base = Vec3{S.R, S.G, S.B} * (Ambient + 0.88 * Diffuse);
+
+  if (S.Reflectivity > 0 && Depth > 0) {
+    Vec3 Refl = Dir - N * (2.0 * dot(Dir, N));
+    Vec3 Mirror = shade(Scene, P + N * 1e-6, normalize(Refl), Depth - 1);
+    Base = Base * (1.0 - S.Reflectivity) + Mirror * S.Reflectivity;
+  }
+  return Base;
+}
+
+uint32_t packColor(Vec3 C) {
+  auto Chan = [](double V) {
+    return static_cast<uint32_t>(
+        std::min(255.0, std::max(0.0, V * 255.0 + 0.5)));
+  };
+  return (Chan(C.X) << 16) | (Chan(C.Y) << 8) | Chan(C.Z);
+}
+
+} // namespace
+
+std::vector<Sphere> manti::workloads::makeScene(const RaytracerParams &P) {
+  std::vector<Sphere> Scene;
+  // A large "ground" sphere plus NumSpheres random ones.
+  Scene.push_back({0.0, -1001.0, 5.0, 1000.0, 0.45, 0.45, 0.45, 0.1});
+  XorShift64 Rng(P.Seed);
+  for (int I = 0; I < P.NumSpheres; ++I) {
+    Sphere S;
+    S.Cx = Rng.nextDouble(-4.0, 4.0);
+    S.Cy = Rng.nextDouble(-0.5, 2.5);
+    S.Cz = Rng.nextDouble(3.0, 9.0);
+    S.Radius = Rng.nextDouble(0.3, 1.0);
+    S.R = Rng.nextDouble(0.2, 1.0);
+    S.G = Rng.nextDouble(0.2, 1.0);
+    S.B = Rng.nextDouble(0.2, 1.0);
+    S.Reflectivity = Rng.nextDouble() < 0.4 ? Rng.nextDouble(0.2, 0.7) : 0.0;
+    Scene.push_back(S);
+  }
+  return Scene;
+}
+
+uint32_t manti::workloads::tracePixel(const std::vector<Sphere> &Scene, int X,
+                                      int Y, const RaytracerParams &P) {
+  double U = (2.0 * (X + 0.5) / P.Width - 1.0);
+  double V = (1.0 - 2.0 * (Y + 0.5) / P.Height);
+  Vec3 Dir = normalize({U, V, 1.6});
+  return packColor(shade(Scene, {0, 0.5, -1.0}, Dir, P.MaxDepth));
+}
+
+namespace {
+
+struct RenderCtx {
+  const std::vector<Sphere> *Scene;
+  const RaytracerParams *P;
+};
+
+/// Leaf: render rows [Lo, Hi) into a rope of packed pixels.
+Value renderRows(Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *CtxP) {
+  auto *Ctx = static_cast<RenderCtx *>(CtxP);
+  const RaytracerParams &P = *Ctx->P;
+  std::vector<uint64_t> Row(static_cast<std::size_t>(P.Width) *
+                            static_cast<std::size_t>(Hi - Lo));
+  std::size_t Out = 0;
+  for (int64_t Y = Lo; Y < Hi; ++Y)
+    for (int X = 0; X < P.Width; ++X)
+      Row[Out++] = tracePixel(*Ctx->Scene, X, static_cast<int>(Y), P);
+  return rope::fromArray(VP.heap(), Row.data(), static_cast<int64_t>(Out));
+}
+
+Value concatRows(Runtime &, VProc &VP, Value A, Value B, void *) {
+  return rope::concat(VP.heap(), A, B);
+}
+
+} // namespace
+
+RaytracerResult manti::workloads::runRaytracer(Runtime &RT, VProc &VP,
+                                               const RaytracerParams &P,
+                                               std::vector<uint32_t> *ImageOut) {
+  std::vector<Sphere> Scene = makeScene(P);
+  RenderCtx Ctx{&Scene, &P};
+
+  auto Start = std::chrono::steady_clock::now();
+  GcFrame Frame(VP.heap());
+  Value &Image = Frame.root(
+      parallelReduce(RT, VP, 0, P.Height, /*Grain=*/4, renderRows,
+                     concatRows, &Ctx));
+  auto End = std::chrono::steady_clock::now();
+
+  RaytracerResult Res;
+  Res.Pixels = rope::length(Image);
+  Res.Seconds = std::chrono::duration<double>(End - Start).count();
+  std::vector<uint64_t> Pixels(static_cast<std::size_t>(Res.Pixels));
+  rope::toArray(Image, Pixels.data());
+  for (uint64_t W : Pixels)
+    Res.Checksum += W;
+  if (ImageOut) {
+    ImageOut->resize(Pixels.size());
+    for (std::size_t I = 0; I < Pixels.size(); ++I)
+      (*ImageOut)[I] = static_cast<uint32_t>(Pixels[I]);
+  }
+  return Res;
+}

@@ -1,0 +1,65 @@
+//===- workloads/Raytracer.h - simple parallel ray tracer -----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Raytracer benchmark: "renders a 512 x 512 image in
+/// parallel as a two-dimensional sequence ... a simple ray tracer that
+/// does not use any acceleration data structures" (originally in ID
+/// [Nik91]). Spheres with Lambertian shading, one point light, hard
+/// shadows, and mirror reflection up to a small depth. The image is
+/// produced as a rope of packed RGB words built by a parallel reduction
+/// over rows, so rendering allocates in the nurseries and the row
+/// results flow through the promotion machinery when stolen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_WORKLOADS_RAYTRACER_H
+#define MANTI_WORKLOADS_RAYTRACER_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace manti::workloads {
+
+struct Sphere {
+  double Cx, Cy, Cz;
+  double Radius;
+  double R, G, B;      ///< surface color in [0,1]
+  double Reflectivity; ///< 0 = matte, 1 = mirror
+};
+
+struct RaytracerParams {
+  int Width = 512;
+  int Height = 512;
+  unsigned MaxDepth = 3;
+  uint64_t Seed = 11; ///< scene generation seed
+  int NumSpheres = 12;
+};
+
+struct RaytracerResult {
+  uint64_t Checksum = 0; ///< sum of packed pixels (deterministic)
+  int64_t Pixels = 0;
+  double Seconds = 0.0;
+};
+
+/// Builds a deterministic random scene.
+std::vector<Sphere> makeScene(const RaytracerParams &P);
+
+/// Traces one pixel; \returns packed 0x00RRGGBB.
+uint32_t tracePixel(const std::vector<Sphere> &Scene, int X, int Y,
+                    const RaytracerParams &P);
+
+/// Renders the image in parallel; the result rope (one packed word per
+/// pixel, row-major) is written to *ImageOut when non-null.
+RaytracerResult runRaytracer(Runtime &RT, VProc &VP,
+                             const RaytracerParams &P,
+                             std::vector<uint32_t> *ImageOut = nullptr);
+
+} // namespace manti::workloads
+
+#endif // MANTI_WORKLOADS_RAYTRACER_H

@@ -1,0 +1,56 @@
+//===- tests/AllocPolicyTest.cpp - tests for numa/AllocPolicy -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/AllocPolicy.h"
+
+#include <gtest/gtest.h>
+
+using namespace manti;
+
+TEST(AllocPolicy, LocalReturnsRequester) {
+  AllocPolicy P(AllocPolicyKind::Local, 8);
+  for (NodeId N = 0; N < 8; ++N)
+    EXPECT_EQ(P.homeFor(N), N);
+}
+
+TEST(AllocPolicy, SingleNodeAlwaysZero) {
+  AllocPolicy P(AllocPolicyKind::SingleNode, 8);
+  for (NodeId N = 0; N < 8; ++N)
+    EXPECT_EQ(P.homeFor(N), 0u);
+}
+
+TEST(AllocPolicy, InterleavedRoundRobins) {
+  AllocPolicy P(AllocPolicyKind::Interleaved, 4);
+  // Regardless of the requester, consecutive allocations cycle nodes.
+  EXPECT_EQ(P.homeFor(3), 0u);
+  EXPECT_EQ(P.homeFor(3), 1u);
+  EXPECT_EQ(P.homeFor(0), 2u);
+  EXPECT_EQ(P.homeFor(1), 3u);
+  EXPECT_EQ(P.homeFor(2), 0u);
+}
+
+TEST(AllocPolicy, InterleavedBalances) {
+  AllocPolicy P(AllocPolicyKind::Interleaved, 4);
+  std::vector<unsigned> Count(4, 0);
+  for (int I = 0; I < 400; ++I)
+    ++Count[P.homeFor(0)];
+  for (unsigned C : Count)
+    EXPECT_EQ(C, 100u);
+}
+
+TEST(AllocPolicy, Names) {
+  EXPECT_STREQ(allocPolicyName(AllocPolicyKind::Local), "local");
+  EXPECT_STREQ(allocPolicyName(AllocPolicyKind::Interleaved), "interleaved");
+  EXPECT_STREQ(allocPolicyName(AllocPolicyKind::SingleNode), "single-node");
+}
+
+TEST(AllocPolicy, ParseRoundTrip) {
+  EXPECT_EQ(parseAllocPolicy("local"), AllocPolicyKind::Local);
+  EXPECT_EQ(parseAllocPolicy("interleaved"), AllocPolicyKind::Interleaved);
+  EXPECT_EQ(parseAllocPolicy("single-node"), AllocPolicyKind::SingleNode);
+  EXPECT_EQ(parseAllocPolicy("socket0"), AllocPolicyKind::SingleNode);
+  EXPECT_EQ(parseAllocPolicy("garbage"), AllocPolicyKind::Local);
+}

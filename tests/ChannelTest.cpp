@@ -1,0 +1,308 @@
+//===- tests/ChannelTest.cpp - CML channel tests --------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+#include "gc/HeapVerifier.h"
+#include "runtime/Channel.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace manti;
+using namespace manti::test;
+
+namespace {
+
+RuntimeConfig chanConfig(unsigned NumVProcs) {
+  RuntimeConfig Cfg;
+  Cfg.GC = smallConfig();
+  Cfg.NumVProcs = NumVProcs;
+  Cfg.PinThreads = false;
+  return Cfg;
+}
+
+struct ChanCtx {
+  Channel *Chan;
+  std::atomic<int64_t> Received{0};
+  std::atomic<int> Done{0};
+  int Messages = 0;
+};
+
+void receiverTask(Runtime &, VProc &VP, Task T) {
+  auto *Ctx = static_cast<ChanCtx *>(T.Ctx);
+  for (int I = 0; I < Ctx->Messages; ++I) {
+    GcFrame Frame(VP.heap());
+    Value &Msg = Frame.root(Ctx->Chan->recv(VP));
+    Ctx->Received.fetch_add(listSum(Msg));
+  }
+  Ctx->Done.fetch_add(1);
+}
+
+} // namespace
+
+TEST(Channel, SendRecvAcrossVProcs) {
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel Chan(RT);
+  static ChanCtx Ctx;
+  Ctx.Chan = &Chan;
+  Ctx.Received = 0;
+  Ctx.Done = 0;
+  Ctx.Messages = 20;
+
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *CtxP) {
+        auto *Ctx = static_cast<ChanCtx *>(CtxP);
+        // Receiver runs as a task (stolen by the other vproc or run
+        // here; either way the channel handshake works).
+        VP.spawn({receiverTask, Ctx, Value::nil(), 0, 0});
+        for (int I = 0; I < Ctx->Messages; ++I) {
+          GcFrame Frame(VP.heap());
+          Value &Msg = Frame.root(makeIntList(VP.heap(), 12));
+          Ctx->Chan->send(VP, Msg);
+        }
+        while (Ctx->Done.load() == 0)
+          VP.poll();
+        (void)RT;
+      },
+      &Ctx);
+
+  EXPECT_EQ(Ctx.Received.load(), 20 * intListSum(12));
+}
+
+TEST(Channel, MessagesArePromoted) {
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel Chan(RT);
+  struct LocalCtx {
+    Channel *Chan;
+    bool WasGlobal = false;
+  };
+  static LocalCtx Ctx;
+  Ctx.Chan = &Chan;
+  Ctx.WasGlobal = false;
+
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *CtxP) {
+        auto *Ctx = static_cast<LocalCtx *>(CtxP);
+        static JoinCounter Join;
+        Join.add();
+        VP.spawn({[](Runtime &RT, VProc &VP, Task T) {
+                    auto *Ctx = static_cast<LocalCtx *>(T.Ctx);
+                    GcFrame Frame(VP.heap());
+                    Value &Msg = Frame.root(Ctx->Chan->recv(VP));
+                    Ctx->WasGlobal = isGlobal(RT.world(), Msg);
+                    EXPECT_EQ(listSum(Msg), intListSum(7));
+                    Join.sub();
+                  },
+                  Ctx, Value::nil(), 0, 0});
+        GcFrame Frame(VP.heap());
+        Value &Msg = Frame.root(makeIntList(VP.heap(), 7));
+        EXPECT_TRUE(isLocalTo(VP.heap(), Msg));
+        Ctx->Chan->send(VP, Msg);
+        VP.joinWait(Join);
+        (void)RT;
+      },
+      &Ctx);
+
+  EXPECT_TRUE(Ctx.WasGlobal)
+      << "messages must move to the global heap (Section 2.3)";
+}
+
+TEST(Channel, TryRecvEmptyFails) {
+  Runtime RT(chanConfig(1), Topology::singleNode(1));
+  Channel Chan(RT);
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *CtxP) {
+        auto *Chan = static_cast<Channel *>(CtxP);
+        Value Out;
+        EXPECT_FALSE(Chan->tryRecv(VP, Out));
+        (void)RT;
+      },
+      &Chan);
+}
+
+TEST(Channel, SenderBlocksUntilReceiver) {
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel Chan(RT);
+  struct Ctx2 {
+    Channel *Chan;
+    std::atomic<bool> SendReturned{false};
+  };
+  static Ctx2 Ctx;
+  Ctx.Chan = &Chan;
+  Ctx.SendReturned = false;
+
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *CtxP) {
+        auto *Ctx = static_cast<Ctx2 *>(CtxP);
+        static JoinCounter Join;
+        Join.add();
+        VP.spawn({[](Runtime &, VProc &VP, Task T) {
+                    auto *Ctx = static_cast<Ctx2 *>(T.Ctx);
+                    Ctx->Chan->send(VP, Value::fromInt(5));
+                    Ctx->SendReturned.store(true);
+                    Join.sub();
+                  },
+                  Ctx, Value::nil(), 0, 0});
+        // Let the sender run/block, then receive.
+        Value Got = Ctx->Chan->recv(VP);
+        EXPECT_EQ(Got.asInt(), 5);
+        VP.joinWait(Join);
+        EXPECT_TRUE(Ctx->SendReturned.load());
+        (void)RT;
+      },
+      &Ctx);
+}
+
+TEST(Channel, BlockedReceiverSurvivesGlobalGC) {
+  // The proxy-parked receiver is the paper's motivating proxy use: its
+  // local continuation must survive local AND global collections that
+  // run while it is blocked. The main vproc blocks in recv *first*; the
+  // sender task sits in its queue until a worker steals it, guaranteeing
+  // the receiver really parks and that the collections (driven by the
+  // sender's churn) run while it is parked.
+  RuntimeConfig Cfg = chanConfig(2);
+  Cfg.GC.GlobalGCBytesPerVProc = 48 * 1024;
+  Runtime RT(Cfg, Topology::uniform(2, 1));
+  Channel Chan(RT);
+  static Channel *ChanPtr;
+  ChanPtr = &Chan;
+  static int64_t ContSum, MsgSum;
+  ContSum = MsgSum = 0;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    // Churn the global heap so collections run while the
+                    // receiver is parked, then send.
+                    for (int I = 0; I < 60; ++I) {
+                      GcFrame Frame(VP.heap());
+                      Value &Junk = Frame.root(makeIntList(VP.heap(), 150));
+                      VP.heap().promote(Junk);
+                      VP.poll();
+                    }
+                    GcFrame Frame(VP.heap());
+                    Value &Msg = Frame.root(makeIntList(VP.heap(), 11));
+                    ChanPtr->send(VP, Msg);
+                  },
+                  nullptr, Value::nil(), 0, 0});
+
+        // Block with local continuation data. recv's poll loop answers
+        // the worker's steal request, handing the sender task over.
+        GcFrame Frame(VP.heap());
+        Value &Cont = Frame.root(makeIntList(VP.heap(), 9));
+        Value ContBack;
+        Value &Msg = Frame.root(ChanPtr->recv(VP, Cont, &ContBack));
+        ContSum = listSum(ContBack);
+        MsgSum = listSum(Msg);
+      },
+      nullptr);
+
+  EXPECT_EQ(ContSum, intListSum(9))
+      << "proxy-parked continuation must survive the collections";
+  EXPECT_EQ(MsgSum, intListSum(11));
+  EXPECT_GE(RT.world().globalGCCount(), 1u);
+}
+
+TEST(Channel, SelectRecvPicksReadyChannel) {
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel A(RT), B(RT);
+  static Channel *ChanA, *ChanB;
+  ChanA = &A;
+  ChanB = &B;
+  static int64_t Got;
+  static unsigned Which;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        static JoinCounter Join;
+        Join.add();
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    // Send on the second channel only.
+                    ChanB->send(VP, Value::fromInt(77));
+                    Join.sub();
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        Channel *Chans[2] = {ChanA, ChanB};
+        Value V = Channel::selectRecv(VP, Chans, 2, &Which);
+        Got = V.asInt();
+        VP.joinWait(Join);
+      },
+      nullptr);
+
+  EXPECT_EQ(Got, 77);
+  EXPECT_EQ(Which, 1u);
+  EXPECT_EQ(A.pendingSends(), 0u);
+  EXPECT_EQ(B.pendingSends(), 0u);
+}
+
+TEST(Channel, SelectRecvDrainsBothChannels) {
+  // Two sender tasks target different channels; the main vproc never
+  // runs tasks itself, so a worker steals and runs them in spawn order
+  // (each send blocks until its select match, serializing them).
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel A(RT), B(RT);
+  static Channel *ChanA, *ChanB;
+  ChanA = &A;
+  ChanB = &B;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        static JoinCounter Join;
+        for (int I = 0; I < 2; ++I) {
+          Join.add();
+          VP.spawn({[](Runtime &, VProc &VP, Task T) {
+                      (T.A == 0 ? ChanA : ChanB)
+                          ->send(VP, Value::fromInt(T.A + 100));
+                      Join.sub();
+                    },
+                    nullptr, Value::nil(), I, 0});
+        }
+        Channel *Chans[2] = {ChanA, ChanB};
+        unsigned Which = 99;
+        Value First = Channel::selectRecv(VP, Chans, 2, &Which);
+        EXPECT_EQ(Which, 0u) << "steals happen oldest-first";
+        EXPECT_EQ(First.asInt(), 100);
+        Value Second = Channel::selectRecv(VP, Chans, 2, &Which);
+        EXPECT_EQ(Which, 1u);
+        EXPECT_EQ(Second.asInt(), 101);
+        while (!Join.done())
+          VP.poll();
+      },
+      nullptr);
+}
+
+TEST(Channel, ManyMessagesManyCollections) {
+  RuntimeConfig Cfg = chanConfig(3);
+  Cfg.GC.GlobalGCBytesPerVProc = 256 * 1024;
+  Runtime RT(Cfg, Topology::uniform(3, 1));
+  Channel Chan(RT);
+  static ChanCtx Ctx;
+  Ctx.Chan = &Chan;
+  Ctx.Received = 0;
+  Ctx.Done = 0;
+  Ctx.Messages = 60;
+
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *CtxP) {
+        auto *Ctx = static_cast<ChanCtx *>(CtxP);
+        VP.spawn({receiverTask, Ctx, Value::nil(), 0, 0});
+        for (int I = 0; I < Ctx->Messages; ++I) {
+          GcFrame Frame(VP.heap());
+          Value &Msg = Frame.root(makeIntList(VP.heap(), 25));
+          Ctx->Chan->send(VP, Msg);
+          // Interleave garbage to drive collections.
+          allocGarbage(VP.heap(), 50);
+        }
+        while (Ctx->Done.load() == 0)
+          VP.poll();
+        (void)RT;
+      },
+      &Ctx);
+
+  EXPECT_EQ(Ctx.Received.load(), 60 * intListSum(25));
+  verifyWorld(RT.world());
+}

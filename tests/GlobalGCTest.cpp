@@ -1,0 +1,266 @@
+//===- tests/GlobalGCTest.cpp - parallel global collection (Section 3.4) --===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+#include "gc/HeapVerifier.h"
+#include "gc/Proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace manti;
+using namespace manti::test;
+
+TEST(GlobalGC, SingleVProcCollectsGarbage) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 50));
+  Keep = H.promote(Keep);
+  // Create global garbage: promote and drop.
+  for (int I = 0; I < 40; ++I) {
+    GcFrame Inner(H);
+    Value &Junk = Inner.root(makeIntList(H, 100));
+    H.promote(Junk);
+  }
+  uint64_t ActiveBefore = TW.World.chunks().activeBytes();
+  TW.World.requestGlobalGC();
+  EXPECT_TRUE(H.gcSignalled());
+  H.safePoint(); // barrier of one: runs the whole collection
+  EXPECT_EQ(TW.World.globalGCCount(), 1u);
+  EXPECT_FALSE(TW.World.globalGCPending());
+  EXPECT_LT(TW.World.chunks().activeBytes(), ActiveBefore)
+      << "garbage chunks must return to the free pool";
+  EXPECT_EQ(listSum(Keep), intListSum(50));
+  verifyHeap(H);
+}
+
+TEST(GlobalGC, SignalZeroesEveryLimit) {
+  TestWorld TW(3);
+  TW.World.requestGlobalGC();
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_TRUE(TW.heap(I).gcSignalled());
+}
+
+TEST(GlobalGC, TriggeredAutomaticallyByThreshold) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 256 * 1024; // tiny budget: 4 chunks
+  TestWorld TW(1, Cfg);
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 20));
+  Frame.root(Keep);
+  for (int I = 0; I < 200 && TW.World.globalGCCount() == 0; ++I) {
+    {
+      GcFrame Inner(H);
+      Value &Junk = Inner.root(makeIntList(H, 200));
+      H.promote(Junk);
+    }
+    H.safePoint();
+  }
+  EXPECT_GE(TW.World.globalGCCount(), 1u)
+      << "promotion volume must eventually trip the trigger";
+  EXPECT_EQ(listSum(Keep), intListSum(20));
+}
+
+TEST(GlobalGC, YoungDataSurvivesInLocalHeap) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &LocalList = Frame.root(makeIntList(H, 25));
+  TW.World.requestGlobalGC();
+  H.safePoint();
+  EXPECT_TRUE(isLocalTo(H, LocalList))
+      << "data copied by the collection-entry minor GC stays local";
+  EXPECT_EQ(listSum(LocalList), intListSum(25));
+}
+
+TEST(GlobalGC, CompactsLiveDataIntoFewerChunks) {
+  GCConfig Cfg = smallConfig();
+  TestWorld TW(1, Cfg);
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  // Interleave live and dead promotions so live data is spread thinly
+  // over many from-space chunks.
+  std::vector<Value> Kept(10);
+  for (auto &Slot : Kept)
+    Frame.root(Slot);
+  for (int Round = 0; Round < 10; ++Round) {
+    Kept[Round] = H.promote(makeIntList(H, 30));
+    GcFrame Inner(H);
+    Value &Junk = Inner.root(makeIntList(H, 600));
+    H.promote(Junk);
+  }
+  unsigned ChunksBefore =
+      static_cast<unsigned>(TW.World.chunks().activeBytes() /
+                            Cfg.ChunkBytes);
+  TW.World.requestGlobalGC();
+  H.safePoint();
+  unsigned ChunksAfter =
+      static_cast<unsigned>(TW.World.chunks().activeBytes() / Cfg.ChunkBytes);
+  EXPECT_LT(ChunksAfter, ChunksBefore) << "copying collection compacts";
+  for (auto &Slot : Kept)
+    EXPECT_EQ(listSum(Slot), intListSum(30));
+}
+
+TEST(GlobalGC, ProxiesMoveAndTablesFollow) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Payload = Frame.root(makeIntList(H, 8));
+  Value &P = Frame.root(createProxy(H, Payload));
+  Word *ProxyBefore = P.asPtr();
+  TW.World.requestGlobalGC();
+  H.safePoint();
+  EXPECT_NE(P.asPtr(), ProxyBefore) << "proxy object was copied";
+  EXPECT_EQ(H.ProxyTable.size(), 1u);
+  EXPECT_EQ(H.ProxyTable[0], P.asPtr()) << "table tracks the moved proxy";
+  EXPECT_FALSE(proxyResolved(P));
+  EXPECT_EQ(listSum(proxyPayload(P)), intListSum(8));
+  // Resolution still works after the move.
+  Value G = resolveProxy(H, P);
+  EXPECT_EQ(listSum(G), intListSum(8));
+  verifyHeap(H);
+}
+
+TEST(GlobalGC, AdaptiveThresholdGrowsWithLiveData) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 128 * 1024;
+  TestWorld TW(1, Cfg);
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  // Keep a lot of live global data.
+  std::vector<Value> Kept(12);
+  for (auto &Slot : Kept) {
+    Frame.root(Slot);
+    Slot = H.promote(makeIntList(H, 800));
+  }
+  TW.World.requestGlobalGC();
+  H.safePoint();
+  EXPECT_GT(TW.World.globalGCThresholdBytes(),
+            static_cast<uint64_t>(Cfg.GlobalGCBytesPerVProc))
+      << "threshold adapts when live data exceeds the base budget";
+  for (auto &Slot : Kept)
+    EXPECT_EQ(listSum(Slot), intListSum(800));
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-vproc (threaded) collections
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs Body on each vproc's own thread. A global collection needs every
+/// vproc at its barriers, so after Body returns each thread stays in a
+/// safe-point drain loop until all threads are done AND no collection is
+/// pending -- only then can no new collection arise.
+void runOnVProcs(GCWorld &W, void (*Body)(VProcHeap &)) {
+  std::atomic<unsigned> Done{0};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < W.numVProcs(); ++I) {
+    Threads.emplace_back([&W, I, Body, &Done] {
+      VProcHeap &H = W.heap(I);
+      Body(H);
+      Done.fetch_add(1, std::memory_order_acq_rel);
+      while (Done.load(std::memory_order_acquire) < W.numVProcs() ||
+             W.globalGCPending()) {
+        H.safePoint();
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+}
+
+} // namespace
+
+namespace {
+/// Durable per-vproc root cells that outlive the worker threads, so the
+/// post-join world verification still reaches the promoted survivors.
+std::vector<Value> DurableKeeps;
+} // namespace
+
+TEST(GlobalGCParallel, FourVProcsCollectTogether) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 256 * 1024;
+  TestWorld TW(4, Cfg, Topology::uniform(2, 2));
+
+  DurableKeeps.assign(4, Value::nil());
+  for (unsigned I = 0; I < 4; ++I)
+    TW.heap(I).ShadowStack.push_back(&DurableKeeps[I]);
+
+  runOnVProcs(TW.World, [](VProcHeap &H) {
+    GcFrame Frame(H);
+    Value &Keep = Frame.root(makeIntList(H, 40));
+    Keep = H.promote(Keep);
+    DurableKeeps[H.id()] = Keep;
+    for (int I = 0; I < 120; ++I) {
+      {
+        GcFrame Inner(H);
+        Value &Junk = Inner.root(makeIntList(H, 120));
+        H.promote(Junk);
+      }
+      H.safePoint();
+    }
+    EXPECT_EQ(listSum(Keep), intListSum(40));
+  });
+
+  EXPECT_GE(TW.World.globalGCCount(), 1u);
+  VerifyResult R = verifyWorld(TW.World);
+  EXPECT_GT(R.GlobalObjects, 0u);
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_EQ(listSum(DurableKeeps[I]), intListSum(40));
+}
+
+TEST(GlobalGCParallel, MixedLocalAndGlobalLiveData) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 192 * 1024;
+  TestWorld TW(3, Cfg, Topology::uniform(3, 1));
+
+  runOnVProcs(TW.World, [](VProcHeap &H) {
+    GcFrame Frame(H);
+    Value &LocalKeep = Frame.root(makeIntList(H, 15));
+    Value &GlobalKeep = Frame.root(makeIntList(H, 15));
+    GlobalKeep = H.promote(GlobalKeep);
+    for (int I = 0; I < 200; ++I) {
+      allocGarbage(H, 40);
+      if (I % 3 == 0) {
+        GcFrame Inner(H);
+        Value &Junk = Inner.root(makeIntList(H, 80));
+        H.promote(Junk);
+      }
+      H.safePoint();
+      ASSERT_EQ(listSum(LocalKeep), intListSum(15));
+      ASSERT_EQ(listSum(GlobalKeep), intListSum(15));
+    }
+  });
+
+  verifyWorld(TW.World);
+}
+
+TEST(GlobalGCParallel, StatsAggregateAcrossVProcs) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 128 * 1024;
+  TestWorld TW(2, Cfg);
+
+  runOnVProcs(TW.World, [](VProcHeap &H) {
+    for (int I = 0; I < 150; ++I) {
+      GcFrame Inner(H);
+      Value &Junk = Inner.root(makeIntList(H, 100));
+      H.promote(Junk);
+      H.safePoint();
+    }
+  });
+
+  GCStats Total = TW.World.aggregateStats();
+  EXPECT_GT(Total.PromoteCalls, 0u);
+  EXPECT_GE(TW.World.globalGCCount(), 1u);
+  EXPECT_GT(Total.GlobalPause.count(), 0u);
+}

@@ -1,0 +1,154 @@
+//===- tests/GlobalHeapTest.cpp - chunk manager tests ---------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GlobalHeap.h"
+
+#include <gtest/gtest.h>
+
+using namespace manti;
+
+namespace {
+
+struct ChunkFixture : ::testing::Test {
+  static constexpr std::size_t ChunkBytes = 64 * 1024;
+  ChunkFixture()
+      : Banks(4), Policy(AllocPolicyKind::Local, 4),
+        Mgr(Banks, Policy, ChunkBytes) {}
+  MemoryBanks Banks;
+  AllocPolicy Policy;
+  ChunkManager Mgr;
+};
+
+} // namespace
+
+TEST_F(ChunkFixture, AcquireGivesUsableChunk) {
+  Chunk *C = Mgr.acquireChunk(1);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->HomeNode, 1u) << "local policy backs the requester's node";
+  EXPECT_EQ(C->usedBytes(), 0u);
+  EXPECT_GT(C->sizeBytes(), 0u);
+  Word *Obj = C->tryAlloc(IdRaw, 4);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(headerLenWords(headerOf(Obj)), 4u);
+  EXPECT_TRUE(C->contains(Obj));
+}
+
+TEST_F(ChunkFixture, ActiveBytesTracksAcquisitions) {
+  uint64_t Size = Mgr.acquireChunk(0)->sizeBytes() +
+                  static_cast<uint64_t>(ChunkMetaWords) * sizeof(Word);
+  EXPECT_EQ(Mgr.activeBytes(), ChunkBytes);
+  EXPECT_EQ(Size, ChunkBytes);
+  Mgr.acquireChunk(0);
+  EXPECT_EQ(Mgr.activeBytes(), 2 * ChunkBytes);
+}
+
+TEST_F(ChunkFixture, TryAllocRespectsCapacity) {
+  Chunk *C = Mgr.acquireChunk(0);
+  std::size_t Words = C->sizeBytes() / sizeof(Word);
+  EXPECT_EQ(C->tryAlloc(IdRaw, Words), nullptr) << "header does not fit";
+  EXPECT_NE(C->tryAlloc(IdRaw, Words - 1), nullptr);
+  EXPECT_EQ(C->tryAlloc(IdRaw, 1), nullptr) << "chunk is full";
+}
+
+TEST_F(ChunkFixture, FromInteriorPtrFindsChunk) {
+  Chunk *C = Mgr.acquireChunk(2);
+  Word *Obj = C->tryAlloc(IdRaw, 8);
+  EXPECT_EQ(Chunk::fromInteriorPtr(Obj, ChunkBytes), C);
+  EXPECT_EQ(Chunk::fromInteriorPtr(Obj + 7, ChunkBytes), C);
+}
+
+TEST_F(ChunkFixture, GatherMarksFromSpaceAndGroupsByNode) {
+  Chunk *A = Mgr.acquireChunk(0);
+  Chunk *B = Mgr.acquireChunk(1);
+  Chunk *C = Mgr.acquireChunk(1);
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  EXPECT_EQ(Mgr.activeBytes(), 0u);
+  EXPECT_TRUE(A->InFromSpace);
+  EXPECT_TRUE(B->InFromSpace);
+  EXPECT_EQ(FromByNode[0], A);
+  // Node 1 holds B and C in some order.
+  unsigned Node1Count = 0;
+  for (Chunk *Cur = FromByNode[1]; Cur; Cur = Cur->Next)
+    ++Node1Count;
+  EXPECT_EQ(Node1Count, 2u);
+  (void)C;
+}
+
+TEST_F(ChunkFixture, ReleaseThenReuseKeepsNodeAffinity) {
+  Chunk *A = Mgr.acquireChunk(3);
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  Mgr.releaseChunk(A);
+  EXPECT_FALSE(A->InFromSpace);
+  Chunk *B = Mgr.acquireChunk(3);
+  EXPECT_EQ(A, B) << "free chunk homed on node 3 must be reused there";
+  EXPECT_EQ(Mgr.nodeLocalReuses(), 1u);
+}
+
+TEST_F(ChunkFixture, CrossNodeReuseOnlyWhenNecessary) {
+  Chunk *A = Mgr.acquireChunk(0);
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  Mgr.releaseChunk(A);
+  // Requesting from node 2: no node-2 free chunk exists, so the node-0
+  // chunk is reused (cheaper than mapping fresh memory) but it keeps its
+  // node-0 home.
+  Chunk *B = Mgr.acquireChunk(2);
+  EXPECT_EQ(B, A);
+  EXPECT_EQ(B->HomeNode, 0u);
+}
+
+TEST_F(ChunkFixture, CountersDistinguishSyncClasses) {
+  Mgr.acquireChunk(0); // fresh: global synchronization
+  EXPECT_EQ(Mgr.globalAllocations(), 1u);
+  EXPECT_EQ(Mgr.nodeLocalReuses(), 0u);
+}
+
+TEST_F(ChunkFixture, ResetForReuseClearsCursors) {
+  Chunk *C = Mgr.acquireChunk(0);
+  C->tryAlloc(IdRaw, 16);
+  C->ScanPtr = C->AllocPtr;
+  C->resetForReuse();
+  EXPECT_EQ(C->usedBytes(), 0u);
+  EXPECT_EQ(C->ScanPtr, C->Base);
+  EXPECT_FALSE(C->InFromSpace);
+}
+
+TEST(ChunkAffinityAblation, DisabledAffinityIgnoresHomeNode) {
+  MemoryBanks Banks(4);
+  AllocPolicy Policy(AllocPolicyKind::Local, 4);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/false);
+  Chunk *A = Mgr.acquireChunk(0);
+  Chunk *B = Mgr.acquireChunk(3);
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  Mgr.releaseChunk(A);
+  Mgr.releaseChunk(B);
+  // With affinity off, a node-3 request may be served by the node-0
+  // chunk (first free list scanned in node order).
+  Chunk *C = Mgr.acquireChunk(3);
+  EXPECT_EQ(C->HomeNode, 0u);
+}
+
+TEST(ChunkManagerPolicy, InterleavedSpreadsChunkHomes) {
+  MemoryBanks Banks(4);
+  AllocPolicy Policy(AllocPolicyKind::Interleaved, 4);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024);
+  std::vector<unsigned> PerNode(4, 0);
+  for (int I = 0; I < 8; ++I)
+    ++PerNode[Mgr.acquireChunk(0)->HomeNode];
+  for (unsigned N : PerNode)
+    EXPECT_EQ(N, 2u) << "GHC-style balancing across nodes";
+}
+
+TEST(ChunkManagerPolicy, SingleNodePutsEverythingOnZero) {
+  MemoryBanks Banks(4);
+  AllocPolicy Policy(AllocPolicyKind::SingleNode, 4);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(Mgr.acquireChunk(I % 4)->HomeNode, 0u);
+}

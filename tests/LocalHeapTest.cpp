@@ -1,0 +1,140 @@
+//===- tests/LocalHeapTest.cpp - Appel heap layout tests ------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/LocalHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+using namespace manti;
+
+namespace {
+
+struct HeapFixture : ::testing::Test {
+  static constexpr std::size_t Bytes = 64 * 1024;
+  void SetUp() override {
+    Mem = std::aligned_alloc(8, Bytes);
+    Heap = std::make_unique<LocalHeap>(Mem, Bytes);
+  }
+  void TearDown() override {
+    Heap.reset();
+    std::free(Mem);
+  }
+  void *Mem = nullptr;
+  std::unique_ptr<LocalHeap> Heap;
+};
+
+} // namespace
+
+TEST_F(HeapFixture, FreshHeapIsEmpty) {
+  EXPECT_EQ(Heap->youngStart(), Heap->base());
+  EXPECT_EQ(Heap->oldTop(), Heap->base());
+  EXPECT_EQ(Heap->localDataBytes(), 0u);
+  EXPECT_EQ(Heap->nurseryUsedBytes(), 0u);
+}
+
+TEST_F(HeapFixture, NurseryIsUpperHalfOfFreeSpace) {
+  // With an empty heap, free space is the whole heap; the nursery is its
+  // upper half (Fig. 2 right-hand side).
+  std::size_t Words = Bytes / sizeof(Word);
+  EXPECT_EQ(Heap->nurseryStart(), Heap->base() + Words - Words / 2);
+  EXPECT_EQ(Heap->nurseryCapacityBytes(), Bytes / 2);
+}
+
+TEST_F(HeapFixture, AllocBumpsAndWritesHeader) {
+  Word *Obj = Heap->tryAlloc(IdVector, 3);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(headerId(headerOf(Obj)), IdVector);
+  EXPECT_EQ(headerLenWords(headerOf(Obj)), 3u);
+  EXPECT_EQ(Heap->nurseryUsedBytes(), 4 * sizeof(Word));
+  Word *Obj2 = Heap->tryAlloc(IdRaw, 1);
+  ASSERT_NE(Obj2, nullptr);
+  EXPECT_EQ(Obj2, Obj + 4) << "bump allocation is contiguous";
+}
+
+TEST_F(HeapFixture, AllocFailsWhenNurseryFull) {
+  std::size_t NurseryWords = Heap->nurseryCapacityBytes() / sizeof(Word);
+  // One object that fills the nursery exactly (minus its header).
+  Word *Obj = Heap->tryAlloc(IdRaw, NurseryWords - 1);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Heap->tryAlloc(IdRaw, 1), nullptr);
+}
+
+TEST_F(HeapFixture, OversizeAllocFails) {
+  std::size_t NurseryWords = Heap->nurseryCapacityBytes() / sizeof(Word);
+  EXPECT_EQ(Heap->tryAlloc(IdRaw, NurseryWords), nullptr);
+}
+
+TEST_F(HeapFixture, RegionPredicates) {
+  Word *Obj = Heap->tryAlloc(IdRaw, 2);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_TRUE(Heap->contains(Obj));
+  EXPECT_TRUE(Heap->inNursery(Obj));
+  EXPECT_FALSE(Heap->inOldData(Obj));
+  EXPECT_FALSE(Heap->inYoungData(Obj));
+  alignas(8) static Word Outside[2];
+  EXPECT_FALSE(Heap->contains(&Outside[0]));
+}
+
+TEST_F(HeapFixture, SignalZeroesLimitAndAllocFails) {
+  ASSERT_NE(Heap->tryAlloc(IdRaw, 1), nullptr);
+  Heap->signalLimit();
+  EXPECT_TRUE(Heap->limitSignalled());
+  EXPECT_EQ(Heap->tryAlloc(IdRaw, 1), nullptr)
+      << "zeroed limit must force the slow path (Section 3.4 step 2)";
+  Heap->restoreLimit();
+  EXPECT_FALSE(Heap->limitSignalled());
+  EXPECT_NE(Heap->tryAlloc(IdRaw, 1), nullptr);
+}
+
+TEST_F(HeapFixture, SetRegionsMovesBoundaries) {
+  Word *Base = Heap->base();
+  Heap->setRegions(Base + 100, Base + 200);
+  EXPECT_TRUE(Heap->inOldData(Base + 50));
+  EXPECT_TRUE(Heap->inYoungData(Base + 150));
+  EXPECT_FALSE(Heap->inYoungData(Base + 250));
+  EXPECT_EQ(Heap->localDataBytes(), 200 * sizeof(Word));
+}
+
+TEST_F(HeapFixture, ResplitAfterGrowthShrinksNursery) {
+  Word *Base = Heap->base();
+  std::size_t Words = Bytes / sizeof(Word);
+  Heap->setRegions(Base + Words / 4, Base + Words / 2);
+  Heap->resplitNursery();
+  // Free space is the upper half; nursery is its upper half = top 1/4.
+  EXPECT_EQ(Heap->nurseryCapacityBytes(), Bytes / 4);
+  // The reserve gap is at least as large as the nursery, so a fully-live
+  // nursery can always be copied (minor-GC safety property).
+  std::size_t Gap = static_cast<std::size_t>(Heap->nurseryStart() -
+                                             Heap->oldTop()) *
+                    sizeof(Word);
+  EXPECT_GE(Gap, Heap->nurseryCapacityBytes());
+}
+
+TEST_F(HeapFixture, GapAlwaysCoversNursery) {
+  // Property: for any old-top position, resplit leaves gap >= nursery.
+  Word *Base = Heap->base();
+  std::size_t Words = Bytes / sizeof(Word);
+  for (std::size_t Used = 0; Used < Words; Used += Words / 13) {
+    Heap->setRegions(Base + Used, Base + Used);
+    Heap->resplitNursery();
+    std::size_t Gap =
+        static_cast<std::size_t>(Heap->nurseryStart() - Heap->oldTop());
+    std::size_t Nursery =
+        static_cast<std::size_t>(Heap->top() - Heap->nurseryStart());
+    EXPECT_GE(Gap, Nursery) << "at used=" << Used;
+  }
+}
+
+TEST_F(HeapFixture, ResetEmptiesEverything) {
+  ASSERT_NE(Heap->tryAlloc(IdRaw, 5), nullptr);
+  Heap->setRegions(Heap->base() + 10, Heap->base() + 20);
+  Heap->reset();
+  EXPECT_EQ(Heap->localDataBytes(), 0u);
+  EXPECT_EQ(Heap->nurseryUsedBytes(), 0u);
+}

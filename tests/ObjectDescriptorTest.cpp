@@ -1,0 +1,133 @@
+//===- tests/ObjectDescriptorTest.cpp - descriptor table tests ------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ObjectDescriptor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace manti;
+
+namespace {
+
+std::vector<unsigned> scannedOffsets(const ObjectDescriptor &Desc, Word *Obj) {
+  std::vector<unsigned> Offsets;
+  struct Ctx {
+    Word *Obj;
+    std::vector<unsigned> *Out;
+  } C{Obj, &Offsets};
+  Desc.scan(
+      Obj,
+      [](Word *Slot, void *CtxPtr) {
+        auto *C = static_cast<Ctx *>(CtxPtr);
+        C->Out->push_back(static_cast<unsigned>(Slot - C->Obj));
+      },
+      &C);
+  return Offsets;
+}
+
+} // namespace
+
+TEST(DescriptorTable, FirstIdIsFirstMixed) {
+  ObjectDescriptorTable T;
+  uint16_t Id = T.registerMixed("pair", 2, {0, 1});
+  EXPECT_EQ(Id, FirstMixedId);
+  EXPECT_EQ(T.numRegistered(), 1u);
+}
+
+TEST(DescriptorTable, SequentialIds) {
+  ObjectDescriptorTable T;
+  uint16_t A = T.registerMixed("a", 1, {});
+  uint16_t B = T.registerMixed("b", 2, {0});
+  uint16_t C = T.registerMixed("c", 3, {2});
+  EXPECT_EQ(B, A + 1);
+  EXPECT_EQ(C, B + 1);
+}
+
+TEST(DescriptorTable, LookupReturnsRegistration) {
+  ObjectDescriptorTable T;
+  uint16_t Id = T.registerMixed("node", 5, {1, 3});
+  const ObjectDescriptor &D = T.lookup(Id);
+  EXPECT_EQ(D.name(), "node");
+  EXPECT_EQ(D.id(), Id);
+  EXPECT_EQ(D.sizeWords(), 5u);
+  EXPECT_EQ(D.numPtrFields(), 2u);
+  EXPECT_EQ(D.ptrOffsets()[0], 1u);
+  EXPECT_EQ(D.ptrOffsets()[1], 3u);
+}
+
+TEST(DescriptorScan, VisitsExactlyThePointerFields) {
+  ObjectDescriptorTable T;
+  uint16_t Id = T.registerMixed("mix", 6, {0, 2, 5});
+  alignas(8) Word Storage[7] = {makeHeader(Id, 6), 0, 0, 0, 0, 0, 0};
+  auto Offsets = scannedOffsets(T.lookup(Id), &Storage[1]);
+  EXPECT_EQ(Offsets, (std::vector<unsigned>{0, 2, 5}));
+}
+
+TEST(DescriptorScan, NoPointerFields) {
+  ObjectDescriptorTable T;
+  uint16_t Id = T.registerMixed("raw-ish", 4, {});
+  alignas(8) Word Storage[5] = {makeHeader(Id, 4), 0, 0, 0, 0};
+  EXPECT_TRUE(scannedOffsets(T.lookup(Id), &Storage[1]).empty());
+}
+
+/// The generated scanners are specialized per field count up to 8 and
+/// fall back to a generic loop beyond that; both must visit all fields.
+class DescriptorScanWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DescriptorScanWidth, AllWidthsVisitEverything) {
+  unsigned NumFields = GetParam();
+  ObjectDescriptorTable T;
+  std::vector<uint16_t> Offsets;
+  for (unsigned I = 0; I < NumFields; ++I)
+    Offsets.push_back(static_cast<uint16_t>(I));
+  uint16_t Id = T.registerMixed("wide", NumFields + 1, Offsets);
+
+  std::vector<Word> Storage(NumFields + 2, 0);
+  Storage[0] = makeHeader(Id, NumFields + 1);
+  auto Visited = scannedOffsets(T.lookup(Id), &Storage[1]);
+  ASSERT_EQ(Visited.size(), NumFields);
+  for (unsigned I = 0; I < NumFields; ++I)
+    EXPECT_EQ(Visited[I], I);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DescriptorScanWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           16u, 32u, 48u));
+
+TEST(DescriptorScan, VisitorMayRewriteSlots) {
+  ObjectDescriptorTable T;
+  uint16_t Id = T.registerMixed("cell", 2, {0});
+  alignas(8) Word Storage[3] = {makeHeader(Id, 2), 111, 222};
+  T.lookup(Id).scan(
+      &Storage[1], [](Word *Slot, void *) { *Slot = 999; }, nullptr);
+  EXPECT_EQ(Storage[1], 999u);
+  EXPECT_EQ(Storage[2], 222u) << "non-pointer field untouched";
+}
+
+using DescriptorDeath = ::testing::Test;
+
+TEST(DescriptorDeath, LookupReservedIdAborts) {
+  ObjectDescriptorTable T;
+  EXPECT_DEATH(T.lookup(IdRaw), "reserved");
+  EXPECT_DEATH(T.lookup(IdVector), "reserved");
+}
+
+TEST(DescriptorDeath, LookupUnregisteredAborts) {
+  ObjectDescriptorTable T;
+  EXPECT_DEATH(T.lookup(FirstMixedId), "unregistered");
+}
+
+TEST(DescriptorDeath, OffsetOutOfRangeAborts) {
+  ObjectDescriptorTable T;
+  EXPECT_DEATH(T.registerMixed("bad", 2, {2}), "out of range");
+}
+
+TEST(DescriptorDeath, NonIncreasingOffsetsAbort) {
+  ObjectDescriptorTable T;
+  EXPECT_DEATH(T.registerMixed("bad", 4, {2, 2}), "increasing");
+}

@@ -1,0 +1,118 @@
+//===- tests/ObjectModelTest.cpp - header word and value tagging ----------===//
+//
+// Part of the manticore-gc project. Checks the Figure 1 header layout
+// and the tagged-value representation, including parameterized sweeps
+// over the ID and length ranges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+using namespace manti;
+
+TEST(HeaderWord, LowestBitAlwaysOne) {
+  EXPECT_EQ(makeHeader(0, 0) & 1, 1u);
+  EXPECT_EQ(makeHeader(123, 456) & 1, 1u);
+  EXPECT_EQ(makeHeader(MaxObjectId, MaxObjectWords) & 1, 1u);
+}
+
+TEST(HeaderWord, ForwardPointersHaveBitClear) {
+  alignas(8) Word Storage[2] = {0, 0};
+  Word Fwd = reinterpret_cast<Word>(&Storage[1]);
+  EXPECT_TRUE(isForwardWord(Fwd));
+  EXPECT_FALSE(isHeaderWord(Fwd));
+}
+
+TEST(HeaderWord, ReservedIds) {
+  EXPECT_EQ(IdRaw, 0);
+  EXPECT_EQ(IdVector, 1);
+  EXPECT_EQ(IdProxy, 2);
+  EXPECT_LT(static_cast<unsigned>(FirstMixedId),
+            static_cast<unsigned>(MaxObjectId));
+}
+
+TEST(HeaderWord, FifteenBitIdFortyEightBitLength) {
+  // The extreme corners of Figure 1's field widths round-trip.
+  Word H = makeHeader(MaxObjectId, MaxObjectWords);
+  EXPECT_EQ(headerId(H), MaxObjectId);
+  EXPECT_EQ(headerLenWords(H), MaxObjectWords);
+}
+
+/// Parameterized round-trip sweep over (id, length) pairs.
+class HeaderRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint16_t, uint64_t>> {};
+
+TEST_P(HeaderRoundTrip, IdAndLengthRoundTrip) {
+  auto [Id, Len] = GetParam();
+  Word H = makeHeader(Id, Len);
+  EXPECT_TRUE(isHeaderWord(H));
+  EXPECT_EQ(headerId(H), Id);
+  EXPECT_EQ(headerLenWords(H), Len);
+  EXPECT_EQ(objectFootprintWords(H), Len + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeaderRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<uint16_t>(0, 1, 2, 3, 7, 100, 1024, 16383, 32767),
+        ::testing::Values<uint64_t>(0, 1, 2, 63, 4096, (uint64_t(1) << 32),
+                                    MaxObjectWords)));
+
+TEST(ValueTag, NilIsNeitherIntNorPtr) {
+  Value V = Value::nil();
+  EXPECT_TRUE(V.isNil());
+  EXPECT_FALSE(V.isInt());
+  EXPECT_FALSE(V.isPtr());
+}
+
+TEST(ValueTag, PtrRoundTrip) {
+  alignas(8) Word Storage[4] = {makeHeader(IdRaw, 3), 1, 2, 3};
+  Word *Obj = &Storage[1];
+  Value V = Value::fromPtr(Obj);
+  EXPECT_TRUE(V.isPtr());
+  EXPECT_FALSE(V.isInt());
+  EXPECT_EQ(V.asPtr(), Obj);
+}
+
+TEST(ValueTag, Equality) {
+  EXPECT_EQ(Value::fromInt(7), Value::fromInt(7));
+  EXPECT_NE(Value::fromInt(7), Value::fromInt(8));
+  EXPECT_EQ(Value::nil(), Value::nil());
+}
+
+TEST(ValueTag, WordIsPtrAgreesWithTags) {
+  EXPECT_FALSE(wordIsPtr(Value::nil().bits()));
+  EXPECT_FALSE(wordIsPtr(Value::fromInt(12).bits()));
+  alignas(8) Word Storage[2] = {makeHeader(IdRaw, 1), 0};
+  EXPECT_TRUE(wordIsPtr(Value::fromPtr(&Storage[1]).bits()));
+}
+
+/// Parameterized integer round-trip across the 63-bit range.
+class IntRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(IntRoundTrip, TagUntag) {
+  int64_t I = GetParam();
+  Value V = Value::fromInt(I);
+  EXPECT_TRUE(V.isInt());
+  EXPECT_FALSE(V.isPtr());
+  EXPECT_EQ(V.asInt(), I);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntRoundTrip,
+    ::testing::Values(int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                      int64_t(-42), int64_t(1) << 40, -(int64_t(1) << 40),
+                      (int64_t(1) << 62) - 1, -(int64_t(1) << 62)));
+
+TEST(ObjectAccess, HeaderOf) {
+  alignas(8) Word Storage[3] = {makeHeader(IdVector, 2), 0, 0};
+  Word *Obj = &Storage[1];
+  EXPECT_EQ(headerOf(Obj), Storage[0]);
+  headerOf(Obj) = makeHeader(IdVector, 2);
+  EXPECT_EQ(headerId(headerOf(Obj)), IdVector);
+}

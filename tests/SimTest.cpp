@@ -1,0 +1,313 @@
+//===- tests/SimTest.cpp - machine-model tests -----------------------------===//
+//
+// Part of the manticore-gc project. Besides engine unit tests, this file
+// encodes the paper's qualitative evaluation claims (Section 4) as
+// assertions over the simulated speedup curves, so a calibration change
+// that breaks a figure's shape fails the suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Engine.h"
+#include "sim/Speedup.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace manti;
+using namespace manti::sim;
+
+namespace {
+
+double speedupAt(const SpeedupSeries &S, unsigned Threads) {
+  for (std::size_t I = 0; I < S.Threads.size(); ++I)
+    if (S.Threads[I] == Threads)
+      return S.Speedup[I];
+  ADD_FAILURE() << "thread count " << Threads << " not in series";
+  return 0;
+}
+
+const SpeedupSeries &byName(const std::vector<SpeedupSeries> &All,
+                            const char *Name) {
+  for (const SpeedupSeries &S : All)
+    if (S.Benchmark == Name)
+      return S;
+  ADD_FAILURE() << "no series " << Name;
+  return All.front();
+}
+
+struct Figures {
+  std::vector<SpeedupSeries> Fig4, Fig5, Fig6, Fig7;
+  Figures() {
+    SimMachine Amd = SimMachine::amd48();
+    SimMachine Intel = SimMachine::intel32();
+    Fig4 = speedupSweep(Intel, AllocPolicyKind::Local, AllocPolicyKind::Local,
+                        intelThreadAxis());
+    Fig5 = speedupSweep(Amd, AllocPolicyKind::Local, AllocPolicyKind::Local,
+                        amdThreadAxis());
+    Fig6 = speedupSweep(Amd, AllocPolicyKind::Interleaved,
+                        AllocPolicyKind::Local, amdThreadAxis());
+    Fig7 = speedupSweep(Amd, AllocPolicyKind::SingleNode,
+                        AllocPolicyKind::Local, amdThreadAxis());
+  }
+};
+
+const Figures &figures() {
+  static Figures F;
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine basics
+//===----------------------------------------------------------------------===//
+
+TEST(SimEngine, Deterministic) {
+  SimMachine M = SimMachine::amd48();
+  WorkloadProfile W = profileSmvm();
+  SimParams P;
+  P.Threads = 24;
+  double A = simulate(M, W, P).Seconds;
+  double B = simulate(M, W, P).Seconds;
+  EXPECT_DOUBLE_EQ(A, B);
+}
+
+TEST(SimEngine, OneThreadMatchesSerialWorkSum) {
+  // With one thread there is no contention; time is at least the pure
+  // CPU time and not absurdly above it.
+  SimMachine M = SimMachine::intel32();
+  WorkloadProfile W = profileDmm();
+  SimParams P;
+  P.Threads = 1;
+  SimResult R = simulate(M, W, P);
+  double CpuSeconds = 0;
+  for (const PhaseSpec &Ph : W.Phases)
+    CpuSeconds += (Ph.NumElems * (Ph.CpuCyclesPerElem +
+                                  Ph.AllocBytesPerElem * P.GcCpuPerAllocByte) +
+                   Ph.SeqSetupCycles) /
+                  (M.CoreGHz * 1e9);
+  CpuSeconds *= W.Repeats;
+  EXPECT_GE(R.Seconds, CpuSeconds * 0.999);
+  EXPECT_LE(R.Seconds, CpuSeconds * 3.0);
+}
+
+TEST(SimEngine, MoreThreadsNeverSlower) {
+  SimMachine M = SimMachine::amd48();
+  for (const WorkloadProfile &W : allProfiles()) {
+    double Prev = 1e30;
+    for (unsigned T : {1u, 2u, 4u, 8u, 16u, 32u, 48u}) {
+      SimParams P;
+      P.Threads = T;
+      double S = simulate(M, W, P).Seconds;
+      EXPECT_LE(S, Prev * 1.02) << W.Name << " at " << T << " threads";
+      Prev = S;
+    }
+  }
+}
+
+TEST(SimEngine, DramTrafficFollowsPolicy) {
+  SimMachine M = SimMachine::amd48();
+  WorkloadProfile W = profileRaytracer();
+  SimParams P;
+  P.Threads = 16;
+  P.Policy = AllocPolicyKind::SingleNode;
+  SimResult R = simulate(M, W, P);
+  double Node0 = R.NodeDramBytes[0], Others = 0;
+  for (unsigned N = 1; N < M.Topo.numNodes(); ++N)
+    Others += R.NodeDramBytes[N];
+  EXPECT_GT(Node0, 0.0);
+  EXPECT_NEAR(Others, 0.0, Node0 * 1e-9)
+      << "single-node policy must put all DRAM traffic on node 0";
+
+  P.Policy = AllocPolicyKind::Local;
+  SimResult RL = simulate(M, W, P);
+  unsigned NodesWithTraffic = 0;
+  for (double B : RL.NodeDramBytes)
+    NodesWithTraffic += (B > 1e6);
+  EXPECT_GT(NodesWithTraffic, 1u)
+      << "local policy spreads allocation traffic with the vprocs";
+}
+
+TEST(SimEngine, BusyFractionIsSane) {
+  SimMachine M = SimMachine::intel32();
+  SimParams P;
+  P.Threads = 8;
+  SimResult R = simulate(M, profileDmm(), P);
+  EXPECT_GT(R.CpuBusyFraction, 0.5);
+  EXPECT_LE(R.CpuBusyFraction, 1.0 + 1e-9);
+}
+
+TEST(SimEngine, SequentialPhaseUsesOneCore) {
+  SimMachine M = SimMachine::amd48();
+  WorkloadProfile W;
+  W.Name = "seq-only";
+  W.Regions = {{"r", 1024, PlacementKind::SharedByVProc0}};
+  PhaseSpec Ph;
+  Ph.Name = "seq";
+  Ph.Sequential = true;
+  Ph.NumElems = 1;
+  Ph.CpuCyclesPerElem = 2.1e9; // exactly one second at 2.1 GHz
+  W.Phases = {Ph};
+  for (unsigned T : {1u, 8u, 48u}) {
+    SimParams P;
+    P.Threads = T;
+    EXPECT_NEAR(simulate(M, W, P).Seconds, 1.0, 0.01)
+        << "sequential work cannot speed up with threads";
+  }
+}
+
+TEST(SimEngine, LinkTrafficOnlyWhenRemote) {
+  SimMachine M = SimMachine::amd48();
+  WorkloadProfile W = profileRaytracer();
+  // One thread, local policy: everything is node-local, links idle.
+  SimParams P;
+  P.Threads = 1;
+  P.Policy = AllocPolicyKind::Local;
+  SimResult R = simulate(M, W, P);
+  double LinkTotal = 0;
+  for (double B : R.LinkBytes)
+    LinkTotal += B;
+  EXPECT_NEAR(LinkTotal, 0.0, 1.0) << "no remote traffic at one thread";
+
+  // Single-node policy with threads on other nodes loads the links.
+  P.Threads = 16;
+  P.Policy = AllocPolicyKind::SingleNode;
+  SimResult R2 = simulate(M, W, P);
+  LinkTotal = 0;
+  for (double B : R2.LinkBytes)
+    LinkTotal += B;
+  EXPECT_GT(LinkTotal, 1e6);
+}
+
+//===----------------------------------------------------------------------===//
+// Workload profiles must keep the paper's input sizes
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadProfiles, PaperParametersEncoded) {
+  // Section 4.1's inputs, guarded against calibration drift.
+  WorkloadProfile Dmm = profileDmm();
+  EXPECT_EQ(Dmm.Phases[0].NumElems, 600) << "600 x 600 matrices";
+  EXPECT_DOUBLE_EQ(Dmm.Regions[0].Bytes, 600.0 * 600 * 8);
+
+  WorkloadProfile Rt = profileRaytracer();
+  EXPECT_EQ(Rt.Phases[0].NumElems, 512) << "512 x 512 image";
+
+  WorkloadProfile Qs = profileQuicksort();
+  EXPECT_DOUBLE_EQ(Qs.Regions[0].Bytes, 10e6 * 8) << "10,000,000 integers";
+
+  WorkloadProfile Bh = profileBarnesHut();
+  EXPECT_EQ(Bh.Phases[1].NumElems, 400000) << "400,000 particles";
+  EXPECT_TRUE(Bh.Phases[0].Sequential) << "tree build is the serial phase";
+
+  WorkloadProfile Sm = profileSmvm();
+  EXPECT_EQ(Sm.Phases[0].NumElems, 16614) << "16,614-element vector";
+  EXPECT_DOUBLE_EQ(Sm.Regions[0].Bytes, 1091362.0 * 16)
+      << "1,091,362 matrix elements";
+
+  EXPECT_EQ(allProfiles().size(), 5u);
+}
+
+TEST(WorkloadProfiles, SharedDataIsSharedPartitionedIsNot) {
+  WorkloadProfile Sm = profileSmvm();
+  EXPECT_EQ(Sm.Regions[0].Placement, PlacementKind::SharedByVProc0)
+      << "the CSR matrix is the shared hot spot";
+  EXPECT_EQ(Sm.Regions[2].Placement, PlacementKind::PartitionedFirstTouch)
+      << "the output vector is first-touched by its writer";
+  WorkloadProfile Bh = profileBarnesHut();
+  EXPECT_EQ(Bh.Regions[0].Placement, PlacementKind::SharedByVProc0)
+      << "the quadtree is built once and read by all";
+}
+
+//===----------------------------------------------------------------------===//
+// Paper-shape assertions (Section 4.2 / 4.3)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShapes, Fig4IntelDmmAndRaytracerNearIdeal) {
+  const auto &F = figures().Fig4;
+  EXPECT_GT(speedupAt(byName(F, "Dense-Matrix-Multiply"), 32), 28.0);
+  EXPECT_GT(speedupAt(byName(F, "Raytracer"), 32), 28.0);
+}
+
+TEST(PaperShapes, Fig4IntelOthersBendPast16ButImprove) {
+  const auto &F = figures().Fig4;
+  for (const char *Name : {"Quicksort", "Barnes-Hut", "SMVM"}) {
+    const SpeedupSeries &S = byName(F, Name);
+    double At16 = speedupAt(S, 16), At32 = speedupAt(S, 32);
+    EXPECT_LT(At32, 28.0) << Name << " must fall short of ideal at 32";
+    EXPECT_GT(At32, At16) << Name << " keeps improving past 16 threads";
+  }
+}
+
+TEST(PaperShapes, Fig5AmdDmmAndRaytracerNearIdeal) {
+  const auto &F = figures().Fig5;
+  EXPECT_GT(speedupAt(byName(F, "Dense-Matrix-Multiply"), 48), 40.0);
+  EXPECT_GT(speedupAt(byName(F, "Raytracer"), 48), 40.0);
+}
+
+TEST(PaperShapes, Fig5AmdQuicksortAndBarnesHutKneeAfter36) {
+  const auto &F = figures().Fig5;
+  for (const char *Name : {"Quicksort", "Barnes-Hut"}) {
+    const SpeedupSeries &S = byName(F, Name);
+    double At24 = speedupAt(S, 24), At36 = speedupAt(S, 36),
+           At48 = speedupAt(S, 48);
+    EXPECT_GT(At36, At24) << Name << " scales nicely to 36";
+    double MarginalEfficiency = (At48 - At36) / 12.0;
+    EXPECT_LT(MarginalEfficiency, 0.75)
+        << Name << " takes only slight advantage of threads past 36";
+  }
+}
+
+TEST(PaperShapes, Fig5AmdSmvmFlattensEarliest) {
+  const auto &F = figures().Fig5;
+  const SpeedupSeries &S = byName(F, "SMVM");
+  double At24 = speedupAt(S, 24), At48 = speedupAt(S, 48);
+  EXPECT_LT(At48, 16.0) << "SMVM is the least scalable on the AMD machine";
+  EXPECT_LT(std::fabs(At48 - At24), 2.0) << "flat beyond 24 threads";
+}
+
+TEST(PaperShapes, Fig6LocalBeatsInterleavedExceptSmvmPast24) {
+  const auto &Local = figures().Fig5;
+  const auto &Inter = figures().Fig6;
+  // "provides slightly better absolute performance at all processor
+  // counts on all benchmarks except for SMVM in the interleaved strategy
+  // at greater than 24 cores".
+  for (const char *Name :
+       {"Dense-Matrix-Multiply", "Raytracer", "Quicksort", "Barnes-Hut"}) {
+    for (unsigned T : {1u, 8u, 24u, 48u}) {
+      EXPECT_GE(speedupAt(byName(Local, Name), T) * 1.001,
+                speedupAt(byName(Inter, Name), T))
+          << Name << " at " << T;
+    }
+  }
+  EXPECT_GT(speedupAt(byName(Inter, "SMVM"), 36),
+            speedupAt(byName(Local, "SMVM"), 36))
+      << "SMVM crossover above 24 cores";
+  EXPECT_GT(speedupAt(byName(Inter, "SMVM"), 48),
+            speedupAt(byName(Local, "SMVM"), 48));
+}
+
+TEST(PaperShapes, Fig7SingleNodeReasonableTo12ThenFails) {
+  const auto &F = figures().Fig7;
+  for (const SpeedupSeries &S : figures().Fig7) {
+    double At12 = speedupAt(S, 12);
+    EXPECT_GT(At12, 5.0) << S.Benchmark
+                         << ": reasonable scalability until 12 cores";
+    double At48 = speedupAt(S, 48);
+    EXPECT_LT(At48, 20.0) << S.Benchmark
+                          << ": the strategy fails past that point";
+  }
+  // The collapse shows as outright decline for the most
+  // allocation-intensive benchmarks.
+  const SpeedupSeries &Dmm = byName(F, "Dense-Matrix-Multiply");
+  EXPECT_LT(speedupAt(Dmm, 48), speedupAt(Dmm, 24));
+}
+
+TEST(PaperShapes, IntelHandlesSmvmBetterThanAmd) {
+  // Section 4.2: "the Intel machine's greater performance, particularly
+  // on SMVM, is due to a smaller NUMA penalty".
+  double IntelFrac =
+      speedupAt(byName(figures().Fig4, "SMVM"), 32) / 32.0;
+  double AmdFrac = speedupAt(byName(figures().Fig5, "SMVM"), 48) / 48.0;
+  EXPECT_GT(IntelFrac, AmdFrac * 1.5);
+}

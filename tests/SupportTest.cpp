@@ -1,0 +1,194 @@
+//===- tests/SupportTest.cpp - unit tests for src/support ----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+#include "support/MathExtras.h"
+#include "support/SpinLock.h"
+#include "support/Stats.h"
+#include "support/XorShift.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace manti;
+
+TEST(MathExtras, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(uint64_t(1) << 47));
+  EXPECT_FALSE(isPowerOf2((uint64_t(1) << 47) + 1));
+}
+
+TEST(MathExtras, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(4095, 4096), 4096u);
+}
+
+TEST(MathExtras, AlignDown) {
+  EXPECT_EQ(alignDown(0, 8), 0u);
+  EXPECT_EQ(alignDown(7, 8), 0u);
+  EXPECT_EQ(alignDown(8, 8), 8u);
+  EXPECT_EQ(alignDown(4097, 4096), 4096u);
+}
+
+TEST(MathExtras, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 8), 0u);
+  EXPECT_EQ(divideCeil(1, 8), 1u);
+  EXPECT_EQ(divideCeil(8, 8), 1u);
+  EXPECT_EQ(divideCeil(9, 8), 2u);
+}
+
+TEST(MathExtras, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(uint64_t(1) << 40), 40u);
+}
+
+TEST(MathExtras, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(4), 4u);
+  EXPECT_EQ(nextPowerOf2(1000), 1024u);
+}
+
+TEST(XorShift, Deterministic) {
+  XorShift64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(XorShift, DifferentSeedsDiffer) {
+  XorShift64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(XorShift, BelowRespectsBound) {
+  XorShift64 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(XorShift, DoubleInUnitInterval) {
+  XorShift64 R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(XorShift, ZeroSeedIsRemapped) {
+  XorShift64 R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock Lock;
+  int Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T) {
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 1000; ++I) {
+        std::lock_guard<SpinLock> Guard(Lock);
+        ++Counter;
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Counter, 4000);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock Lock;
+  EXPECT_TRUE(Lock.try_lock());
+  EXPECT_FALSE(Lock.try_lock());
+  Lock.unlock();
+  EXPECT_TRUE(Lock.try_lock());
+  Lock.unlock();
+}
+
+TEST(BarrierTest, SingleParticipantIsSerial) {
+  Barrier B(1);
+  EXPECT_TRUE(B.arriveAndWait());
+  EXPECT_TRUE(B.arriveAndWait());
+}
+
+TEST(BarrierTest, ExactlyOneSerialThreadPerPhase) {
+  constexpr unsigned N = 4;
+  Barrier B(N);
+  std::atomic<int> SerialCount{0};
+  std::atomic<int> Phase2Count{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < N; ++T) {
+    Threads.emplace_back([&] {
+      if (B.arriveAndWait())
+        SerialCount.fetch_add(1);
+      B.arriveAndWait();
+      Phase2Count.fetch_add(1);
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(SerialCount.load(), 1);
+  EXPECT_EQ(Phase2Count.load(), static_cast<int>(N));
+}
+
+TEST(BarrierTest, ReusableAcrossManyPhases) {
+  constexpr unsigned N = 3;
+  Barrier B(N);
+  std::atomic<uint64_t> Sum{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < N; ++T) {
+    Threads.emplace_back([&] {
+      for (int Phase = 0; Phase < 50; ++Phase) {
+        Sum.fetch_add(1);
+        B.arriveAndWait();
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Sum.load(), 50u * N);
+}
+
+TEST(DurationStatTest, Accumulates) {
+  DurationStat S;
+  S.addSample(std::chrono::nanoseconds(10));
+  S.addSample(std::chrono::nanoseconds(30));
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_EQ(S.totalNanos(), 40u);
+  EXPECT_EQ(S.maxNanos(), 30u);
+  EXPECT_DOUBLE_EQ(S.meanNanos(), 20.0);
+}
+
+TEST(DurationStatTest, Merge) {
+  DurationStat A, B;
+  A.addSample(std::chrono::nanoseconds(5));
+  B.addSample(std::chrono::nanoseconds(50));
+  A.merge(B);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_EQ(A.maxNanos(), 50u);
+}
+
+TEST(FormatBytesTest, Units) {
+  char Buf[32];
+  formatBytes(512, Buf, sizeof(Buf));
+  EXPECT_STREQ(Buf, "512 B");
+  formatBytes(2048, Buf, sizeof(Buf));
+  EXPECT_STREQ(Buf, "2.00 KiB");
+  formatBytes(3u << 20, Buf, sizeof(Buf));
+  EXPECT_STREQ(Buf, "3.00 MiB");
+}

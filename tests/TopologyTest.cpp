@@ -1,0 +1,152 @@
+//===- tests/TopologyTest.cpp - tests for numa/Topology -------------------===//
+//
+// Part of the manticore-gc project. Checks the Appendix A machines
+// (Figs. 8 and 9) and the Table 1 bandwidths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace manti;
+
+TEST(TopologyAmd, Shape) {
+  Topology T = Topology::amdMagnyCours48();
+  EXPECT_EQ(T.numNodes(), 8u);
+  EXPECT_EQ(T.coresPerNode(), 6u);
+  EXPECT_EQ(T.numCores(), 48u);
+  EXPECT_EQ(T.numPackages(), 4u);
+}
+
+TEST(TopologyAmd, PackagesPairNodes) {
+  Topology T = Topology::amdMagnyCours48();
+  for (NodeId N = 0; N < 8; ++N)
+    EXPECT_EQ(T.packageOfNode(N), N / 2);
+  EXPECT_TRUE(T.samePackage(0, 1));
+  EXPECT_FALSE(T.samePackage(1, 2));
+}
+
+TEST(TopologyAmd, Table1Bandwidths) {
+  Topology T = Topology::amdMagnyCours48();
+  // Local memory: 21.3 GB/s.
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 0), 21.3);
+  // Node in same package: 19.2 GB/s.
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 1), 19.2);
+  // Node on another package: 6.4 GB/s.
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 7), 6.4);
+}
+
+TEST(TopologyAmd, EveryDieHasThreeRemoteLinks) {
+  Topology T = Topology::amdMagnyCours48();
+  std::vector<unsigned> RemoteEnds(8, 0);
+  for (LinkId L = 0; L < T.numLinks(); ++L) {
+    const Link &Lk = T.link(L);
+    if (!T.samePackage(Lk.NodeA, Lk.NodeB)) {
+      ++RemoteEnds[Lk.NodeA];
+      ++RemoteEnds[Lk.NodeB];
+    }
+  }
+  for (unsigned Ends : RemoteEnds)
+    EXPECT_EQ(Ends, 3u) << "each die drives one 8-bit HT3 link per package";
+}
+
+TEST(TopologyAmd, RemoteRoutesAtMostTwoHops) {
+  Topology T = Topology::amdMagnyCours48();
+  for (NodeId A = 0; A < 8; ++A) {
+    for (NodeId B = 0; B < 8; ++B) {
+      if (A == B)
+        continue;
+      EXPECT_LE(T.hopCount(A, B), 2u);
+    }
+  }
+}
+
+TEST(TopologyIntel, Shape) {
+  Topology T = Topology::intelXeon32();
+  EXPECT_EQ(T.numNodes(), 4u);
+  EXPECT_EQ(T.coresPerNode(), 8u);
+  EXPECT_EQ(T.numCores(), 32u);
+  EXPECT_EQ(T.numPackages(), 4u);
+}
+
+TEST(TopologyIntel, Table1Bandwidths) {
+  Topology T = Topology::intelXeon32();
+  // Local memory: 17.1 GB/s.
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 0), 17.1);
+  // Remote: QPI link is 25.6 GB/s, but the remote memory controller
+  // still bounds the end-to-end path at 17.1 (the paper's Table 1 lists
+  // the 25.6 GB/s link figure; the Intel machine's NUMA penalty is small
+  // precisely because the link does not throttle below local bandwidth).
+  EXPECT_DOUBLE_EQ(T.link(0).GBps, 25.6);
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 3), 17.1);
+}
+
+TEST(TopologyIntel, FullyConnectedOneHop) {
+  Topology T = Topology::intelXeon32();
+  for (NodeId A = 0; A < 4; ++A)
+    for (NodeId B = 0; B < 4; ++B)
+      EXPECT_EQ(T.hopCount(A, B), A == B ? 0u : 1u);
+}
+
+TEST(TopologyGeneric, SingleNodeHasNoLinks) {
+  Topology T = Topology::singleNode(4);
+  EXPECT_EQ(T.numNodes(), 1u);
+  EXPECT_EQ(T.numCores(), 4u);
+  EXPECT_EQ(T.numLinks(), 0u);
+  EXPECT_EQ(T.hopCount(0, 0), 0u);
+}
+
+TEST(TopologyGeneric, UniformShape) {
+  Topology T = Topology::uniform(3, 2, 20.0, 5.0);
+  EXPECT_EQ(T.numNodes(), 3u);
+  EXPECT_EQ(T.numCores(), 6u);
+  EXPECT_DOUBLE_EQ(T.pathGBps(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(T.pathGBps(1, 1), 20.0);
+}
+
+TEST(TopologyGeneric, NodeOfCore) {
+  Topology T = Topology::uniform(4, 8);
+  EXPECT_EQ(T.nodeOfCore(0), 0u);
+  EXPECT_EQ(T.nodeOfCore(7), 0u);
+  EXPECT_EQ(T.nodeOfCore(8), 1u);
+  EXPECT_EQ(T.nodeOfCore(31), 3u);
+}
+
+TEST(TopologyGeneric, RoutesAreDeterministic) {
+  Topology A = Topology::amdMagnyCours48();
+  Topology B = Topology::amdMagnyCours48();
+  for (NodeId From = 0; From < 8; ++From)
+    for (NodeId To = 0; To < 8; ++To)
+      EXPECT_EQ(A.route(From, To), B.route(From, To));
+}
+
+TEST(SparseAssignment, SpreadsAcrossNodes) {
+  Topology T = Topology::intelXeon32();
+  // Four vprocs on a four-node machine: one per node (minimizing L3
+  // contention, Section 2.2).
+  std::vector<CoreId> Cores = T.assignVProcsSparsely(4);
+  std::set<NodeId> Nodes;
+  for (CoreId C : Cores)
+    Nodes.insert(T.nodeOfCore(C));
+  EXPECT_EQ(Nodes.size(), 4u);
+}
+
+TEST(SparseAssignment, EightOnIntelIsTwoPerNode) {
+  Topology T = Topology::intelXeon32();
+  std::vector<CoreId> Cores = T.assignVProcsSparsely(8);
+  std::vector<unsigned> PerNode(4, 0);
+  for (CoreId C : Cores)
+    ++PerNode[T.nodeOfCore(C)];
+  for (unsigned N : PerNode)
+    EXPECT_EQ(N, 2u);
+}
+
+TEST(SparseAssignment, FullMachineUsesEveryCoreOnce) {
+  Topology T = Topology::amdMagnyCours48();
+  std::vector<CoreId> Cores = T.assignVProcsSparsely(48);
+  std::set<CoreId> Unique(Cores.begin(), Cores.end());
+  EXPECT_EQ(Unique.size(), 48u);
+}

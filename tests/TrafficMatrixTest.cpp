@@ -1,0 +1,96 @@
+//===- tests/TrafficMatrixTest.cpp - tests for numa/TrafficMatrix ---------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/TrafficMatrix.h"
+#include "numa/Topology.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace manti;
+
+TEST(TrafficMatrix, RecordAndQuery) {
+  TrafficMatrix T(4);
+  T.record(0, 1, 100);
+  T.record(0, 1, 50);
+  T.record(1, 0, 25);
+  EXPECT_EQ(T.bytes(0, 1), 150u);
+  EXPECT_EQ(T.bytes(1, 0), 25u);
+  EXPECT_EQ(T.bytes(2, 3), 0u);
+}
+
+TEST(TrafficMatrix, SelfTrafficCountsAsLocal) {
+  TrafficMatrix T(2);
+  T.record(0, 0, 10);
+  T.record(0, 1, 5);
+  EXPECT_EQ(T.totalBytes(), 15u);
+  EXPECT_EQ(T.remoteBytes(), 5u);
+}
+
+TEST(TrafficMatrix, BytesInto) {
+  TrafficMatrix T(3);
+  T.record(0, 2, 7);
+  T.record(1, 2, 9);
+  T.record(2, 2, 11);
+  EXPECT_EQ(T.bytesInto(2), 27u);
+}
+
+TEST(TrafficMatrix, Reset) {
+  TrafficMatrix T(2);
+  T.record(0, 1, 99);
+  T.reset();
+  EXPECT_EQ(T.totalBytes(), 0u);
+}
+
+TEST(TrafficMatrix, ConcurrentRecording) {
+  TrafficMatrix T(2);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < 4; ++I)
+    Threads.emplace_back([&] {
+      for (int J = 0; J < 10000; ++J)
+        T.record(0, 1, 1);
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(T.bytes(0, 1), 40000u);
+}
+
+TEST(TrafficMatrix, PerLinkProjectionIntel) {
+  Topology Topo = Topology::intelXeon32();
+  TrafficMatrix T(Topo.numNodes());
+  T.record(0, 1, 1000);
+  std::vector<uint64_t> PerLink = T.perLinkBytes(Topo);
+  // Exactly one link (0-1) carries the traffic on the full mesh.
+  uint64_t Total = 0;
+  unsigned Loaded = 0;
+  for (uint64_t B : PerLink) {
+    Total += B;
+    if (B)
+      ++Loaded;
+  }
+  EXPECT_EQ(Total, 1000u);
+  EXPECT_EQ(Loaded, 1u);
+}
+
+TEST(TrafficMatrix, PerLinkProjectionAmdTwoHop) {
+  Topology Topo = Topology::amdMagnyCours48();
+  TrafficMatrix T(Topo.numNodes());
+  // Find a two-hop pair and check both links on the route are charged.
+  NodeId From = 0, To = 0;
+  for (NodeId B = 1; B < Topo.numNodes() && !To; ++B)
+    if (Topo.hopCount(0, B) == 2)
+      To = B;
+  ASSERT_NE(To, 0u) << "AMD topology should contain two-hop pairs";
+  T.record(From, To, 500);
+  std::vector<uint64_t> PerLink = T.perLinkBytes(Topo);
+  unsigned Loaded = 0;
+  for (uint64_t B : PerLink)
+    if (B == 500)
+      ++Loaded;
+  EXPECT_EQ(Loaded, 2u);
+}

@@ -1,0 +1,352 @@
+//===- tests/WorkloadsTest.cpp - benchmark workload correctness -----------===//
+//
+// Part of the manticore-gc project. Each of the paper's five benchmarks
+// is validated against a serial reference or an internal invariant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BarnesHut.h"
+#include "workloads/Dmm.h"
+#include "workloads/Quicksort.h"
+#include "workloads/Raytracer.h"
+#include "workloads/Smvm.h"
+
+#include "GCTestUtils.h"
+#include "gc/HeapVerifier.h"
+#include "runtime/Rope.h"
+
+#include "support/XorShift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+using namespace manti;
+using namespace manti::test;
+using namespace manti::workloads;
+
+namespace {
+
+RuntimeConfig wlConfig(unsigned NumVProcs) {
+  RuntimeConfig Cfg;
+  Cfg.GC = smallConfig();
+  Cfg.GC.LocalHeapBytes = 256 * 1024;
+  Cfg.NumVProcs = NumVProcs;
+  Cfg.PinThreads = false;
+  return Cfg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Quicksort
+//===----------------------------------------------------------------------===//
+
+TEST(QuicksortWL, SortsCorrectly) {
+  Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+  static QuicksortResult Res;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        QuicksortParams P;
+        P.NumElements = 20000;
+        P.Cutoff = 512;
+        Res = runQuicksort(RT, VP, P);
+      },
+      nullptr);
+  EXPECT_TRUE(Res.Sorted);
+  EXPECT_EQ(Res.Length, 20000);
+}
+
+TEST(QuicksortWL, SmallAndDegenerateInputs) {
+  Runtime RT(wlConfig(2), Topology::uniform(2, 1));
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        for (int64_t N : {int64_t(1), int64_t(2), int64_t(100)}) {
+          QuicksortParams P;
+          P.NumElements = N;
+          P.Cutoff = 4;
+          QuicksortResult R = runQuicksort(RT, VP, P);
+          EXPECT_TRUE(R.Sorted) << "N=" << N;
+        }
+      },
+      nullptr);
+}
+
+namespace {
+
+struct RootSortPack {
+  JoinCounter Join{1};
+  int64_t Cutoff = 256;
+  bool Sorted = false;
+};
+
+void rootSortTask(Runtime &RT, VProc &VP, Task T) {
+  auto *Pack = static_cast<RootSortPack *>(T.Ctx);
+  GcFrame Frame(VP.heap());
+  Frame.root(T.Env);
+  Value &Out = Frame.root(quicksort(RT, VP, T.Env, Pack->Cutoff));
+  int64_t N = rope::length(Out);
+  Pack->Sorted = true;
+  for (int64_t I = 1; I < N && Pack->Sorted; ++I)
+    Pack->Sorted = rope::getInt(Out, I - 1) <= rope::getInt(Out, I);
+  Pack->Join.sub();
+}
+
+} // namespace
+
+TEST(QuicksortWL, StealsPromoteRopeEnvironments) {
+  // The recursive sub-sorts carry rope environments. Spawn the whole
+  // sort as a task the main vproc refuses to run: a worker must steal
+  // it, promoting the input rope (lazy promotion at steal time).
+  Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+  static RootSortPack Pack;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        GcFrame Frame(VP.heap());
+        XorShift64 Rng(99);
+        std::vector<uint64_t> In(20000);
+        for (auto &W : In)
+          W = Rng.next() >> 8;
+        Value &R = Frame.root(rope::fromArray(
+            VP.heap(), In.data(), static_cast<int64_t>(In.size())));
+        VP.spawn({rootSortTask, &Pack, R, 0, 0});
+        while (!Pack.Join.done()) {
+          VP.poll(); // answer the steal, never run the task ourselves
+          std::this_thread::yield();
+        }
+      },
+      nullptr);
+  EXPECT_TRUE(Pack.Sorted);
+  GCStats Total = RT.world().aggregateStats();
+  EXPECT_GT(Total.PromoteBytes, 0u)
+      << "the stolen root sort must promote its input rope";
+  EXPECT_GT(RT.vproc(0).stealsServiced(), 0u);
+  verifyWorld(RT.world());
+}
+
+//===----------------------------------------------------------------------===//
+// Barnes-Hut
+//===----------------------------------------------------------------------===//
+
+TEST(BarnesHutWL, PlummerIsDeterministic) {
+  Bodies A = plummerDistribution(500, 7);
+  Bodies B = plummerDistribution(500, 7);
+  EXPECT_EQ(A.X, B.X);
+  EXPECT_EQ(A.Y, B.Y);
+  Bodies C = plummerDistribution(500, 8);
+  EXPECT_NE(A.X, C.X);
+}
+
+TEST(BarnesHutWL, TreeForceApproximatesDirectForce) {
+  TestWorld TW(1, smallConfig());
+  registerBarnesHutDescriptors(TW.World);
+  Bodies B = plummerDistribution(400, 21);
+  GcFrame Frame(TW.heap());
+  Value &Root = Frame.root(buildQuadtree(TW.heap(), B));
+
+  double MaxRel = 0.0;
+  for (int64_t I = 0; I < B.size(); I += 7) {
+    double Ax, Ay, Dx, Dy;
+    treeForce(Root, B, I, /*Theta=*/0.3, &Ax, &Ay);
+    directForce(B, I, &Dx, &Dy);
+    double Mag = std::sqrt(Dx * Dx + Dy * Dy);
+    double Err = std::sqrt((Ax - Dx) * (Ax - Dx) + (Ay - Dy) * (Ay - Dy));
+    if (Mag > 1e-9)
+      MaxRel = std::max(MaxRel, Err / Mag);
+  }
+  EXPECT_LT(MaxRel, 0.05) << "theta=0.3 should be within 5% of direct";
+}
+
+TEST(BarnesHutWL, TreeMassEqualsTotalMass) {
+  TestWorld TW(1, smallConfig());
+  registerBarnesHutDescriptors(TW.World);
+  Bodies B = plummerDistribution(1000, 3);
+  GcFrame Frame(TW.heap());
+  Value &Root = Frame.root(buildQuadtree(TW.heap(), B));
+  ASSERT_TRUE(Root.isPtr());
+  ASSERT_EQ(objectId(Root), TW.World.BhNodeId);
+  double TreeMass;
+  uint64_t Bits = Root.asPtr()[4];
+  __builtin_memcpy(&TreeMass, &Bits, 8);
+  EXPECT_NEAR(TreeMass, 1.0, 1e-9) << "Plummer masses sum to 1";
+  EXPECT_EQ(static_cast<int64_t>(Root.asPtr()[7]), 1000);
+}
+
+TEST(BarnesHutWL, FullRunConservesMomentumRoughly) {
+  Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+  static BarnesHutResult Res;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        BarnesHutParams P;
+        P.NumBodies = 2000;
+        P.Iterations = 3;
+        Res = runBarnesHut(RT, VP, P);
+      },
+      nullptr);
+  EXPECT_TRUE(std::isfinite(Res.KineticEnergy));
+  EXPECT_GT(Res.KineticEnergy, 0.0);
+  // Center of mass should stay near the origin for a symmetric system.
+  EXPECT_LT(std::fabs(Res.CenterOfMassX), 0.5);
+  EXPECT_LT(std::fabs(Res.CenterOfMassY), 0.5);
+}
+
+TEST(BarnesHutWL, RunIsDeterministicAcrossVProcCounts) {
+  static BarnesHutResult R1, R4;
+  {
+    Runtime RT(wlConfig(1), Topology::singleNode(1));
+    RT.run(
+        [](Runtime &RT, VProc &VP, void *) {
+          BarnesHutParams P;
+          P.NumBodies = 800;
+          P.Iterations = 2;
+          R1 = runBarnesHut(RT, VP, P);
+        },
+        nullptr);
+  }
+  {
+    Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+    RT.run(
+        [](Runtime &RT, VProc &VP, void *) {
+          BarnesHutParams P;
+          P.NumBodies = 800;
+          P.Iterations = 2;
+          R4 = runBarnesHut(RT, VP, P);
+        },
+        nullptr);
+  }
+  EXPECT_NEAR(R1.KineticEnergy, R4.KineticEnergy, 1e-12)
+      << "same physics regardless of parallelism";
+}
+
+//===----------------------------------------------------------------------===//
+// Raytracer
+//===----------------------------------------------------------------------===//
+
+TEST(RaytracerWL, MatchesSerialPixelLoop) {
+  Runtime RT(wlConfig(3), Topology::uniform(3, 1));
+  static RaytracerResult Res;
+  static RaytracerParams P;
+  P.Width = 64;
+  P.Height = 48;
+  static std::vector<uint32_t> Image;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        Res = runRaytracer(RT, VP, P, &Image);
+      },
+      nullptr);
+
+  ASSERT_EQ(Res.Pixels, int64_t(64) * 48);
+  std::vector<Sphere> Scene = makeScene(P);
+  uint64_t SerialSum = 0;
+  for (int Y = 0; Y < P.Height; ++Y)
+    for (int X = 0; X < P.Width; ++X) {
+      uint32_t Pix = tracePixel(Scene, X, Y, P);
+      SerialSum += Pix;
+      ASSERT_EQ(Image[static_cast<std::size_t>(Y) * P.Width + X], Pix)
+          << "pixel (" << X << "," << Y << ")";
+    }
+  EXPECT_EQ(Res.Checksum, SerialSum);
+}
+
+TEST(RaytracerWL, DeterministicAcrossRuns) {
+  static uint64_t Sum1, Sum2;
+  RaytracerParams P;
+  P.Width = 40;
+  P.Height = 40;
+  for (uint64_t *Out : {&Sum1, &Sum2}) {
+    Runtime RT(wlConfig(2), Topology::uniform(2, 1));
+    static RaytracerParams SP;
+    SP = P;
+    static uint64_t *Dst;
+    Dst = Out;
+    RT.run(
+        [](Runtime &RT, VProc &VP, void *) {
+          *Dst = runRaytracer(RT, VP, SP).Checksum;
+        },
+        nullptr);
+  }
+  EXPECT_EQ(Sum1, Sum2);
+}
+
+TEST(RaytracerWL, SceneHasGroundAndSpheres) {
+  RaytracerParams P;
+  std::vector<Sphere> Scene = makeScene(P);
+  EXPECT_EQ(Scene.size(), static_cast<std::size_t>(P.NumSpheres) + 1);
+  EXPECT_GT(Scene[0].Radius, 100.0) << "ground sphere";
+}
+
+//===----------------------------------------------------------------------===//
+// SMVM
+//===----------------------------------------------------------------------===//
+
+TEST(SmvmWL, ParallelMatchesSerial) {
+  Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+  static SmvmResult Res;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        SmvmParams P;
+        P.NumRows = 500;
+        P.NumNonZeros = 20000;
+        Res = runSmvm(RT, VP, P); // aborts internally on divergence
+      },
+      nullptr);
+  EXPECT_EQ(Res.Rows, 500);
+  EXPECT_GT(Res.ResultNorm1, 0.0);
+}
+
+TEST(SmvmWL, ProblemShapesMatchPaper) {
+  TestWorld TW(1, smallConfig());
+  GcFrame Frame(TW.heap());
+  SmvmParams P; // defaults are the paper's sizes
+  EXPECT_EQ(P.NumRows, 16614);
+  EXPECT_EQ(P.NumNonZeros, 1091362);
+  // Build a scaled-down instance and check CSR structure.
+  P.NumRows = 100;
+  P.NumNonZeros = 1000;
+  SmvmProblem Prob = makeProblem(TW.heap(), P);
+  Frame.root(Prob.RowPtr);
+  Frame.root(Prob.ColIdx);
+  Frame.root(Prob.Vals);
+  Frame.root(Prob.X);
+  const auto *RowPtr = static_cast<const int64_t *>(rawData(Prob.RowPtr));
+  EXPECT_EQ(RowPtr[0], 0);
+  EXPECT_EQ(RowPtr[100], 1000);
+  for (int R = 0; R < 100; ++R)
+    EXPECT_LE(RowPtr[R], RowPtr[R + 1]);
+  // Inputs are shared: they must be global.
+  EXPECT_TRUE(isGlobal(TW.World, Prob.Vals));
+  EXPECT_TRUE(isGlobal(TW.World, Prob.X));
+}
+
+//===----------------------------------------------------------------------===//
+// DMM
+//===----------------------------------------------------------------------===//
+
+TEST(DmmWL, ParallelMatchesSerial) {
+  Runtime RT(wlConfig(4), Topology::uniform(2, 2));
+  static DmmResult Res;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        DmmParams P;
+        P.N = 64;
+        Res = runDmm(RT, VP, P); // aborts internally on divergence
+      },
+      nullptr);
+  EXPECT_EQ(Res.N, 64);
+  EXPECT_GT(Res.FrobeniusNorm, 0.0);
+  EXPECT_TRUE(std::isfinite(Res.FrobeniusNorm));
+}
+
+TEST(DmmWL, SerialReferenceIdentity) {
+  // A * I == A.
+  const int64_t N = 16;
+  std::vector<double> A(N * N), I(N * N, 0.0), C(N * N);
+  for (int64_t K = 0; K < N * N; ++K)
+    A[static_cast<std::size_t>(K)] = static_cast<double>(K % 7) - 3.0;
+  for (int64_t D = 0; D < N; ++D)
+    I[static_cast<std::size_t>(D * N + D)] = 1.0;
+  dmmSerial(A.data(), I.data(), N, C.data());
+  EXPECT_EQ(A, C);
+}
