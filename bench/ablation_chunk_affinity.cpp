@@ -25,7 +25,8 @@ namespace {
 
 struct AblationResult {
   uint64_t NodeLocalReuses = 0;
-  uint64_t FreshAllocations = 0;
+  uint64_t CrossNodeSteals = 0;
+  uint64_t FreshMappings = 0;
   double RemoteTrafficFraction = 0;
   uint64_t GlobalGCs = 0;
 };
@@ -56,8 +57,22 @@ AblationResult runChurn(bool PreserveAffinity) {
   });
 
   AblationResult R;
+  // The manager's machine-wide counters and the per-vproc GCStats tallies
+  // are two views of the same events; report the former, sanity-check
+  // against the latter.
   R.NodeLocalReuses = World.chunks().nodeLocalReuses();
-  R.FreshAllocations = World.chunks().globalAllocations();
+  R.CrossNodeSteals = World.chunks().crossNodeSteals();
+  R.FreshMappings = World.chunks().freshRegistrations();
+  GCStats S = World.aggregateStats();
+  if (S.ChunkLocalReuses != R.NodeLocalReuses ||
+      S.ChunkCrossNodeSteals != R.CrossNodeSteals)
+    std::fprintf(stderr,
+                 "warning: per-vproc chunk tallies disagree with the "
+                 "manager (%llu/%llu local, %llu/%llu steals)\n",
+                 static_cast<unsigned long long>(S.ChunkLocalReuses),
+                 static_cast<unsigned long long>(R.NodeLocalReuses),
+                 static_cast<unsigned long long>(S.ChunkCrossNodeSteals),
+                 static_cast<unsigned long long>(R.CrossNodeSteals));
   R.GlobalGCs = World.globalGCCount();
   uint64_t Total = World.traffic().totalBytes();
   R.RemoteTrafficFraction =
@@ -72,17 +87,20 @@ int main() {
               "affinity\n");
   std::printf("(4 vprocs on a 4-node machine, local allocation policy; "
               "identical churn)\n\n");
-  std::printf("%-22s %-18s %-18s %-18s %-10s\n", "configuration",
-              "node-local reuses", "fresh mappings", "remote traffic",
-              "global GCs");
+  std::printf("%-22s %-18s %-18s %-16s %-16s %-10s\n", "configuration",
+              "node-local reuses", "cross-node steals", "fresh mappings",
+              "remote traffic", "global GCs");
   for (bool Affinity : {true, false}) {
     AblationResult R = runChurn(Affinity);
-    std::printf("%-22s %-18llu %-18llu %-17.1f%% %-10llu\n",
+    char Remote[16];
+    std::snprintf(Remote, sizeof(Remote), "%.1f%%",
+                  R.RemoteTrafficFraction * 100.0);
+    std::printf("%-22s %-18llu %-18llu %-16llu %-16s %-10llu\n",
                 Affinity ? "affinity preserved" : "affinity ignored",
                 static_cast<unsigned long long>(R.NodeLocalReuses),
-                static_cast<unsigned long long>(R.FreshAllocations),
-                R.RemoteTrafficFraction * 100.0,
-                static_cast<unsigned long long>(R.GlobalGCs));
+                static_cast<unsigned long long>(R.CrossNodeSteals),
+                static_cast<unsigned long long>(R.FreshMappings),
+                Remote, static_cast<unsigned long long>(R.GlobalGCs));
   }
   std::printf("\nWith affinity preserved, chunk requests are served from "
               "the requesting\nnode's free list (node-local "

@@ -65,15 +65,20 @@ std::string manti::gcReportString(GCWorld &World) {
 
   ChunkManager &CM = World.chunks();
   appendf(Out,
-          "global heap: %u chunks created, %" PRIu64
-          " node-local reuses, %" PRIu64 " fresh mappings, ",
-          CM.numChunksCreated(), CM.nodeLocalReuses(),
-          CM.globalAllocations());
+          "global heap: %u chunks created (batch %u/mapping), %" PRIu64
+          " node-local reuses, %" PRIu64 " cross-node steals, %" PRIu64
+          " fresh mappings, ",
+          CM.numChunksCreated(), CM.batchChunks(), CM.nodeLocalReuses(),
+          CM.crossNodeSteals(), CM.freshRegistrations());
   appendBytes(Out, CM.activeBytes());
   appendf(Out, " active (trigger at ");
   appendBytes(Out, World.globalGCThresholdBytes());
-  appendf(Out, ")\nglobal collections: %" PRIu64 "\n",
-          World.globalGCCount());
+  appendf(Out,
+          ")\nchunk requests by vproc: %" PRIu64 " node-local, %" PRIu64
+          " cross-node steals, %" PRIu64 " fresh\n",
+          S.ChunkLocalReuses, S.ChunkCrossNodeSteals,
+          S.ChunkFreshRegistrations);
+  appendf(Out, "global collections: %" PRIu64 "\n", World.globalGCCount());
 
   TrafficMatrix &T = World.traffic();
   uint64_t Total = T.totalBytes();

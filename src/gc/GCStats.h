@@ -45,6 +45,13 @@ struct GCStats {
   uint64_t BytesAllocatedLocal = 0;
   uint64_t BytesAllocatedGlobal = 0;
 
+  // Chunk acquisitions by synchronization class (paper Sections 3.1 and
+  // 3.4): served from this vproc's node shard, stolen from another
+  // node's shard, or by a fresh batched registration (global cost).
+  uint64_t ChunkLocalReuses = 0;
+  uint64_t ChunkCrossNodeSteals = 0;
+  uint64_t ChunkFreshRegistrations = 0;
+
   /// Merges another vproc's stats into this one (for reporting).
   void merge(const GCStats &O) {
     MinorPause.merge(O.MinorPause);
@@ -61,6 +68,9 @@ struct GCStats {
     GlobalChunksScanned += O.GlobalChunksScanned;
     BytesAllocatedLocal += O.BytesAllocatedLocal;
     BytesAllocatedGlobal += O.BytesAllocatedGlobal;
+    ChunkLocalReuses += O.ChunkLocalReuses;
+    ChunkCrossNodeSteals += O.ChunkCrossNodeSteals;
+    ChunkFreshRegistrations += O.ChunkFreshRegistrations;
   }
 };
 

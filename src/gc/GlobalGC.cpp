@@ -49,29 +49,25 @@ class GlobalCollection {
 public:
   explicit GlobalCollection(GCWorld &W)
       : W(W), FromByNode(W.topology().numNodes(), nullptr),
-        PendingByNode(W.topology().numNodes(), nullptr) {}
+        PendingByNode(W.topology().numNodes()) {}
 
   void participate(VProcHeap &H);
 
   // The fields and queue operations below are shared with the per-vproc
   // GlobalScanner; this class is internal to src/gc, so they are public.
+  // The pending queue is one lock-free Treiber stack per node, so
+  // publishing and claiming scan work never serializes the vprocs.
   void pushPending(Chunk *C) {
-    std::lock_guard<SpinLock> Guard(PendingLock);
-    C->Next = PendingByNode[C->HomeNode];
-    PendingByNode[C->HomeNode] = C;
+    PendingByNode[C->HomeNode].push(C);
     PendingCount.fetch_add(1, std::memory_order_release);
   }
 
   /// Pops a pending chunk, preferring \p PreferNode ("the vprocs obtain
   /// chunks on a per-node basis").
   Chunk *popPending(NodeId PreferNode) {
-    std::lock_guard<SpinLock> Guard(PendingLock);
     unsigned N = static_cast<unsigned>(PendingByNode.size());
     for (unsigned I = 0; I < N; ++I) {
-      NodeId Node = (PreferNode + I) % N;
-      if (Chunk *C = PendingByNode[Node]) {
-        PendingByNode[Node] = C->Next;
-        C->Next = nullptr;
+      if (Chunk *C = PendingByNode[(PreferNode + I) % N].tryPop()) {
         PendingCount.fetch_sub(1, std::memory_order_release);
         return C;
       }
@@ -81,8 +77,7 @@ public:
 
   GCWorld &W;
   std::vector<Chunk *> FromByNode;
-  std::vector<Chunk *> PendingByNode;
-  SpinLock PendingLock;
+  std::vector<ChunkStack> PendingByNode;
   std::atomic<int> PendingCount{0};
   std::atomic<unsigned> IdleCount{0};
 };
@@ -282,8 +277,8 @@ void GlobalCollection::participate(VProcHeap &H) {
   bool Leader = W.GCBarrier.arriveAndWait();
   if (Leader) {
     W.Chunks.gatherFromSpace(FromByNode);
-    for (auto &Head : PendingByNode)
-      Head = nullptr;
+    for (ChunkStack &Stack : PendingByNode)
+      Stack.clear();
     PendingCount.store(0, std::memory_order_relaxed);
     IdleCount.store(0, std::memory_order_relaxed);
   }

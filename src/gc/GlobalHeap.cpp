@@ -26,86 +26,147 @@ Chunk *Chunk::fromInteriorPtr(const Word *P, std::size_t ChunkBytes) {
 }
 
 ChunkManager::ChunkManager(MemoryBanks &Banks, AllocPolicy &Policy,
-                           std::size_t ChunkBytes, bool PreserveAffinity)
+                           std::size_t ChunkBytes, bool PreserveAffinity,
+                           unsigned BatchChunks)
     : Banks(Banks), Policy(Policy), ChunkBytes(ChunkBytes),
-      PreserveAffinity(PreserveAffinity), FreeByNode(Banks.numNodes(),
-                                                    nullptr) {
+      PreserveAffinity(PreserveAffinity), BatchChunks(BatchChunks),
+      Shards(Banks.numNodes()) {
   MANTI_CHECK(ChunkBytes >= MemoryBanks::PageSize && isPowerOf2(ChunkBytes),
               "chunk size must be a power-of-two multiple of the page size");
+  MANTI_CHECK(BatchChunks >= 1, "registration batch must be at least 1");
 }
 
 ChunkManager::~ChunkManager() {
-  for (Chunk *C : AllChunks) {
-    Banks.freeBlock(C->Base - ChunkMetaWords, ChunkBytes, ChunkBytes);
+  for (Chunk *C : AllChunks)
     delete C;
-  }
+  for (auto &[Base, Bytes] : BatchBlocks)
+    Banks.freeBlock(Base, Bytes, ChunkBytes);
   for (auto &[Base, C] : Oversized) {
     Banks.freeBlock(reinterpret_cast<void *>(Base), C->BlockBytes);
     delete C;
   }
 }
 
-Chunk *ChunkManager::newChunk(NodeId RequestingNode) {
-  // The allocation policy decides which bank actually backs the pages;
-  // under the paper's default (local) policy this is the requester's
-  // node, under interleaved/single-node it is not.
-  NodeId Home = Policy.homeFor(RequestingNode);
-  // Blocks are aligned to the chunk size so interior pointers can find
-  // the chunk metadata with a mask (Chunk::fromInteriorPtr).
-  void *Mem = Banks.allocBlock(ChunkBytes, Home, /*Align=*/ChunkBytes);
+/// Initializes one standard chunk over the ChunkBytes-sized block at
+/// \p BlockBase (already size-aligned).
+Chunk *ChunkManager::carveChunk(void *BlockBase) {
   Chunk *C = new Chunk();
-  ChunkMeta *Meta = new (Mem) ChunkMeta();
+  ChunkMeta *Meta = new (BlockBase) ChunkMeta();
   Meta->Desc = C;
-  C->Base = static_cast<Word *>(Mem) + ChunkMetaWords;
-  C->Top = static_cast<Word *>(Mem) + ChunkBytes / sizeof(Word);
+  C->Base = static_cast<Word *>(BlockBase) + ChunkMetaWords;
+  C->Top = static_cast<Word *>(BlockBase) + ChunkBytes / sizeof(Word);
   C->resetForReuse();
-  C->HomeNode = Home;
   NumCreated.fetch_add(1, std::memory_order_relaxed);
   return C;
 }
 
-Chunk *ChunkManager::acquireChunk(NodeId RequestingNode) {
-  Chunk *C = nullptr;
+/// Pushes \p C onto \p S's active list; caller holds S.Lock.
+void ChunkManager::activateLocked(Shard &S, Chunk *C, std::size_t Bytes) {
+  C->Next = S.Active;
+  S.Active = C;
+  ActiveBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+Chunk *ChunkManager::registerFreshBatch(NodeId RequestingNode) {
+  // The allocation policy decides which bank actually backs the pages;
+  // under the paper's default (local) policy this is the requester's
+  // node, under interleaved/single-node it is not. One mapping serves a
+  // whole batch: the global synchronization cost (bank mapping plus
+  // registration lock) is paid once per BatchChunks chunks.
+  NodeId Home = Policy.homeFor(RequestingNode);
+  std::size_t BlockBytes = ChunkBytes * BatchChunks;
+  // Blocks are aligned to the chunk size so interior pointers can find
+  // the chunk metadata with a mask (Chunk::fromInteriorPtr).
+  void *Mem = Banks.allocBlock(BlockBytes, Home, /*Align=*/ChunkBytes);
+
+  Chunk *First = nullptr;
+  std::vector<Chunk *> Extras;
+  Extras.reserve(BatchChunks - 1);
+  for (unsigned I = 0; I < BatchChunks; ++I) {
+    Chunk *C = carveChunk(static_cast<char *>(Mem) + I * ChunkBytes);
+    C->HomeNode = Home;
+    if (I == 0)
+      First = C;
+    else
+      Extras.push_back(C);
+  }
+
   {
-    std::lock_guard<SpinLock> Guard(Lock);
-    // Node-local reuse first ("preserves node affinity when reusing
-    // chunks"); with affinity disabled, scan all free lists in order so
-    // reuse ignores placement.
-    if (PreserveAffinity && FreeByNode[RequestingNode]) {
-      C = FreeByNode[RequestingNode];
-      FreeByNode[RequestingNode] = C->Next;
-      NodeLocalReuses.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      for (unsigned Node = 0; Node < FreeByNode.size() && !C; ++Node) {
-        if (PreserveAffinity && Node == RequestingNode)
-          continue; // already checked
-        if (FreeByNode[Node]) {
-          C = FreeByNode[Node];
-          FreeByNode[Node] = C->Next;
-          if (C->HomeNode == RequestingNode)
-            NodeLocalReuses.fetch_add(1, std::memory_order_relaxed);
-        }
+    std::lock_guard<SpinLock> Guard(RegisterLock);
+    AllChunks.push_back(First);
+    AllChunks.insert(AllChunks.end(), Extras.begin(), Extras.end());
+    BatchBlocks.emplace_back(Mem, BlockBytes);
+  }
+  FreshRegistrations.fetch_add(1, std::memory_order_relaxed);
+
+  Shard &S = Shards[Home];
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  for (Chunk *C : Extras) {
+    C->Next = S.Free;
+    S.Free = C;
+  }
+  activateLocked(S, First, ChunkBytes);
+  return First;
+}
+
+Chunk *ChunkManager::acquireChunk(NodeId RequestingNode, ChunkSource *Source) {
+  ChunkSource Src = ChunkSource::Fresh;
+  Chunk *C = nullptr;
+
+  // Node-local reuse first ("preserves node affinity when reusing
+  // chunks"): only the requester's shard lock is taken.
+  if (PreserveAffinity) {
+    Shard &S = Shards[RequestingNode];
+    std::lock_guard<SpinLock> Guard(S.Lock);
+    if (S.Free) {
+      C = S.Free;
+      S.Free = C->Next;
+      C->resetForReuse();
+      activateLocked(S, C, ChunkBytes);
+      Src = ChunkSource::LocalReuse;
+    }
+  }
+
+  // Steal from another node's shard before mapping fresh memory (reuse
+  // is cheaper than a mapping even across nodes). With affinity disabled
+  // the scan starts at node 0 regardless of the requester, so reuse
+  // ignores placement (the ablation's knob).
+  if (!C) {
+    unsigned N = static_cast<unsigned>(Shards.size());
+    for (unsigned I = 0; I < N && !C; ++I) {
+      NodeId Node = PreserveAffinity ? (RequestingNode + 1 + I) % N : I;
+      if (PreserveAffinity && Node == RequestingNode)
+        continue; // already checked above
+      Shard &S = Shards[Node];
+      std::lock_guard<SpinLock> Guard(S.Lock);
+      if (S.Free) {
+        C = S.Free;
+        S.Free = C->Next;
+        C->resetForReuse();
+        // Free shards are keyed by home node, so the chunk stays on the
+        // shard we hold the lock for.
+        activateLocked(S, C, ChunkBytes);
+        Src = C->HomeNode == RequestingNode ? ChunkSource::LocalReuse
+                                            : ChunkSource::RemoteReuse;
       }
     }
-    if (C) {
-      C->resetForReuse();
-      C->Next = Active;
-      Active = C;
-      ActiveBytes.fetch_add(ChunkBytes, std::memory_order_relaxed);
-      return C;
-    }
   }
-  // No free chunk anywhere: global-cost path, map fresh memory and
-  // register it with the runtime.
-  C = newChunk(RequestingNode);
-  GlobalAllocs.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<SpinLock> Guard(Lock);
-    AllChunks.push_back(C);
-    C->Next = Active;
-    Active = C;
-    ActiveBytes.fetch_add(ChunkBytes, std::memory_order_relaxed);
+
+  if (!C)
+    C = registerFreshBatch(RequestingNode);
+
+  switch (Src) {
+  case ChunkSource::LocalReuse:
+    NodeLocalReuses.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ChunkSource::RemoteReuse:
+    CrossNodeSteals.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ChunkSource::Fresh:
+    break; // counted per mapping in registerFreshBatch
   }
+  if (Source)
+    *Source = Src;
   return C;
 }
 
@@ -126,17 +187,20 @@ Chunk *ChunkManager::acquireOversized(NodeId RequestingNode,
   C->IsOversized = true;
   C->BlockBytes = BlockBytes;
   NumCreated.fetch_add(1, std::memory_order_relaxed);
-  GlobalAllocs.fetch_add(1, std::memory_order_relaxed);
+  FreshRegistrations.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<SpinLock> Guard(Lock);
-  auto Entry = std::make_pair(reinterpret_cast<uintptr_t>(Mem), C);
-  Oversized.insert(std::lower_bound(Oversized.begin(), Oversized.end(),
-                                    Entry),
-                   Entry);
-  NumOversized.fetch_add(1, std::memory_order_release);
-  C->Next = Active;
-  Active = C;
-  ActiveBytes.fetch_add(BlockBytes, std::memory_order_relaxed);
+  {
+    std::lock_guard<SpinLock> Guard(RegisterLock);
+    auto Entry = std::make_pair(reinterpret_cast<uintptr_t>(Mem), C);
+    Oversized.insert(std::lower_bound(Oversized.begin(), Oversized.end(),
+                                      Entry),
+                     Entry);
+    NumOversized.fetch_add(1, std::memory_order_release);
+  }
+
+  Shard &S = Shards[Home];
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  activateLocked(S, C, BlockBytes);
   return C;
 }
 
@@ -145,7 +209,7 @@ Chunk *ChunkManager::chunkOf(const Word *P) const {
   // the alignment mask below would read below the block -- possibly
   // unmapped memory. Check the (usually empty) oversized index first.
   if (NumOversized.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<SpinLock> Guard(Lock);
+    std::lock_guard<SpinLock> Guard(RegisterLock);
     uintptr_t Addr = reinterpret_cast<uintptr_t>(P);
     auto It = std::upper_bound(
         Oversized.begin(), Oversized.end(), Addr,
@@ -170,25 +234,27 @@ Chunk *ChunkManager::chunkOf(const Word *P) const {
 
 void ChunkManager::gatherFromSpace(std::vector<Chunk *> &PerNodeFromLists) {
   PerNodeFromLists.assign(Banks.numNodes(), nullptr);
-  std::lock_guard<SpinLock> Guard(Lock);
-  Chunk *C = Active;
-  while (C) {
-    Chunk *Next = C->Next;
-    C->ScanPtr = C->Base;
-    C->InFromSpace = true;
-    C->Next = PerNodeFromLists[C->HomeNode];
-    PerNodeFromLists[C->HomeNode] = C;
-    C = Next;
+  for (Shard &S : Shards) {
+    std::lock_guard<SpinLock> Guard(S.Lock);
+    Chunk *C = S.Active;
+    while (C) {
+      Chunk *Next = C->Next;
+      C->ScanPtr = C->Base;
+      C->InFromSpace = true;
+      C->Next = PerNodeFromLists[C->HomeNode];
+      PerNodeFromLists[C->HomeNode] = C;
+      C = Next;
+    }
+    S.Active = nullptr;
   }
-  Active = nullptr;
   ActiveBytes.store(0, std::memory_order_relaxed);
 }
 
 void ChunkManager::releaseChunk(Chunk *C) {
-  std::lock_guard<SpinLock> Guard(Lock);
   if (C->IsOversized) {
     // Dedicated blocks go back to the banks rather than the pools.
     uintptr_t Base = reinterpret_cast<uintptr_t>(C->Base - ChunkMetaWords);
+    std::lock_guard<SpinLock> Guard(RegisterLock);
     auto It = std::lower_bound(
         Oversized.begin(), Oversized.end(), std::make_pair(Base, C));
     MANTI_CHECK(It != Oversized.end() && It->second == C,
@@ -200,14 +266,18 @@ void ChunkManager::releaseChunk(Chunk *C) {
     return;
   }
   C->resetForReuse();
-  C->Next = FreeByNode[C->HomeNode];
-  FreeByNode[C->HomeNode] = C;
+  Shard &S = Shards[C->HomeNode];
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  C->Next = S.Free;
+  S.Free = C;
 }
 
 bool ChunkManager::activeChunksContain(const Word *P) const {
-  std::lock_guard<SpinLock> Guard(Lock);
-  for (Chunk *C = Active; C; C = C->Next)
-    if (C->contains(P))
-      return true;
+  for (const Shard &S : Shards) {
+    std::lock_guard<SpinLock> Guard(S.Lock);
+    for (Chunk *C = S.Active; C; C = C->Next)
+      if (C->contains(P))
+        return true;
+  }
   return false;
 }

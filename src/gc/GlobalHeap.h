@@ -11,8 +11,17 @@
 /// one. That request is either node-local (reusing a free chunk whose
 /// pages live on the vproc's node -- "our memory system tracks the node
 /// on which a chunk is allocated and preserves node affinity when reusing
-/// chunks") or global (registering a freshly allocated chunk), matching
+/// chunks") or global (registering freshly allocated chunks), matching
 /// the paper's two synchronization costs.
+///
+/// The manager is sharded by node: each node owns a free list and an
+/// active list behind its own lock, so the common case -- a vproc reusing
+/// a chunk homed on its node -- synchronizes only within that node, never
+/// across the machine. Fresh registrations take a separate registration
+/// lock and are *batched*: one MemoryBanks mapping carves several chunks,
+/// the requester keeps one and the rest seed the home node's free list,
+/// so the global synchronization cost is paid once per batch rather than
+/// once per chunk.
 ///
 /// A global collection is triggered once the bytes held in live chunks
 /// exceed a threshold (the paper uses 32 MB per vproc).
@@ -58,7 +67,12 @@ struct Chunk {
   Word *AllocPtr = nullptr;
   Word *ScanPtr = nullptr;
   NodeId HomeNode = 0;   ///< node whose bank backs this chunk's pages
-  Chunk *Next = nullptr; ///< intrusive list link (free / active / pending)
+  Chunk *Next = nullptr; ///< intrusive list link (free / active / from-space)
+  /// Intrusive link for the global collector's pending-scan ChunkStack.
+  /// Separate from Next because a to-space chunk is pushed pending while
+  /// it still sits on its shard's active list, and atomic because racing
+  /// pops read it without holding any lock.
+  std::atomic<Chunk *> PendingNext{nullptr};
   bool InFromSpace = false; ///< set while condemned by a global collection
   /// Oversized chunks hold one object larger than a standard chunk; they
   /// are dedicated allocations freed (not pooled) on release.
@@ -103,24 +117,111 @@ struct Chunk {
     AllocPtr = Base;
     ScanPtr = Base;
     Next = nullptr;
+    PendingNext.store(nullptr, std::memory_order_relaxed);
     InFromSpace = false;
   }
 };
 
-/// Thread-safe manager of every chunk in the global heap.
+/// Which synchronization class served a chunk acquisition (the paper's
+/// node-local vs. global cost split, with cross-node reuse -- a steal
+/// from another node's shard -- reported separately).
+enum class ChunkSource : uint8_t {
+  LocalReuse,  ///< popped from the requesting node's own free shard
+  RemoteReuse, ///< stolen from another node's free shard
+  Fresh,       ///< served by a fresh batched registration
+};
+
+/// A lock-free Treiber stack of chunks, linked through
+/// Chunk::PendingNext (never Chunk::Next: a pending chunk is usually
+/// still on its shard's active list, whose linkage must survive). Used
+/// as the global collector's pending-scan queue so publishing and
+/// claiming scan work never serializes the vprocs behind one lock. The
+/// head packs a 16-bit ABA tag above the 48-bit pointer, so a pop racing
+/// a pop+re-push of the same chunk cannot splice a stale next pointer.
+class ChunkStack {
+public:
+  ChunkStack() = default;
+  ChunkStack(const ChunkStack &) = delete;
+  ChunkStack &operator=(const ChunkStack &) = delete;
+
+  void push(Chunk *C) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      C->PendingNext.store(unpack(H), std::memory_order_relaxed);
+      if (Head.compare_exchange_weak(H, pack(C, tag(H) + 1),
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  /// Pops the most recently pushed chunk, or null when empty.
+  Chunk *tryPop() {
+    uint64_t H = Head.load(std::memory_order_acquire);
+    for (;;) {
+      Chunk *C = unpack(H);
+      if (!C)
+        return nullptr;
+      // The loaded link may be stale if another thread popped C
+      // concurrently; the tag bump makes the CAS fail in that case, so
+      // the stale value is never installed. Chunk descriptors are only
+      // deleted outside the phases that use this stack.
+      uint64_t N =
+          pack(C->PendingNext.load(std::memory_order_relaxed), tag(H) + 1);
+      if (Head.compare_exchange_weak(H, N, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        C->PendingNext.store(nullptr, std::memory_order_relaxed);
+        return C;
+      }
+    }
+  }
+
+  bool empty() const {
+    return unpack(Head.load(std::memory_order_acquire)) == nullptr;
+  }
+
+  /// Drops every entry (global-GC leader reset; the stack is expected to
+  /// already be empty).
+  void clear() { Head.store(0, std::memory_order_relaxed); }
+
+private:
+  static constexpr unsigned TagShift = 48;
+  static constexpr uint64_t PtrMask = (uint64_t(1) << TagShift) - 1;
+
+  static Chunk *unpack(uint64_t H) {
+    return reinterpret_cast<Chunk *>(H & PtrMask);
+  }
+  static uint64_t tag(uint64_t H) { return H >> TagShift; }
+  static uint64_t pack(Chunk *C, uint64_t Tag) {
+    return (reinterpret_cast<uint64_t>(C) & PtrMask) | (Tag << TagShift);
+  }
+
+  /// 48-bit chunk pointer | 16-bit ABA tag.
+  std::atomic<uint64_t> Head{0};
+};
+
+/// Thread-safe manager of every chunk in the global heap, sharded by
+/// NUMA node.
 class ChunkManager {
 public:
-  /// \p ChunkBytes must be a multiple of the page size. When
-  /// \p PreserveAffinity is false the node-affine free lists collapse
-  /// into one pool (the ablation in bench/ablation_chunk_affinity).
+  /// Chunks carved per fresh MemoryBanks mapping by default.
+  static constexpr unsigned DefaultBatchChunks = 8;
+
+  /// \p ChunkBytes must be a power-of-two multiple of the page size.
+  /// When \p PreserveAffinity is false the node-affine free shards are
+  /// scanned in node order regardless of the requester (the ablation in
+  /// bench/ablation_chunk_affinity). \p BatchChunks is the number of
+  /// chunks carved out of each fresh mapping (>= 1).
   ChunkManager(MemoryBanks &Banks, AllocPolicy &Policy,
-               std::size_t ChunkBytes, bool PreserveAffinity = true);
+               std::size_t ChunkBytes, bool PreserveAffinity = true,
+               unsigned BatchChunks = DefaultBatchChunks);
   ~ChunkManager();
 
   ChunkManager(const ChunkManager &) = delete;
   ChunkManager &operator=(const ChunkManager &) = delete;
 
   std::size_t chunkBytes() const { return ChunkBytes; }
+  unsigned batchChunks() const { return BatchChunks; }
 
   /// Object-area capacity of a standard chunk.
   std::size_t standardCapacityBytes() const {
@@ -139,18 +240,21 @@ public:
   Chunk *chunkOf(const Word *P) const;
 
   /// Hands out a chunk for allocation by a vproc on \p RequestingNode.
-  /// Prefers a free chunk homed on that node (node-local synchronization);
-  /// otherwise reuses any free chunk or maps a fresh one (global
-  /// synchronization). The chunk is recorded as *active*.
-  Chunk *acquireChunk(NodeId RequestingNode);
+  /// Prefers a free chunk homed on that node (node-local
+  /// synchronization: only that node's shard lock), then steals from
+  /// another node's shard, then registers a fresh batch of chunks
+  /// (global synchronization). The chunk is recorded as *active* on its
+  /// home shard. \p Source, when non-null, receives the synchronization
+  /// class that served the request.
+  Chunk *acquireChunk(NodeId RequestingNode, ChunkSource *Source = nullptr);
 
   /// Moves every active chunk into the per-node from-space lists, marks
-  /// them condemned, and clears the active set (global GC step: "these
+  /// them condemned, and clears the active sets (global GC step: "these
   /// global heap chunks are gathered on a per-node basis"). Caller must
   /// have stopped the world.
   void gatherFromSpace(std::vector<Chunk *> &PerNodeFromLists);
 
-  /// Returns a from-space chunk to the free pool.
+  /// Returns a from-space chunk to its home node's free shard.
   void releaseChunk(Chunk *C);
 
   /// Bytes currently held by active chunks (allocation capacity handed
@@ -159,18 +263,26 @@ public:
     return ActiveBytes.load(std::memory_order_relaxed);
   }
 
-  /// Number of chunks ever created.
+  /// Number of chunks ever created (batched registrations create
+  /// batchChunks() of them per fresh mapping).
   unsigned numChunksCreated() const {
     return NumCreated.load(std::memory_order_relaxed);
   }
 
-  /// Counters distinguishing the two synchronization classes.
+  /// Counters distinguishing the synchronization classes.
   uint64_t nodeLocalReuses() const {
     return NodeLocalReuses.load(std::memory_order_relaxed);
   }
-  uint64_t globalAllocations() const {
-    return GlobalAllocs.load(std::memory_order_relaxed);
+  uint64_t crossNodeSteals() const {
+    return CrossNodeSteals.load(std::memory_order_relaxed);
   }
+  /// Fresh mappings registered with the runtime (each carves a batch of
+  /// standard chunks, or one oversized chunk).
+  uint64_t freshRegistrations() const {
+    return FreshRegistrations.load(std::memory_order_relaxed);
+  }
+  /// Historical alias for freshRegistrations().
+  uint64_t globalAllocations() const { return freshRegistrations(); }
 
   /// \returns true if \p P points into any active chunk. O(#chunks);
   /// meant for tests and invariant checks, not hot paths.
@@ -178,22 +290,41 @@ public:
 
   /// Applies \p Fn to every active chunk (stop-the-world only).
   template <typename FnT> void forEachActiveChunk(FnT Fn) const {
-    for (Chunk *C = Active; C; C = C->Next)
-      Fn(C);
+    for (const Shard &S : Shards)
+      for (Chunk *C = S.Active; C; C = C->Next)
+        Fn(C);
   }
 
 private:
-  Chunk *newChunk(NodeId RequestingNode);
+  /// Per-node shard: free and active chunks homed on this node, behind a
+  /// node-private lock. Padded to a cache line so shard locks on
+  /// different nodes never false-share.
+  struct alignas(64) Shard {
+    mutable SpinLock Lock;
+    Chunk *Free = nullptr;   ///< reusable chunks homed on this node
+    Chunk *Active = nullptr; ///< handed-out chunks homed on this node
+  };
+
+  /// Maps a fresh batch, activates one chunk for the requester, and
+  /// seeds the home shard's free list with the rest.
+  Chunk *registerFreshBatch(NodeId RequestingNode);
+  Chunk *carveChunk(void *BlockBase);
+  void activateLocked(Shard &S, Chunk *C, std::size_t Bytes);
 
   MemoryBanks &Banks;
   AllocPolicy &Policy;
   const std::size_t ChunkBytes;
   const bool PreserveAffinity;
+  const unsigned BatchChunks;
 
-  mutable SpinLock Lock;
-  std::vector<Chunk *> FreeByNode; ///< heads of per-node free lists
-  Chunk *Active = nullptr;         ///< all chunks handed out
-  std::vector<Chunk *> AllChunks;  ///< standard-chunk ownership
+  std::vector<Shard> Shards; ///< one per node
+
+  /// Guards the ownership structures below (fresh registrations and the
+  /// oversized index) -- the paper's "global synchronization" class.
+  mutable SpinLock RegisterLock;
+  std::vector<Chunk *> AllChunks; ///< standard-chunk descriptor ownership
+  /// One entry per fresh batched mapping: (block base, block bytes).
+  std::vector<std::pair<void *, std::size_t>> BatchBlocks;
   /// Oversized chunks, sorted by block base address (also ownership).
   std::vector<std::pair<uintptr_t, Chunk *>> Oversized;
   /// Lock-free emptiness check so chunkOf skips the index lock entirely
@@ -203,7 +334,8 @@ private:
   std::atomic<uint64_t> ActiveBytes{0};
   std::atomic<unsigned> NumCreated{0};
   std::atomic<uint64_t> NodeLocalReuses{0};
-  std::atomic<uint64_t> GlobalAllocs{0};
+  std::atomic<uint64_t> CrossNodeSteals{0};
+  std::atomic<uint64_t> FreshRegistrations{0};
 };
 
 } // namespace manti

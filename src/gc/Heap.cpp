@@ -24,7 +24,8 @@ GCWorld::GCWorld(const GCConfig &Config, const Topology &Topo,
                  unsigned NumVProcs)
     : Config(Config), Topo(Topo), Banks(Topo.numNodes()),
       Policy(Config.Policy, Topo.numNodes()), Traffic(Topo.numNodes()),
-      Chunks(Banks, Policy, Config.ChunkBytes, Config.PreserveChunkAffinity),
+      Chunks(Banks, Policy, Config.ChunkBytes, Config.PreserveChunkAffinity,
+             Config.ChunkBatch),
       GlobalGCThreshold(static_cast<uint64_t>(Config.GlobalGCBytesPerVProc) *
                         NumVProcs),
       GCBarrier(NumVProcs) {
@@ -100,21 +101,41 @@ void VProcHeap::safePoint() {
 // Global-heap bump allocation
 //===----------------------------------------------------------------------===//
 
+/// Acquires a chunk for this vproc and tallies the synchronization class
+/// into the per-vproc stats (the manager keeps the machine-wide view).
+Chunk *VProcHeap::acquireChunkCounted() {
+  ChunkSource Src;
+  Chunk *C = World.Chunks.acquireChunk(Node, &Src);
+  switch (Src) {
+  case ChunkSource::LocalReuse:
+    ++Stats.ChunkLocalReuses;
+    break;
+  case ChunkSource::RemoteReuse:
+    ++Stats.ChunkCrossNodeSteals;
+    break;
+  case ChunkSource::Fresh:
+    ++Stats.ChunkFreshRegistrations;
+    break;
+  }
+  return C;
+}
+
 Word *VProcHeap::globalReserve(uint64_t FootprintWords, Chunk **UsedChunk) {
   std::size_t Bytes = FootprintWords * sizeof(Word);
   if (Bytes > World.Chunks.standardCapacityBytes()) {
     Chunk *Big = World.Chunks.acquireOversized(Node, Bytes);
+    ++Stats.ChunkFreshRegistrations;
     Word *P = Big->tryReserve(FootprintWords);
     MANTI_CHECK(P, "oversized chunk cannot hold its object");
     *UsedChunk = Big;
     return P;
   }
   if (!CurChunk)
-    CurChunk = World.Chunks.acquireChunk(Node);
+    CurChunk = acquireChunkCounted();
   *UsedChunk = CurChunk;
   if (Word *P = CurChunk->tryReserve(FootprintWords))
     return P;
-  CurChunk = World.Chunks.acquireChunk(Node);
+  CurChunk = acquireChunkCounted();
   *UsedChunk = CurChunk;
   Word *P = CurChunk->tryReserve(FootprintWords);
   MANTI_CHECK(P, "object does not fit in a global-heap chunk");

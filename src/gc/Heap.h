@@ -83,6 +83,9 @@ struct GCConfig {
   AllocPolicyKind Policy = AllocPolicyKind::Local;
   /// Reuse global chunks on their home node (ablation knob).
   bool PreserveChunkAffinity = true;
+  /// Chunks carved per fresh MemoryBanks mapping: the global
+  /// synchronization cost of chunk registration is paid once per batch.
+  unsigned ChunkBatch = ChunkManager::DefaultBatchChunks;
 };
 
 /// Visits one root slot; the visitor may rewrite the slot's word.
@@ -224,6 +227,7 @@ public:
 private:
   friend class GCWorld;
 
+  Chunk *acquireChunkCounted();
   Word *allocLocalObject(uint16_t Id, uint64_t LenWords);
   Word *allocSlowPath(uint16_t Id, uint64_t LenWords);
   bool vectorIsOversized(std::size_t N) const;

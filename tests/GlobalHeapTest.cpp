@@ -8,15 +8,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
 using namespace manti;
 
 namespace {
 
+/// Batch size 1 keeps the original one-chunk-per-mapping semantics these
+/// unit tests were written against; batching is covered separately below.
 struct ChunkFixture : ::testing::Test {
   static constexpr std::size_t ChunkBytes = 64 * 1024;
   ChunkFixture()
       : Banks(4), Policy(AllocPolicyKind::Local, 4),
-        Mgr(Banks, Policy, ChunkBytes) {}
+        Mgr(Banks, Policy, ChunkBytes, /*PreserveAffinity=*/true,
+            /*BatchChunks=*/1) {}
   MemoryBanks Banks;
   AllocPolicy Policy;
   ChunkManager Mgr;
@@ -84,9 +93,12 @@ TEST_F(ChunkFixture, ReleaseThenReuseKeepsNodeAffinity) {
   Mgr.gatherFromSpace(FromByNode);
   Mgr.releaseChunk(A);
   EXPECT_FALSE(A->InFromSpace);
-  Chunk *B = Mgr.acquireChunk(3);
+  ChunkSource Src;
+  Chunk *B = Mgr.acquireChunk(3, &Src);
   EXPECT_EQ(A, B) << "free chunk homed on node 3 must be reused there";
+  EXPECT_EQ(Src, ChunkSource::LocalReuse);
   EXPECT_EQ(Mgr.nodeLocalReuses(), 1u);
+  EXPECT_EQ(Mgr.crossNodeSteals(), 0u);
 }
 
 TEST_F(ChunkFixture, CrossNodeReuseOnlyWhenNecessary) {
@@ -95,17 +107,25 @@ TEST_F(ChunkFixture, CrossNodeReuseOnlyWhenNecessary) {
   Mgr.gatherFromSpace(FromByNode);
   Mgr.releaseChunk(A);
   // Requesting from node 2: no node-2 free chunk exists, so the node-0
-  // chunk is reused (cheaper than mapping fresh memory) but it keeps its
+  // chunk is stolen (cheaper than mapping fresh memory) but it keeps its
   // node-0 home.
-  Chunk *B = Mgr.acquireChunk(2);
+  ChunkSource Src;
+  Chunk *B = Mgr.acquireChunk(2, &Src);
   EXPECT_EQ(B, A);
   EXPECT_EQ(B->HomeNode, 0u);
+  EXPECT_EQ(Src, ChunkSource::RemoteReuse);
+  EXPECT_EQ(Mgr.crossNodeSteals(), 1u);
+  EXPECT_EQ(Mgr.nodeLocalReuses(), 0u);
 }
 
 TEST_F(ChunkFixture, CountersDistinguishSyncClasses) {
-  Mgr.acquireChunk(0); // fresh: global synchronization
-  EXPECT_EQ(Mgr.globalAllocations(), 1u);
+  ChunkSource Src;
+  Mgr.acquireChunk(0, &Src); // fresh: global synchronization
+  EXPECT_EQ(Src, ChunkSource::Fresh);
+  EXPECT_EQ(Mgr.freshRegistrations(), 1u);
+  EXPECT_EQ(Mgr.globalAllocations(), 1u) << "historical alias";
   EXPECT_EQ(Mgr.nodeLocalReuses(), 0u);
+  EXPECT_EQ(Mgr.crossNodeSteals(), 0u);
 }
 
 TEST_F(ChunkFixture, ResetForReuseClearsCursors) {
@@ -121,7 +141,8 @@ TEST_F(ChunkFixture, ResetForReuseClearsCursors) {
 TEST(ChunkAffinityAblation, DisabledAffinityIgnoresHomeNode) {
   MemoryBanks Banks(4);
   AllocPolicy Policy(AllocPolicyKind::Local, 4);
-  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/false);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/false,
+                   /*BatchChunks=*/1);
   Chunk *A = Mgr.acquireChunk(0);
   Chunk *B = Mgr.acquireChunk(3);
   std::vector<Chunk *> FromByNode;
@@ -129,7 +150,7 @@ TEST(ChunkAffinityAblation, DisabledAffinityIgnoresHomeNode) {
   Mgr.releaseChunk(A);
   Mgr.releaseChunk(B);
   // With affinity off, a node-3 request may be served by the node-0
-  // chunk (first free list scanned in node order).
+  // chunk (first free shard scanned in node order).
   Chunk *C = Mgr.acquireChunk(3);
   EXPECT_EQ(C->HomeNode, 0u);
 }
@@ -137,7 +158,8 @@ TEST(ChunkAffinityAblation, DisabledAffinityIgnoresHomeNode) {
 TEST(ChunkManagerPolicy, InterleavedSpreadsChunkHomes) {
   MemoryBanks Banks(4);
   AllocPolicy Policy(AllocPolicyKind::Interleaved, 4);
-  ChunkManager Mgr(Banks, Policy, 64 * 1024);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/true,
+                   /*BatchChunks=*/1);
   std::vector<unsigned> PerNode(4, 0);
   for (int I = 0; I < 8; ++I)
     ++PerNode[Mgr.acquireChunk(0)->HomeNode];
@@ -151,4 +173,321 @@ TEST(ChunkManagerPolicy, SingleNodePutsEverythingOnZero) {
   ChunkManager Mgr(Banks, Policy, 64 * 1024);
   for (int I = 0; I < 6; ++I)
     EXPECT_EQ(Mgr.acquireChunk(I % 4)->HomeNode, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched registration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BatchedFixture : ::testing::Test {
+  static constexpr std::size_t ChunkBytes = 64 * 1024;
+  static constexpr unsigned Batch = 4;
+  BatchedFixture()
+      : Banks(4), Policy(AllocPolicyKind::Local, 4),
+        Mgr(Banks, Policy, ChunkBytes, /*PreserveAffinity=*/true, Batch) {}
+  MemoryBanks Banks;
+  AllocPolicy Policy;
+  ChunkManager Mgr;
+};
+
+} // namespace
+
+TEST_F(BatchedFixture, OneMappingCarvesWholeBatch) {
+  ChunkSource Src;
+  Chunk *C = Mgr.acquireChunk(2, &Src);
+  EXPECT_EQ(Src, ChunkSource::Fresh);
+  EXPECT_EQ(C->HomeNode, 2u);
+  EXPECT_EQ(Mgr.numChunksCreated(), Batch);
+  EXPECT_EQ(Mgr.freshRegistrations(), 1u) << "one mapping, one global sync";
+  EXPECT_EQ(Mgr.activeBytes(), ChunkBytes) << "only the handed-out chunk";
+}
+
+TEST_F(BatchedFixture, BatchExtrasServeSameNodeWithoutGlobalSync) {
+  Mgr.acquireChunk(2);
+  for (unsigned I = 1; I < Batch; ++I) {
+    ChunkSource Src;
+    Chunk *C = Mgr.acquireChunk(2, &Src);
+    EXPECT_EQ(Src, ChunkSource::LocalReuse)
+        << "batch extras are node-local synchronization";
+    EXPECT_EQ(C->HomeNode, 2u);
+  }
+  EXPECT_EQ(Mgr.freshRegistrations(), 1u);
+  EXPECT_EQ(Mgr.numChunksCreated(), Batch) << "no further mappings";
+  EXPECT_EQ(Mgr.nodeLocalReuses(), static_cast<uint64_t>(Batch - 1));
+  // The batch is exhausted: the next acquisition maps again.
+  Mgr.acquireChunk(2);
+  EXPECT_EQ(Mgr.freshRegistrations(), 2u);
+}
+
+TEST_F(BatchedFixture, EveryBatchChunkIsSizeAlignedAndFindable) {
+  Chunk *First = Mgr.acquireChunk(1);
+  std::vector<Chunk *> Batch1{First};
+  for (unsigned I = 1; I < Batch; ++I)
+    Batch1.push_back(Mgr.acquireChunk(1));
+  for (Chunk *C : Batch1) {
+    uintptr_t Block = reinterpret_cast<uintptr_t>(C->Base - ChunkMetaWords);
+    EXPECT_EQ(Block % ChunkBytes, 0u) << "interior-pointer mask alignment";
+    Word *Obj = C->tryAlloc(IdRaw, 4);
+    EXPECT_EQ(Chunk::fromInteriorPtr(Obj, ChunkBytes), C);
+    EXPECT_EQ(Mgr.chunkOf(Obj), C);
+  }
+}
+
+TEST_F(BatchedFixture, GatherReleaseRecyclesBatchChunksByHome) {
+  std::vector<Chunk *> Acquired;
+  for (unsigned I = 0; I < 2 * Batch; ++I)
+    Acquired.push_back(Mgr.acquireChunk(3));
+  EXPECT_EQ(Mgr.freshRegistrations(), 2u);
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  for (Chunk *C : Acquired)
+    Mgr.releaseChunk(C);
+  // Every recycled chunk comes back on its home node.
+  for (unsigned I = 0; I < 2 * Batch; ++I) {
+    ChunkSource Src;
+    Chunk *C = Mgr.acquireChunk(3, &Src);
+    EXPECT_EQ(Src, ChunkSource::LocalReuse);
+    EXPECT_EQ(C->HomeNode, 3u);
+  }
+  EXPECT_EQ(Mgr.freshRegistrations(), 2u) << "recycling maps nothing new";
+}
+
+TEST(ChunkManagerBatched, InterleavedPolicyRoundRobinsMappings) {
+  MemoryBanks Banks(4);
+  AllocPolicy Policy(AllocPolicyKind::Interleaved, 4);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/true,
+                   /*BatchChunks=*/2);
+  // Fresh mappings round-robin across nodes; each mapping's extras stay
+  // with their batch's home.
+  std::vector<unsigned> PerNode(4, 0);
+  for (int I = 0; I < 8; ++I)
+    ++PerNode[Mgr.acquireChunk(0)->HomeNode];
+  EXPECT_EQ(Mgr.freshRegistrations(), 4u);
+  for (unsigned N : PerNode)
+    EXPECT_EQ(N, 2u) << "one 2-chunk batch per node";
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent stress: sharded reuse / registration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Threads threads of \p Fn(tid) and joins them.
+template <typename FnT> void runThreads(unsigned Threads, FnT Fn) {
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&Fn, T] { Fn(T); });
+  for (std::thread &T : Ts)
+    T.join();
+}
+
+} // namespace
+
+TEST(ChunkManagerStress, ConcurrentAcquireReleaseKeepsAffinityAndCounters) {
+  constexpr unsigned Nodes = 4;
+  constexpr unsigned Threads = 8;
+  constexpr unsigned Rounds = 20;
+  constexpr unsigned PerRound = 6;
+  MemoryBanks Banks(Nodes);
+  AllocPolicy Policy(AllocPolicyKind::Local, Nodes);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/true,
+                   /*BatchChunks=*/4);
+
+  std::atomic<uint64_t> LocalTally{0}, StealTally{0}, FreshTally{0};
+  std::atomic<uint64_t> HomeMismatches{0};
+  uint64_t TotalAcquires = 0;
+
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    std::vector<std::vector<Chunk *>> Got(Threads);
+    runThreads(Threads, [&](unsigned T) {
+      NodeId Node = T % Nodes;
+      for (unsigned I = 0; I < PerRound; ++I) {
+        ChunkSource Src;
+        Chunk *C = Mgr.acquireChunk(Node, &Src);
+        ASSERT_NE(C, nullptr);
+        switch (Src) {
+        case ChunkSource::LocalReuse:
+          LocalTally.fetch_add(1);
+          // A node-local acquisition must hand back a chunk homed on the
+          // requesting node (the whole point of the shards).
+          if (C->HomeNode != Node)
+            HomeMismatches.fetch_add(1);
+          break;
+        case ChunkSource::RemoteReuse:
+          StealTally.fetch_add(1);
+          if (C->HomeNode == Node)
+            HomeMismatches.fetch_add(1);
+          break;
+        case ChunkSource::Fresh:
+          FreshTally.fetch_add(1);
+          // Local policy: fresh batches land on the requester's node.
+          if (C->HomeNode != Node)
+            HomeMismatches.fetch_add(1);
+          break;
+        }
+        Got[T].push_back(C);
+      }
+    });
+    TotalAcquires += Threads * PerRound;
+
+    // Stop-the-world recycle, as the global collector would.
+    std::vector<Chunk *> FromByNode;
+    Mgr.gatherFromSpace(FromByNode);
+    std::set<Chunk *> Gathered;
+    for (Chunk *Head : FromByNode)
+      for (Chunk *C = Head; C; C = C->Next)
+        Gathered.insert(C);
+    std::set<Chunk *> Handed;
+    for (auto &V : Got)
+      for (Chunk *C : V)
+        Handed.insert(C);
+    EXPECT_EQ(Gathered, Handed) << "gather must see every handed-out chunk";
+    for (Chunk *Head : FromByNode) {
+      while (Chunk *C = Head) {
+        Head = C->Next;
+        Mgr.releaseChunk(C);
+      }
+    }
+  }
+
+  EXPECT_EQ(HomeMismatches.load(), 0u);
+  // The per-call tallies and the manager's counters must agree, and
+  // every acquisition is accounted to exactly one class.
+  EXPECT_EQ(Mgr.nodeLocalReuses(), LocalTally.load());
+  EXPECT_EQ(Mgr.crossNodeSteals(), StealTally.load());
+  EXPECT_EQ(Mgr.freshRegistrations(), FreshTally.load());
+  EXPECT_EQ(LocalTally.load() + StealTally.load() + FreshTally.load(),
+            TotalAcquires);
+  // Every created chunk traces back to a batched mapping.
+  EXPECT_EQ(Mgr.numChunksCreated(), FreshTally.load() * Mgr.batchChunks());
+}
+
+TEST(ChunkManagerStress, ConcurrentFreshRegistrationsStayConsistent) {
+  constexpr unsigned Nodes = 2;
+  constexpr unsigned Threads = 6;
+  constexpr unsigned PerThread = 10;
+  MemoryBanks Banks(Nodes);
+  AllocPolicy Policy(AllocPolicyKind::Local, Nodes);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/true,
+                   /*BatchChunks=*/2);
+  std::vector<std::vector<Chunk *>> Got(Threads);
+  runThreads(Threads, [&](unsigned T) {
+    for (unsigned I = 0; I < PerThread; ++I)
+      Got[T].push_back(Mgr.acquireChunk(T % Nodes));
+  });
+  // No chunk may be handed to two owners.
+  std::set<Chunk *> Unique;
+  unsigned Total = 0;
+  for (auto &V : Got)
+    for (Chunk *C : V) {
+      EXPECT_TRUE(Unique.insert(C).second) << "chunk handed out twice";
+      ++Total;
+    }
+  EXPECT_EQ(Total, Threads * PerThread);
+  EXPECT_EQ(Mgr.activeBytes(), static_cast<uint64_t>(Total) * 64 * 1024);
+  // Interior pointers of every chunk resolve to their descriptor even
+  // after concurrent batched registration.
+  for (Chunk *C : Unique) {
+    Word *Obj = C->tryAlloc(IdRaw, 2);
+    ASSERT_NE(Obj, nullptr);
+    EXPECT_EQ(Mgr.chunkOf(Obj), C);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Treiber pending-chunk stack
+//===----------------------------------------------------------------------===//
+
+TEST(ChunkStackTest, PendingPushLeavesActiveListsIntact) {
+  // During global-GC phase 4, a to-space chunk is pushed onto the
+  // pending stack while it still sits on its shard's active list. The
+  // stack must link through PendingNext, not Next: corrupting the
+  // active linkage would make the next collection lose or double-gather
+  // chunks.
+  MemoryBanks Banks(2);
+  AllocPolicy Policy(AllocPolicyKind::Local, 2);
+  ChunkManager Mgr(Banks, Policy, 64 * 1024, /*PreserveAffinity=*/true,
+                   /*BatchChunks=*/1);
+  Chunk *A = Mgr.acquireChunk(0);
+  Chunk *B = Mgr.acquireChunk(0); // active list on shard 0: B -> A
+  Chunk *C = Mgr.acquireChunk(1);
+
+  ChunkStack Pending;
+  Pending.push(A); // as the scanner publishes a filled current chunk
+  Pending.push(C);
+
+  std::vector<Chunk *> FromByNode;
+  Mgr.gatherFromSpace(FromByNode);
+  std::set<Chunk *> Gathered;
+  for (Chunk *Head : FromByNode)
+    for (Chunk *Cur = Head; Cur; Cur = Cur->Next)
+      EXPECT_TRUE(Gathered.insert(Cur).second) << "chunk gathered twice";
+  EXPECT_EQ(Gathered, (std::set<Chunk *>{A, B, C}))
+      << "pending pushes must not drop or duplicate active chunks";
+  EXPECT_EQ(Pending.tryPop(), C);
+  EXPECT_EQ(Pending.tryPop(), A);
+}
+
+TEST(ChunkStackTest, PushPopLifoSingleThread) {
+  ChunkStack S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.tryPop(), nullptr);
+  Chunk A, B, C;
+  S.push(&A);
+  S.push(&B);
+  S.push(&C);
+  EXPECT_FALSE(S.empty());
+  EXPECT_EQ(S.tryPop(), &C);
+  EXPECT_EQ(S.tryPop(), &B);
+  EXPECT_EQ(S.tryPop(), &A);
+  EXPECT_EQ(S.tryPop(), nullptr);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(ChunkStackTest, ConcurrentPushPopLosesNothing) {
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 2000;
+  ChunkStack S;
+  std::vector<Chunk> Pool(Threads * PerThread);
+  std::atomic<uint64_t> Popped{0};
+
+  // Half the threads push their slice while the other half pop whatever
+  // is available; then the poppers drain the rest. Every descriptor must
+  // come out exactly once (the ABA tag is what makes this safe).
+  std::atomic<bool> PushersDone{false};
+  std::vector<std::thread> Ts;
+  std::vector<std::vector<Chunk *>> PoppedBy(Threads / 2);
+  for (unsigned T = 0; T < Threads / 2; ++T)
+    Ts.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread * 2; ++I)
+        S.push(&Pool[T * PerThread * 2 + I]);
+    });
+  for (unsigned T = 0; T < Threads / 2; ++T)
+    Ts.emplace_back([&, T] {
+      for (;;) {
+        if (Chunk *C = S.tryPop()) {
+          PoppedBy[T].push_back(C);
+          Popped.fetch_add(1, std::memory_order_relaxed);
+        } else if (PushersDone.load(std::memory_order_acquire) && S.empty()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (unsigned T = 0; T < Threads / 2; ++T)
+    Ts[T].join();
+  PushersDone.store(true, std::memory_order_release);
+  for (unsigned T = Threads / 2; T < Threads; ++T)
+    Ts[T].join();
+
+  EXPECT_EQ(Popped.load(), static_cast<uint64_t>(Threads) * PerThread);
+  std::set<Chunk *> Seen;
+  for (auto &V : PoppedBy)
+    for (Chunk *C : V)
+      EXPECT_TRUE(Seen.insert(C).second) << "descriptor popped twice";
+  EXPECT_EQ(Seen.size(), Pool.size());
 }
