@@ -54,10 +54,10 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.MajorPause.count()));
   std::printf("  promotions:        %llu (stolen sub-sorts)\n",
               static_cast<unsigned long long>(S.PromoteCalls));
-  uint64_t Steals = 0;
-  for (unsigned V = 0; V < RT.numVProcs(); ++V)
-    Steals += RT.vproc(V).stealsOut();
-  std::printf("  tasks stolen:      %llu\n",
-              static_cast<unsigned long long>(Steals));
+  SchedStats Sched = RT.aggregateSchedStats();
+  std::printf("  tasks stolen:      %llu (%llu batches, %.1f%% node-local)\n",
+              static_cast<unsigned long long>(Sched.TasksStolen),
+              static_cast<unsigned long long>(Sched.StealBatches),
+              100.0 * Sched.nodeLocalFraction());
   return A.Res.Sorted ? 0 : 1;
 }

@@ -98,7 +98,34 @@ std::string manti::gcReportString(GCWorld &World) {
   return Out;
 }
 
+std::string manti::gcReportString(GCWorld &World, const SchedStats &Sched) {
+  std::string Out = gcReportString(World);
+  appendf(Out, "scheduler:\n  %" PRIu64 " spawns, %" PRIu64
+               " tasks stolen in %" PRIu64 " batches (mean %.1f/batch)\n",
+          Sched.Spawns, Sched.TasksStolen, Sched.StealBatches,
+          Sched.meanStealBatch());
+  appendf(Out,
+          "  steal locality: %" PRIu64 " node-local, %" PRIu64
+          " cross-node (%.1f%% node-local), ",
+          Sched.NodeLocalBatches, Sched.CrossNodeBatches,
+          100.0 * Sched.nodeLocalFraction());
+  appendBytes(Out, Sched.StolenEnvBytes);
+  appendf(Out, " stolen-env bytes\n");
+  appendf(Out,
+          "  failed steals: %" PRIu64 " rounds (%" PRIu64
+          " attempts), parked %" PRIu64 " times for %.1f ms\n",
+          Sched.FailedStealRounds, Sched.FailedStealAttempts, Sched.Parks,
+          static_cast<double>(Sched.ParkNanos) / 1e6);
+  return Out;
+}
+
 void manti::printGCReport(std::FILE *Out, GCWorld &World) {
   std::string Report = gcReportString(World);
+  std::fwrite(Report.data(), 1, Report.size(), Out);
+}
+
+void manti::printGCReport(std::FILE *Out, GCWorld &World,
+                          const SchedStats &Sched) {
+  std::string Report = gcReportString(World, Sched);
   std::fwrite(Report.data(), 1, Report.size(), Out);
 }

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Renders a world's collector statistics -- per-phase counts, bytes,
-/// pause times, chunk-manager synchronization classes, and the
-/// inter-node traffic matrix -- as text. Examples and benchmarks use it;
-/// it is the library's equivalent of a runtime's `+RTS -s` output.
+/// pause times, chunk-manager synchronization classes, scheduler
+/// counters, and the inter-node traffic matrix -- as text. Examples and
+/// benchmarks use it; it is the library's equivalent of a runtime's
+/// `+RTS -s` output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +17,7 @@
 #define MANTI_GC_GCREPORT_H
 
 #include "gc/Heap.h"
+#include "runtime/SchedStats.h"
 
 #include <cstdio>
 #include <string>
@@ -28,6 +30,11 @@ void printGCReport(std::FILE *Out, GCWorld &World);
 
 /// Same report as a string (for tests).
 std::string gcReportString(GCWorld &World);
+
+/// Report including a scheduler section rendered from \p Sched
+/// (typically Runtime::aggregateSchedStats()).
+void printGCReport(std::FILE *Out, GCWorld &World, const SchedStats &Sched);
+std::string gcReportString(GCWorld &World, const SchedStats &Sched);
 
 } // namespace manti
 

@@ -106,6 +106,22 @@ std::vector<CoreId> Topology::assignVProcsSparsely(unsigned NumVProcs) const {
   return Cores;
 }
 
+std::vector<std::vector<NodeId>> Topology::nodesByDistance(NodeId From) const {
+  // Bucket nodes by hop count. Distances are small (0..numNodes-1), so a
+  // dense bucket array keeps the tiers in increasing-distance order.
+  std::vector<std::vector<NodeId>> Buckets(numNodes());
+  unsigned MaxHops = 0;
+  for (NodeId To = 0; To < numNodes(); ++To) {
+    unsigned Hops = hopCount(From, To);
+    Buckets[Hops].push_back(To);
+    MaxHops = std::max(MaxHops, Hops);
+  }
+  // BFS distances on a connected graph are contiguous, so every bucket
+  // up to MaxHops is non-empty; only the tail needs trimming.
+  Buckets.resize(MaxHops + 1);
+  return Buckets;
+}
+
 Topology Topology::amdMagnyCours48() {
   // Four G34 packages; each package holds two 6-core dies (nodes).
   // Node numbering: package P contributes nodes 2P and 2P+1.

@@ -85,6 +85,12 @@ public:
   /// round-robin over nodes, filling each node's cores in order.
   std::vector<CoreId> assignVProcsSparsely(unsigned NumVProcs) const;
 
+  /// Groups all nodes into proximity tiers as seen from \p From: tier 0
+  /// is {From} itself, and each following tier holds the nodes at the
+  /// next-larger link-hop distance (nodes within a tier are in id order).
+  /// The scheduler walks these tiers when choosing steal victims.
+  std::vector<std::vector<NodeId>> nodesByDistance(NodeId From) const;
+
   /// The 48-core AMD Opteron 6172 machine of Appendix A.1.
   static Topology amdMagnyCours48();
 

@@ -8,6 +8,7 @@
 
 #include "runtime/Channel.h"
 #include "runtime/Rope.h"
+#include "runtime/Scheduler.h"
 #include "support/Assert.h"
 #include "support/Logging.h"
 
@@ -24,6 +25,7 @@ Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
   VProcs.reserve(Config.NumVProcs);
   for (unsigned I = 0; I < Config.NumVProcs; ++I)
     VProcs.push_back(std::make_unique<VProc>(*this, World.heap(I)));
+  Sched = std::make_unique<Scheduler>(*this);
 
   World.setVProcRootEnumerator(&Runtime::enumerateVProcRootsThunk, this);
   World.setGlobalRootEnumerator(&Runtime::enumerateGlobalRootsThunk, this);
@@ -70,21 +72,28 @@ void Runtime::workerLoop(unsigned Id) {
     }
     if (!ShuttingDown.load(std::memory_order_acquire)) {
       VP.poll();
-      if (VP.runOneLocal())
+      if (VP.runOneLocal()) {
+        Sched->noteProgress(VP);
         continue;
-      if (VP.stealAndRun())
+      }
+      if (VP.stealAndRun()) {
+        Sched->noteProgress(VP);
         continue;
-      std::this_thread::yield();
+      }
+      Sched->idleBackoff(VP);
       continue;
     }
     // Drain phase: count ourselves once, then keep polling so pending
-    // collections (which need every vproc) can finish.
+    // collections (which need every vproc) can finish. The idle ladder's
+    // bounded parks keep the polling cheap without delaying a pending
+    // collection by more than one park interval.
     if (!Counted) {
       Counted = true;
+      Sched->noteProgress(VP);
       Drained.fetch_add(1, std::memory_order_acq_rel);
     }
     VP.poll();
-    std::this_thread::yield();
+    Sched->idleBackoff(VP, /*RecordStats=*/false);
   }
 }
 
@@ -103,11 +112,17 @@ void Runtime::run(MainFn Main, void *Ctx) {
   // pending (a collection needs all vprocs at its barriers).
   ShuttingDown.store(true, std::memory_order_release);
   Drained.fetch_add(1, std::memory_order_acq_rel);
+  Sched->noteProgress(VP0);
   while (Drained.load(std::memory_order_acquire) < numVProcs() ||
          World.globalGCPending()) {
     VP0.poll();
-    std::this_thread::yield();
+    Sched->idleBackoff(VP0, /*RecordStats=*/false);
   }
+  Sched->noteProgress(VP0);
+}
+
+SchedStats Runtime::aggregateSchedStats() const {
+  return Sched->aggregateStats();
 }
 
 void Runtime::registerChannel(Channel *C) {

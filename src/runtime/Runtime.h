@@ -38,6 +38,7 @@
 namespace manti {
 
 class Channel;
+class Scheduler;
 
 struct RuntimeConfig {
   GCConfig GC;
@@ -48,6 +49,20 @@ struct RuntimeConfig {
   /// Pin vproc threads to their assigned cores (ignored when the host
   /// has fewer cores than the simulated machine).
   bool PinThreads = true;
+  /// Max tasks handed over per steal handshake (the victim gives the
+  /// oldest ceil(k/2) up to this cap, promoting them together). Clamped
+  /// to [1, StealRequest::MaxBatch]; 1 restores single-task steals.
+  unsigned StealBatch = 4;
+  /// Walk the topology's proximity tiers when choosing steal victims
+  /// (same-node first, then by node distance). false restores the
+  /// uniform-random victim selection (ablation control).
+  bool LocalStealFirst = true;
+  /// Remote-steal throttle (only with LocalStealFirst): a thief probes
+  /// its own node every round, but each farther proximity tier unlocks
+  /// only after this many consecutive failed rounds, so a node's own
+  /// vprocs get first claim on new work before remote thieves converge
+  /// on it. 0 unlocks every tier immediately.
+  unsigned RemoteStealPatience = 64;
 };
 
 using MainFn = void (*)(Runtime &RT, VProc &VP, void *Ctx);
@@ -64,6 +79,13 @@ public:
   GCWorld &world() { return World; }
   unsigned numVProcs() const { return static_cast<unsigned>(VProcs.size()); }
   VProc &vproc(unsigned Id) { return *VProcs[Id]; }
+
+  /// The work-stealing policy layer (victim selection, batching, idle
+  /// back-off).
+  Scheduler &scheduler() { return *Sched; }
+
+  /// Sum of every vproc's scheduler statistics (call while quiescent).
+  SchedStats aggregateSchedStats() const;
 
   /// Executes \p Main as vproc 0 on the calling thread, with the worker
   /// threads scheduling in parallel, and returns once \p Main has
@@ -88,12 +110,12 @@ private:
   static void enumerateGlobalRootsThunk(RootSlotVisitor V, void *VisitorCtx,
                                         void *EnumCtx);
   void workerLoop(unsigned Id);
-  void drainLoop(VProc &VP);
   void pinThread(CoreId Core);
 
   RuntimeConfig Config;
   GCWorld World;
   std::vector<std::unique_ptr<VProc>> VProcs;
+  std::unique_ptr<Scheduler> Sched;
   std::vector<std::thread> Workers;
 
   std::atomic<bool> ShuttingDown{false};

@@ -1,0 +1,84 @@
+//===- runtime/SchedStats.h - per-vproc scheduler statistics -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters for the work-stealing scheduler. Each vproc owns one
+/// SchedStats and mutates only its own (thief-side counters on the
+/// thief's copy, victim-side counters on the victim's copy), so no
+/// synchronization is needed; reports aggregate them after the vprocs
+/// have quiesced. Kept dependency-free so the reporting layer
+/// (gc/GCReport) can render scheduler statistics without pulling in the
+/// runtime headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_SCHEDSTATS_H
+#define MANTI_RUNTIME_SCHEDSTATS_H
+
+#include <cstdint>
+
+namespace manti {
+
+struct SchedStats {
+  /// Tasks pushed on the local ready queue.
+  uint64_t Spawns = 0;
+
+  // Thief side: successful steal handshakes, classified by whether the
+  // victim ran on the thief's NUMA node (Section 2.1: a cross-node steal
+  // drags an environment -- and its subsequent promotions -- across the
+  // interconnect).
+  uint64_t TasksStolen = 0;      ///< tasks received via steals
+  uint64_t StealBatches = 0;     ///< successful handshakes
+  uint64_t NodeLocalBatches = 0; ///< ... with a same-node victim
+  uint64_t CrossNodeBatches = 0; ///< ... with a remote victim
+
+  // Victim side.
+  uint64_t TasksServiced = 0;   ///< tasks handed to thieves
+  uint64_t BatchesServiced = 0; ///< steal requests answered with work
+  uint64_t StolenEnvBytes = 0;  ///< environment bytes promoted for thieves
+
+  // Failures and idleness.
+  uint64_t FailedStealAttempts = 0; ///< handshakes that yielded no task
+  uint64_t FailedStealRounds = 0;   ///< full victim sweeps with no task
+  uint64_t Parks = 0;               ///< idle-ladder park episodes
+  uint64_t ParkNanos = 0;           ///< total time spent parked
+
+  /// Fraction of successful steal handshakes whose victim was on the
+  /// thief's own node (1.0 when no steals happened).
+  double nodeLocalFraction() const {
+    uint64_t Total = NodeLocalBatches + CrossNodeBatches;
+    return Total ? static_cast<double>(NodeLocalBatches) /
+                       static_cast<double>(Total)
+                 : 1.0;
+  }
+
+  /// Mean tasks per successful steal handshake.
+  double meanStealBatch() const {
+    return StealBatches ? static_cast<double>(TasksStolen) /
+                              static_cast<double>(StealBatches)
+                        : 0.0;
+  }
+
+  /// Merges another vproc's stats into this one (for reporting).
+  void merge(const SchedStats &O) {
+    Spawns += O.Spawns;
+    TasksStolen += O.TasksStolen;
+    StealBatches += O.StealBatches;
+    NodeLocalBatches += O.NodeLocalBatches;
+    CrossNodeBatches += O.CrossNodeBatches;
+    TasksServiced += O.TasksServiced;
+    BatchesServiced += O.BatchesServiced;
+    StolenEnvBytes += O.StolenEnvBytes;
+    FailedStealAttempts += O.FailedStealAttempts;
+    FailedStealRounds += O.FailedStealRounds;
+    Parks += O.Parks;
+    ParkNanos += O.ParkNanos;
+  }
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_SCHEDSTATS_H

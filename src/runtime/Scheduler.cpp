@@ -1,0 +1,276 @@
+//===- runtime/Scheduler.cpp -----------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include "numa/TrafficMatrix.h"
+#include "runtime/Runtime.h"
+#include "support/Assert.h"
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace manti;
+
+namespace {
+
+/// Idle-ladder shape: the first rungs retry immediately (the caller's
+/// poll loop is the spin), the next rungs yield, and everything beyond
+/// parks in bounded, exponentially growing sleeps.
+constexpr unsigned SpinRounds = 16;
+constexpr unsigned YieldRounds = 32;
+constexpr unsigned MinParkMicros = 8;
+/// Park cap: small enough that a parked vproc reaches its next safe
+/// point (and answers steal requests) promptly, keeping global-GC entry
+/// latency bounded.
+constexpr unsigned MaxParkMicros = 256;
+
+} // namespace
+
+Scheduler::Scheduler(Runtime &RT)
+    : RT(RT), StealBatch(std::clamp(RT.config().StealBatch, 1u,
+                                    StealRequest::MaxBatch)),
+      LocalStealFirst(RT.config().LocalStealFirst),
+      RemotePatience(RT.config().RemoteStealPatience) {
+  unsigned N = RT.numVProcs();
+  Backoff.resize(N);
+  Proximity.resize(N);
+
+  // Group the other vprocs by the node-distance tiers the topology
+  // reports: tier 0 = same node, then increasing link-hop distance.
+  const Topology &Topo = RT.world().topology();
+  for (unsigned V = 0; V < N; ++V) {
+    std::vector<std::vector<NodeId>> NodeTiers =
+        Topo.nodesByDistance(RT.vproc(V).node());
+    for (const std::vector<NodeId> &Tier : NodeTiers) {
+      std::vector<unsigned> VTier;
+      for (NodeId Node : Tier)
+        for (unsigned U = 0; U < N; ++U)
+          if (U != V && RT.vproc(U).node() == Node)
+            VTier.push_back(U);
+      if (!VTier.empty())
+        Proximity[V].push_back(std::move(VTier));
+    }
+  }
+}
+
+std::size_t Scheduler::tierLimit(const VProc &Thief) const {
+  if (RemotePatience == 0)
+    return Proximity[Thief.id()].size();
+  return 1 + static_cast<std::size_t>(Backoff[Thief.id()].FailedRounds /
+                                      RemotePatience);
+}
+
+template <typename TryFnT>
+VProc *Scheduler::walkTiers(VProc &Thief, std::size_t TierLimit,
+                            TryFnT Try) {
+  std::size_t TierIdx = 0;
+  for (const std::vector<unsigned> &Tier : Proximity[Thief.id()]) {
+    if (TierIdx++ >= TierLimit)
+      break;
+    unsigned Sz = static_cast<unsigned>(Tier.size());
+    unsigned Start =
+        Sz > 1 ? static_cast<unsigned>(Thief.Rng.nextBelow(Sz)) : 0;
+    for (unsigned I = 0; I < Sz; ++I) {
+      VProc &Cand = RT.vproc(Tier[(Start + I) % Sz]);
+      if (Cand.queueDepth() == 0)
+        continue;
+      if (Try(Cand))
+        return &Cand;
+    }
+  }
+  return nullptr;
+}
+
+VProc *Scheduler::pickVictim(VProc &Thief) {
+  unsigned N = RT.numVProcs();
+  if (N <= 1)
+    return nullptr;
+  if (!LocalStealFirst) {
+    // Ablation baseline: uniform over the other vprocs, load-blind.
+    unsigned VictimId = static_cast<unsigned>(Thief.Rng.nextBelow(N - 1));
+    if (VictimId >= Thief.id())
+      ++VictimId;
+    return &RT.vproc(VictimId);
+  }
+  return walkTiers(Thief, tierLimit(Thief), [](VProc &) { return true; });
+}
+
+bool Scheduler::stealAndRun(VProc &Thief) {
+  unsigned N = RT.numVProcs();
+  if (N <= 1)
+    return false;
+
+  BackoffState &B = Backoff[Thief.id()];
+  if (!LocalStealFirst) {
+    VProc *Victim = pickVictim(Thief);
+    if (Victim && attemptSteal(Thief, *Victim)) {
+      B.FailedRounds = 0;
+      return true;
+    }
+    ++B.FailedRounds;
+    ++Thief.SStats.FailedStealRounds;
+    return false;
+  }
+
+  // One round: walk the proximity tiers nearest-first, probing each
+  // tier's members in a randomized rotation so same-node thieves spread
+  // over their victims. Only loaded victims are worth a handshake; a
+  // failed attempt (mailbox contention, or the victim drained before
+  // answering) falls through to the next candidate. Tier k is probed
+  // only once the thief has gone k * RemotePatience rounds empty-handed:
+  // steals reach farther out the longer the whole neighborhood stays
+  // dry, so a freshly loaded queue feeds its own node first.
+  if (walkTiers(Thief, tierLimit(Thief), [&](VProc &Cand) {
+        return attemptSteal(Thief, Cand);
+      })) {
+    B.FailedRounds = 0;
+    return true;
+  }
+  ++B.FailedRounds;
+  ++Thief.SStats.FailedStealRounds;
+  return false;
+}
+
+bool Scheduler::attemptSteal(VProc &Thief, VProc &Victim) {
+  StealRequest &Req = Thief.MyRequest;
+  // Plain stores, published by the CAS below (handshake step 1 in
+  // VProc.h).
+  Req.ThiefNode = Thief.node();
+  Req.State.store(StealRequest::Posted, std::memory_order_relaxed);
+  StealRequest *Expected = nullptr;
+  if (!Victim.Mailbox.compare_exchange_strong(Expected, &Req,
+                                              std::memory_order_acq_rel)) {
+    Req.State.store(StealRequest::Idle, std::memory_order_relaxed);
+    ++Thief.SStats.FailedStealAttempts;
+    return false; // another thief got there first
+  }
+
+  // Wait for the victim's answer; keep answering our own mailbox and
+  // joining pending collections so nothing deadlocks.
+  for (;;) {
+    int S = Req.State.load(std::memory_order_acquire);
+    if (S == StealRequest::Filled) {
+      // The acquire above pairs with the victim's release store of
+      // Filled: the batch slots and Count are visible (step 2).
+      unsigned Count = Req.Count;
+      MANTI_CHECK(Count >= 1 && Count <= StealRequest::MaxBatch,
+                  "steal batch out of range");
+      Task First = Req.Stolen[0];
+      // Queue the rest of the batch locally (oldest first, so the local
+      // LIFO end still prefers the newest work). The queue is scanned as
+      // roots, so the environments stay live.
+      for (unsigned I = 1; I < Count; ++I)
+        Thief.enqueueStolen(Req.Stolen[I]);
+      for (unsigned I = 0; I < Count; ++I)
+        Req.Stolen[I] = Task();
+      Req.Count = 0;
+      Req.State.store(StealRequest::Idle, std::memory_order_release);
+
+      Thief.SStats.TasksStolen += Count;
+      ++Thief.SStats.StealBatches;
+      if (Victim.node() == Thief.node())
+        ++Thief.SStats.NodeLocalBatches;
+      else
+        ++Thief.SStats.CrossNodeBatches;
+      MANTI_DEBUG("sched", "vp%u stole %u task(s) from vp%u (%s-node)",
+                  Thief.id(), Count, Victim.id(),
+                  Victim.node() == Thief.node() ? "same" : "cross");
+      Thief.runTask(First);
+      return true;
+    }
+    if (S == StealRequest::Failed) {
+      Req.State.store(StealRequest::Idle, std::memory_order_release);
+      ++Thief.SStats.FailedStealAttempts;
+      return false;
+    }
+    serviceSteal(Thief);
+    Thief.heap().safePoint();
+    std::this_thread::yield();
+  }
+}
+
+bool Scheduler::serviceSteal(VProc &Victim) {
+  StealRequest *Req = Victim.Mailbox.load(std::memory_order_acquire);
+  if (!Req)
+    return false;
+  std::size_t K = Victim.ReadyQ.size();
+  if (K == 0) {
+    Victim.Mailbox.store(nullptr, std::memory_order_release);
+    Req->State.store(StealRequest::Failed, std::memory_order_release);
+    return true;
+  }
+  // Steal the oldest ceil(k/2) tasks (capped): they are the largest
+  // units of pending work, and handing over several at once amortizes
+  // the handshake and the promotion pauses.
+  unsigned Take = static_cast<unsigned>(
+      std::min<std::size_t>((K + 1) / 2, StealBatch));
+  uint64_t PromotedBefore = Victim.Heap.Stats.PromoteBytes;
+  for (unsigned I = 0; I < Take; ++I) {
+    // Tasks staged in Req->Stolen are rooted by nobody until the thief
+    // sees Filled; this is safe because nothing between popOldest() and
+    // the Filled store below can collect -- promote() copies and at most
+    // *requests* a global GC (which only runs at safe points, and the
+    // victim takes none inside this loop).
+    Task T = Victim.popOldest();
+    if (RT.lazyPromotion()) {
+      // "a lazy promotion scheme for work stealing": only now -- when
+      // the task provably leaves this vproc -- does its environment move
+      // to the global heap, and only this vproc can legally copy it out
+      // of its own local heap.
+      T.Env = Victim.Heap.promote(T.Env);
+    }
+    Req->Stolen[I] = T;
+  }
+  uint64_t EnvBytes = Victim.Heap.Stats.PromoteBytes - PromotedBefore;
+  Req->Count = Take;
+
+  Victim.SStats.TasksServiced += Take;
+  ++Victim.SStats.BatchesServiced;
+  Victim.SStats.StolenEnvBytes += EnvBytes;
+  if (EnvBytes > 0)
+    RT.world().traffic().record(Victim.node(), Req->ThiefNode, EnvBytes);
+
+  // Handshake step 2: plain writes above, then the release pair.
+  Victim.Mailbox.store(nullptr, std::memory_order_release);
+  Req->State.store(StealRequest::Filled, std::memory_order_release);
+  return true;
+}
+
+void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
+  BackoffState &B = Backoff[VP.id()];
+  unsigned R = ++B.IdleRounds;
+  if (R <= SpinRounds)
+    return; // spin rung: retry immediately, the caller's poll is the spin
+  if (R <= SpinRounds + YieldRounds ||
+      VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
+      RT.world().globalGCPending()) {
+    // Yield rung -- also taken instead of parking whenever a thief or a
+    // pending collection needs a prompt answer.
+    std::this_thread::yield();
+    return;
+  }
+  unsigned Step = std::min(R - SpinRounds - YieldRounds - 1, 5u);
+  unsigned Micros = std::min(MinParkMicros << Step, MaxParkMicros);
+  auto Start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::microseconds(Micros));
+  auto End = std::chrono::steady_clock::now();
+  if (RecordStats) {
+    ++VP.SStats.Parks;
+    VP.SStats.ParkNanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+  }
+}
+
+SchedStats Scheduler::aggregateStats() const {
+  SchedStats Total;
+  for (unsigned I = 0; I < RT.numVProcs(); ++I)
+    Total.merge(RT.vproc(I).schedStats());
+  return Total;
+}

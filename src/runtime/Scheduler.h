@@ -1,0 +1,152 @@
+//===- runtime/Scheduler.h - topology-aware work-stealing scheduler ------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling policy layer, extracted from VProc/Runtime so every
+/// policy decision lives in one place:
+///
+///   * Victim selection walks a per-vproc *proximity order* precomputed
+///     from the Topology: same-node vprocs form tier 0, then tiers of
+///     increasing link-hop distance. Within a tier the probe order is
+///     randomized per round (so same-node thieves don't convoy on one
+///     victim), and the first tier containing a loaded victim wins.
+///     Keeping steals on-node keeps the stolen environment -- and every
+///     promotion the stolen task performs later -- off the interconnect,
+///     which is the paper's Section 2.1 locality argument applied to the
+///     computation side. Farther tiers are *throttled*: a thief probes
+///     tier 0 every round, but tier k unlocks only after
+///     k * RuntimeConfig::RemoteStealPatience consecutive failed rounds,
+///     so when new work appears on a node that node's own vprocs claim
+///     it before the (far more numerous) remote thieves converge on it.
+///     RuntimeConfig::LocalStealFirst=false restores the uniform-random
+///     victim of the ablation baseline.
+///
+///   * Steals are *batched*: the victim hands over the oldest ceil(k/2)
+///     tasks (capped by RuntimeConfig::StealBatch) and promotes all of
+///     their environments in one handshake, so one mailbox round trip
+///     amortizes several promotions.
+///
+///   * Idle vprocs descend a spin -> yield -> park ladder instead of
+///     hammering victim mailboxes. Parks are bounded sleeps (<= 256 us),
+///     never unbounded waits, so a parked vproc still reaches its next
+///     safe point quickly and global-GC latency is preserved.
+///
+/// Per-vproc SchedStats record node-local vs cross-node steals, batch
+/// sizes, failed rounds, and park time; stolen-environment bytes are
+/// charged to the TrafficMatrix under (victim node -> thief node).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_RUNTIME_SCHEDULER_H
+#define MANTI_RUNTIME_SCHEDULER_H
+
+#include "runtime/SchedStats.h"
+#include "runtime/VProc.h"
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace manti {
+
+class Runtime;
+class Topology;
+
+class Scheduler {
+public:
+  /// Builds the per-vproc proximity orders for \p RT's topology and
+  /// vproc-to-node assignment.
+  explicit Scheduler(Runtime &RT);
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Effective batch cap (config clamped to [1, StealRequest::MaxBatch]).
+  unsigned stealBatchLimit() const { return StealBatch; }
+  bool localStealFirst() const { return LocalStealFirst; }
+
+  /// \p Thief's victim probe order: tiers of vproc ids, tier 0 holding
+  /// the same-node vprocs, later tiers sorted by increasing node
+  /// distance. Never contains the thief itself.
+  const std::vector<std::vector<unsigned>> &
+  proximityOrder(unsigned VProcId) const {
+    return Proximity[VProcId];
+  }
+
+  /// Picks the victim a steal round would probe first: the first loaded
+  /// vproc in proximity order, subject to the thief's current
+  /// remote-steal tier limit (nullptr when nothing reachable is loaded),
+  /// or a uniform-random other vproc when LocalStealFirst is off.
+  /// Exposed for tests; stealAndRun walks the same tiers under the same
+  /// limit (it merely keeps probing past a contended victim).
+  VProc *pickVictim(VProc &Thief);
+
+  /// Thief side: posts a steal request along the proximity order and
+  /// runs the first stolen task (queueing the rest of the batch
+  /// locally). \returns true if a task was executed.
+  bool stealAndRun(VProc &Thief);
+
+  /// Victim side: answers \p Victim's pending steal request, if any,
+  /// popping and promoting a batch. Runs on the victim's own thread (a
+  /// local heap may only be copied from by its owner). \returns true if
+  /// a request was serviced (successfully or not).
+  bool serviceSteal(VProc &Victim);
+
+  /// One step of the idle ladder for \p VP: spin, then yield, then park
+  /// for a bounded, exponentially growing interval. Never parks when a
+  /// steal request or a global collection is pending. Pass
+  /// \p RecordStats = false from the between-runs drain loops: those
+  /// keep idling after run() returns, and the stats must be quiescent
+  /// for aggregateStats() readers by then.
+  void idleBackoff(VProc &VP, bool RecordStats = true);
+
+  /// Resets \p VP's ladder and remote-steal throttle; call whenever the
+  /// vproc made progress.
+  void noteProgress(VProc &VP) {
+    Backoff[VP.id()].IdleRounds = 0;
+    Backoff[VP.id()].FailedRounds = 0;
+  }
+
+  /// Sum of every vproc's SchedStats (call while vprocs are quiescent).
+  SchedStats aggregateStats() const;
+
+private:
+  /// Posts Thief's request on Victim's mailbox and waits for the answer.
+  /// \returns true if a batch arrived and its first task was run.
+  bool attemptSteal(VProc &Thief, VProc &Victim);
+
+  /// Highest proximity tier (exclusive) the thief may currently probe:
+  /// tier k unlocks after k * RemotePatience consecutive failed rounds.
+  std::size_t tierLimit(const VProc &Thief) const;
+
+  /// Walks \p Thief's proximity tiers up to \p TierLimit, probing each
+  /// tier in a randomized rotation, and calls \p Try on every loaded
+  /// candidate until it returns true. \returns that candidate, or
+  /// nullptr when the walk is exhausted.
+  template <typename TryFnT>
+  VProc *walkTiers(VProc &Thief, std::size_t TierLimit, TryFnT Try);
+
+  /// Each vproc's owner thread updates its own entry every idle round;
+  /// pad to a cache line so idle vprocs on different nodes don't
+  /// ping-pong a shared line (the very traffic this scheduler avoids).
+  struct alignas(CacheLineSize) BackoffState {
+    unsigned IdleRounds = 0;   ///< ladder position (spin/yield/park)
+    unsigned FailedRounds = 0; ///< consecutive empty rounds (tier unlock)
+  };
+
+  Runtime &RT;
+  unsigned StealBatch;
+  bool LocalStealFirst;
+  unsigned RemotePatience;
+  /// Proximity[v][tier] = vproc ids at that distance from vproc v.
+  std::vector<std::vector<std::vector<unsigned>>> Proximity;
+  /// Owner-thread-only ladder state, indexed by vproc id.
+  std::vector<BackoffState> Backoff;
+};
+
+} // namespace manti
+
+#endif // MANTI_RUNTIME_SCHEDULER_H

@@ -7,10 +7,9 @@
 #include "runtime/VProc.h"
 
 #include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
 #include "support/Assert.h"
 #include "support/Logging.h"
-
-#include <thread>
 
 using namespace manti;
 
@@ -18,13 +17,14 @@ VProc::VProc(Runtime &RT, VProcHeap &Heap)
     : RT(RT), Heap(Heap), Rng(0x5eedULL + Heap.id() * 0x9E3779B9ULL) {}
 
 void VProc::spawn(Task T) {
-  ++NumSpawns;
+  ++SStats.Spawns;
   if (!RT.lazyPromotion()) {
     // Eager promotion: pay the cost on every spawn whether or not the
     // task is ever stolen (the ablation baseline).
     T.Env = Heap.promote(T.Env);
   }
   ReadyQ.push_back(T);
+  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
 }
 
 bool VProc::runOneLocal() {
@@ -32,8 +32,23 @@ bool VProc::runOneLocal() {
     return false;
   Task T = ReadyQ.back();
   ReadyQ.pop_back();
+  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
   runTask(T);
   return true;
+}
+
+Task VProc::popOldest() {
+  MANTI_CHECK(!ReadyQ.empty(), "popOldest on an empty queue");
+  // The oldest task is the largest unit of pending work.
+  Task T = ReadyQ.front();
+  ReadyQ.pop_front();
+  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
+  return T;
+}
+
+void VProc::enqueueStolen(Task T) {
+  ReadyQ.push_back(T);
+  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
 }
 
 void VProc::runTask(Task T) {
@@ -42,90 +57,32 @@ void VProc::runTask(Task T) {
   T.Fn(RT, *this, T);
 }
 
-bool VProc::serviceSteal() {
-  StealRequest *Req = Mailbox.load(std::memory_order_acquire);
-  if (!Req)
-    return false;
-  if (ReadyQ.empty()) {
-    Mailbox.store(nullptr, std::memory_order_release);
-    Req->State.store(StealRequest::Failed, std::memory_order_release);
-    return true;
-  }
-  // Steal the oldest task: it is the largest unit of pending work.
-  Task T = ReadyQ.front();
-  ReadyQ.pop_front();
-  if (RT.lazyPromotion()) {
-    // "a lazy promotion scheme for work stealing": only now -- when the
-    // task provably leaves this vproc -- does its environment move to
-    // the global heap, and only this vproc can legally copy it out of
-    // its own local heap.
-    T.Env = Heap.promote(T.Env);
-  }
-  ++NumServiced;
-  Req->Stolen = T;
-  Mailbox.store(nullptr, std::memory_order_release);
-  Req->State.store(StealRequest::Filled, std::memory_order_release);
-  return true;
-}
+bool VProc::serviceSteal() { return RT.scheduler().serviceSteal(*this); }
 
 void VProc::poll() {
   serviceSteal();
   Heap.safePoint();
 }
 
-bool VProc::stealAndRun() {
-  unsigned N = RT.numVProcs();
-  if (N <= 1)
-    return false;
-  unsigned VictimId = static_cast<unsigned>(Rng.nextBelow(N - 1));
-  if (VictimId >= id())
-    ++VictimId; // uniform over the other vprocs
-  VProc &Victim = RT.vproc(VictimId);
-
-  MyRequest.State.store(StealRequest::Posted, std::memory_order_relaxed);
-  StealRequest *Expected = nullptr;
-  if (!Victim.Mailbox.compare_exchange_strong(Expected, &MyRequest,
-                                              std::memory_order_acq_rel)) {
-    MyRequest.State.store(StealRequest::Idle, std::memory_order_relaxed);
-    ++NumFailedSteals;
-    return false; // another thief got there first
-  }
-
-  // Wait for the victim's answer; keep answering our own mailbox and
-  // joining pending collections so nothing deadlocks.
-  for (;;) {
-    int S = MyRequest.State.load(std::memory_order_acquire);
-    if (S == StealRequest::Filled) {
-      Task T = MyRequest.Stolen;
-      MyRequest.Stolen = Task();
-      MyRequest.State.store(StealRequest::Idle, std::memory_order_release);
-      ++NumStealsOut;
-      MANTI_DEBUG("sched", "vp%u stole from vp%u", id(), VictimId);
-      runTask(T);
-      return true;
-    }
-    if (S == StealRequest::Failed) {
-      MyRequest.State.store(StealRequest::Idle, std::memory_order_release);
-      ++NumFailedSteals;
-      return false;
-    }
-    serviceSteal();
-    Heap.safePoint();
-    std::this_thread::yield();
-  }
-}
+bool VProc::stealAndRun() { return RT.scheduler().stealAndRun(*this); }
 
 void VProc::joinWait(JoinCounter &Join) {
+  Scheduler &Sched = RT.scheduler();
   while (!Join.done()) {
-    if (runOneLocal())
+    if (runOneLocal()) {
+      Sched.noteProgress(*this);
       continue;
+    }
     poll();
     if (Join.done())
       break;
-    if (stealAndRun())
+    if (stealAndRun()) {
+      Sched.noteProgress(*this);
       continue;
-    std::this_thread::yield();
+    }
+    Sched.idleBackoff(*this);
   }
+  Sched.noteProgress(*this);
 }
 
 //===----------------------------------------------------------------------===//

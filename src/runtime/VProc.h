@@ -14,11 +14,15 @@
 /// concurrent deque: the thief posts a StealRequest on the victim's
 /// mailbox and the victim answers at its next poll point. This mirrors
 /// Manticore's message-based steals and, crucially, lets the *victim*
-/// promote the stolen task's environment out of its own local heap --
+/// promote the stolen tasks' environments out of its own local heap --
 /// only the owner of a local heap may copy from it. With lazy promotion
 /// (the default, after Rainey 2010) that cost is paid only when a task
 /// is actually stolen; the eager alternative promotes at spawn time and
 /// is kept as an ablation knob.
+///
+/// Victim selection, steal batching, and the idle back-off ladder live
+/// in the Scheduler subsystem (runtime/Scheduler.h); the VProc keeps the
+/// owner-thread queue operations and the mailbox the handshake runs on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,7 @@
 #define MANTI_RUNTIME_VPROC_H
 
 #include "gc/Heap.h"
+#include "runtime/SchedStats.h"
 #include "runtime/Task.h"
 #include "support/XorShift.h"
 
@@ -36,13 +41,41 @@
 namespace manti {
 
 class Runtime;
+class Scheduler;
 
 /// One steal-handshake mailbox message. Each vproc owns exactly one
-/// request object for the steals *it* initiates.
+/// request object for the steals *it* initiates, so a request carries a
+/// whole batch: the victim hands over the oldest ceil(k/2) tasks (capped
+/// by RuntimeConfig::StealBatch) and promotes their environments in one
+/// go, amortizing the handshake and the promotion pauses.
+///
+/// Memory ordering of the handshake (the full release/acquire story; the
+/// regression test SchedulerTest.HandshakeHammer exercises it under
+/// TSan):
+///
+///  1. The thief writes ThiefNode and State=Posted (plain/relaxed), then
+///     publishes the request with a CAS on the victim's Mailbox
+///     (acq_rel). The victim's Mailbox load(acquire) therefore sees both
+///     fields.
+///  2. The victim writes Stolen[0..Count) and Count as plain stores,
+///     clears the mailbox, and only then stores State=Filled (release).
+///     The thief spins on State with load(acquire); observing Filled
+///     forms a release/acquire edge, so every Stolen/Count write
+///     happens-before the thief's reads. No additional fence is needed:
+///     the State pair is the fence.
+///  3. The thief consumes the batch and stores State=Idle (release) so
+///     its plain clears of Stolen[] happen-before the *next* victim's
+///     reads, which are ordered after the next Mailbox CAS (step 1).
 struct StealRequest {
+  /// Hard cap on tasks per handshake (RuntimeConfig::StealBatch is
+  /// clamped to this).
+  static constexpr unsigned MaxBatch = 8;
+
   enum StateKind : int { Idle, Posted, Filled, Failed };
   std::atomic<int> State{Idle};
-  Task Stolen; ///< valid when State == Filled; Env already promoted
+  NodeId ThiefNode = 0;      ///< written by the thief before posting
+  unsigned Count = 0;        ///< valid when State == Filled
+  Task Stolen[MaxBatch];     ///< valid when State == Filled; Envs promoted
 };
 
 class VProc {
@@ -68,35 +101,45 @@ public:
   /// Pops and runs the newest local task. \returns false if empty.
   bool runOneLocal();
 
-  /// Answers a pending steal request, if any. \returns true if one was
-  /// serviced (successfully or not).
+  /// Answers a pending steal request, if any (delegates to the
+  /// Scheduler). \returns true if one was serviced.
   bool serviceSteal();
 
   /// Safe point: answers steal requests and joins any pending global
   /// collection. Call this from every loop that can block.
   void poll();
 
-  /// Attempts to steal (and run) one task from a random victim.
-  /// \returns true if a task was executed.
+  /// Attempts to steal (and run) work from another vproc, walking the
+  /// Scheduler's proximity order. \returns true if a task was executed.
   bool stealAndRun();
 
-  /// Runs local and stolen work until \p Join completes.
+  /// Runs local and stolen work until \p Join completes, backing off
+  /// through the Scheduler's idle ladder when no work is found.
   void joinWait(JoinCounter &Join);
 
   /// Runs \p T with its environment rooted.
   void runTask(Task T);
 
-  /// Number of tasks currently in the local queue.
-  std::size_t queueDepth() const { return ReadyQ.size(); }
+  /// Number of tasks currently in the local queue. Safe to call from any
+  /// thread: reads a depth counter the owner maintains at push/pop
+  /// instead of touching the deque (which only the owner may do). The
+  /// value is a snapshot -- victim selection treats it as a load
+  /// heuristic, nothing more.
+  std::size_t queueDepth() const {
+    return Depth.load(std::memory_order_relaxed);
+  }
 
   //===--------------------------------------------------------------------===//
   // Scheduler statistics
   //===--------------------------------------------------------------------===//
 
-  uint64_t spawns() const { return NumSpawns; }
-  uint64_t stealsOut() const { return NumStealsOut; }     ///< tasks we stole
-  uint64_t stealsServiced() const { return NumServiced; } ///< tasks taken from us
-  uint64_t failedSteals() const { return NumFailedSteals; }
+  const SchedStats &schedStats() const { return SStats; }
+  uint64_t spawns() const { return SStats.Spawns; }
+  /// Tasks this vproc received through steals.
+  uint64_t stealsOut() const { return SStats.TasksStolen; }
+  /// Tasks other vprocs took from this one.
+  uint64_t stealsServiced() const { return SStats.TasksServiced; }
+  uint64_t failedSteals() const { return SStats.FailedStealAttempts; }
 
   //===--------------------------------------------------------------------===//
   // Root enumeration (GC callbacks; run on this vproc's thread)
@@ -106,8 +149,12 @@ public:
     for (Task &T : ReadyQ)
       Fn(reinterpret_cast<Word *>(&T.Env));
     if (MyRequest.State.load(std::memory_order_acquire) ==
-        StealRequest::Filled)
-      Fn(reinterpret_cast<Word *>(&MyRequest.Stolen.Env));
+        StealRequest::Filled) {
+      // The acquire above pairs with the victim's release store of
+      // Filled, so Count and the batch slots are visible.
+      for (unsigned I = 0; I < MyRequest.Count; ++I)
+        Fn(reinterpret_cast<Word *>(&MyRequest.Stolen[I].Env));
+    }
     for (ResultCell *Cell : Cells) {
       if (Cell->filled())
         Fn(Cell->slot());
@@ -116,20 +163,26 @@ public:
 
 private:
   friend class ResultCell;
+  friend class Scheduler;
+
+  /// Owner-thread pop of the oldest task (the steal end of the queue).
+  Task popOldest();
+
+  /// Owner-thread push of an already-promoted stolen task (no spawn
+  /// accounting, no eager promotion -- the victim promoted it already).
+  void enqueueStolen(Task T);
 
   Runtime &RT;
   VProcHeap &Heap;
 
   std::deque<Task> ReadyQ;             ///< owner-only
+  std::atomic<std::size_t> Depth{0};   ///< ReadyQ.size(), cross-thread view
   std::atomic<StealRequest *> Mailbox{nullptr}; ///< posted by thieves
   StealRequest MyRequest;              ///< used when this vproc steals
   std::vector<ResultCell *> Cells;     ///< live result cells we own
   XorShift64 Rng;
 
-  uint64_t NumSpawns = 0;
-  uint64_t NumStealsOut = 0;
-  uint64_t NumServiced = 0;
-  uint64_t NumFailedSteals = 0;
+  SchedStats SStats;
 };
 
 } // namespace manti

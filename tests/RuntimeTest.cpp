@@ -205,12 +205,18 @@ TEST(WorkStealing, StealsHappenAcrossVProcs) {
         }
       },
       nullptr);
-  uint64_t TotalSteals = 0;
-  for (unsigned I = 0; I < RT.numVProcs(); ++I)
+  uint64_t TotalSteals = 0, TotalBatches = 0;
+  for (unsigned I = 0; I < RT.numVProcs(); ++I) {
     TotalSteals += RT.vproc(I).stealsOut();
-  EXPECT_EQ(TotalSteals, 40u)
-      << "every task must have been stolen by an idle vproc";
+    TotalBatches += RT.vproc(I).schedStats().StealBatches;
+  }
+  // Each task leaves vproc 0 exactly once; tasks queued from a stolen
+  // batch may migrate again, so total stolen tasks can exceed 40.
   EXPECT_EQ(RT.vproc(0).stealsServiced(), 40u);
+  EXPECT_GE(TotalSteals, 40u)
+      << "every task must have been stolen by an idle vproc";
+  EXPECT_GE(TotalSteals, TotalBatches)
+      << "a successful handshake carries at least one task";
 }
 
 TEST(WorkStealing, GlobalCollectionDuringParallelWork) {

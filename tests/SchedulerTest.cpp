@@ -1,0 +1,384 @@
+//===- tests/SchedulerTest.cpp - topology-aware work stealing -------------===//
+//
+// Part of the manticore-gc project.
+//
+// Covers the Scheduler subsystem: proximity-tier victim ordering, the
+// LocalStealFirst ablation knob, steal batching, the cross-thread queue
+// depth counter, the idle ladder's park accounting, and a steal
+// handshake hammer (the regression test for the StealRequest
+// release/acquire protocol; CI runs this binary under ThreadSanitizer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+#include "gc/GCReport.h"
+#include "runtime/Parallel.h"
+#include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+using namespace manti;
+using namespace manti::test;
+
+namespace {
+
+RuntimeConfig testRuntimeConfig(unsigned NumVProcs) {
+  RuntimeConfig Cfg;
+  Cfg.GC = smallConfig();
+  Cfg.NumVProcs = NumVProcs;
+  Cfg.PinThreads = false; // single-core CI container
+  return Cfg;
+}
+
+Task trivialTask() {
+  return {[](Runtime &, VProc &, Task) {}, nullptr, Value::nil(), 0, 0};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Proximity ordering
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, ProximityTiersPutSameNodeFirstOnAmd) {
+  // The 48-core AMD machine (4 G34 packages, 8 nodes) with 16 vprocs:
+  // the sparse assignment puts vprocs V and V+8 on node V.
+  Runtime RT(testRuntimeConfig(16), Topology::amdMagnyCours48());
+  const Topology &Topo = RT.world().topology();
+  Scheduler &Sched = RT.scheduler();
+
+  for (unsigned V = 0; V < 16; ++V) {
+    const auto &Tiers = Sched.proximityOrder(V);
+    ASSERT_FALSE(Tiers.empty());
+
+    // Tier 0 is exactly the other vprocs on V's node.
+    std::set<unsigned> Tier0(Tiers[0].begin(), Tiers[0].end());
+    std::set<unsigned> SameNode;
+    for (unsigned U = 0; U < 16; ++U)
+      if (U != V && RT.vproc(U).node() == RT.vproc(V).node())
+        SameNode.insert(U);
+    EXPECT_EQ(Tier0, SameNode) << "vproc " << V;
+
+    // Tiers are strictly increasing in hop distance, uniform within a
+    // tier, and cover every other vproc exactly once.
+    unsigned Seen = 0;
+    int PrevHops = -1;
+    for (const auto &Tier : Tiers) {
+      ASSERT_FALSE(Tier.empty());
+      unsigned Hops =
+          Topo.hopCount(RT.vproc(V).node(), RT.vproc(Tier[0]).node());
+      EXPECT_GT(static_cast<int>(Hops), PrevHops);
+      PrevHops = static_cast<int>(Hops);
+      for (unsigned U : Tier) {
+        EXPECT_NE(U, V);
+        EXPECT_EQ(Topo.hopCount(RT.vproc(V).node(), RT.vproc(U).node()),
+                  Hops);
+        ++Seen;
+      }
+    }
+    EXPECT_EQ(Seen, 15u);
+  }
+}
+
+TEST(Scheduler, ProximityTiersOnFourNodeMachine) {
+  // 4 nodes x 2 cores, 8 vprocs: vprocs V and V+4 share node V.
+  Runtime RT(testRuntimeConfig(8), Topology::uniform(4, 2));
+  Scheduler &Sched = RT.scheduler();
+  for (unsigned V = 0; V < 8; ++V) {
+    const auto &Tiers = Sched.proximityOrder(V);
+    ASSERT_EQ(Tiers.size(), 2u); // same node, then everything at 1 hop
+    ASSERT_EQ(Tiers[0].size(), 1u);
+    EXPECT_EQ(Tiers[0][0], (V + 4) % 8);
+    EXPECT_EQ(Tiers[1].size(), 6u);
+  }
+}
+
+TEST(Scheduler, LoadedSameNodeVictimPreferred) {
+  Runtime RT(testRuntimeConfig(8), Topology::uniform(4, 2));
+  Scheduler &Sched = RT.scheduler();
+
+  // Load the same-node peer of vproc 0 (vproc 4) *and* a remote vproc
+  // (vproc 1). Workers are idle-draining and no steal is in flight, so
+  // pushing onto their queues from here is safe.
+  for (int I = 0; I < 4; ++I) {
+    RT.vproc(4).spawn(trivialTask());
+    RT.vproc(1).spawn(trivialTask());
+  }
+
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    VProc *Victim = Sched.pickVictim(RT.vproc(0));
+    ASSERT_NE(Victim, nullptr);
+    EXPECT_EQ(Victim->id(), 4u)
+        << "a loaded same-node victim must beat a loaded remote one";
+  }
+}
+
+TEST(Scheduler, UniformRandomRestoredByLocalStealFirstOff) {
+  RuntimeConfig Cfg = testRuntimeConfig(8);
+  Cfg.LocalStealFirst = false;
+  Runtime RT(Cfg, Topology::uniform(4, 2));
+  Scheduler &Sched = RT.scheduler();
+  EXPECT_FALSE(Sched.localStealFirst());
+
+  // Same load pattern as above; uniform-random selection is load-blind,
+  // so every other vproc must eventually be picked.
+  for (int I = 0; I < 4; ++I) {
+    RT.vproc(4).spawn(trivialTask());
+    RT.vproc(1).spawn(trivialTask());
+  }
+  std::set<unsigned> Picked;
+  for (int Trial = 0; Trial < 700; ++Trial) {
+    VProc *Victim = Sched.pickVictim(RT.vproc(0));
+    ASSERT_NE(Victim, nullptr);
+    ASSERT_NE(Victim->id(), 0u);
+    Picked.insert(Victim->id());
+  }
+  EXPECT_EQ(Picked.size(), 7u)
+      << "uniform-random selection must spread over all other vprocs";
+}
+
+TEST(Scheduler, RemoteStealPatienceGatesFartherTiers) {
+  RuntimeConfig Cfg = testRuntimeConfig(8);
+  Cfg.RemoteStealPatience = 3;
+  Runtime RT(Cfg, Topology::uniform(4, 2));
+  Scheduler &Sched = RT.scheduler();
+  VProc &Thief = RT.vproc(0);
+
+  // Load only a *remote* vproc; the thief's node peer (vproc 4) is dry.
+  for (int I = 0; I < 8; ++I)
+    RT.vproc(1).spawn(trivialTask());
+
+  // Fresh thief: only tier 0 is probeable, and it is empty. Each
+  // empty-handed round counts toward the unlock; tier 1 opens after 3.
+  EXPECT_EQ(Sched.pickVictim(Thief), nullptr);
+  EXPECT_FALSE(Sched.stealAndRun(Thief)); // failed rounds: 1
+  EXPECT_EQ(Sched.pickVictim(Thief), nullptr);
+  EXPECT_FALSE(Sched.stealAndRun(Thief)); // 2
+  EXPECT_EQ(Sched.pickVictim(Thief), nullptr);
+  EXPECT_FALSE(Sched.stealAndRun(Thief)); // 3 -> tier 1 unlocked
+  VProc *Victim = Sched.pickVictim(Thief);
+  ASSERT_NE(Victim, nullptr);
+  EXPECT_EQ(Victim->id(), 1u);
+
+  // A successful steal (a real handshake: vproc 1's worker answers from
+  // its idle poll loop) resets the throttle, locking tier 1 again.
+  EXPECT_TRUE(Sched.stealAndRun(Thief));
+  EXPECT_EQ(Sched.pickVictim(Thief), nullptr);
+}
+
+TEST(Scheduler, ZeroPatienceUnlocksEveryTierImmediately) {
+  RuntimeConfig Cfg = testRuntimeConfig(8);
+  Cfg.RemoteStealPatience = 0;
+  Runtime RT(Cfg, Topology::uniform(4, 2));
+  for (int I = 0; I < 8; ++I)
+    RT.vproc(1).spawn(trivialTask());
+  VProc *Victim = RT.scheduler().pickVictim(RT.vproc(0));
+  ASSERT_NE(Victim, nullptr);
+  EXPECT_EQ(Victim->id(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Queue depth (cross-thread)
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, QueueDepthReadableFromOtherThreads) {
+  Runtime RT(testRuntimeConfig(2), Topology::uniform(2, 1));
+  VProc &VP = RT.vproc(0);
+  EXPECT_EQ(VP.queueDepth(), 0u);
+  for (int I = 0; I < 5; ++I)
+    VP.spawn(trivialTask());
+  // The depth counter, not the deque, is what other threads read.
+  std::size_t Observed = 0;
+  std::thread Reader([&] { Observed = VP.queueDepth(); });
+  Reader.join();
+  EXPECT_EQ(Observed, 5u);
+  EXPECT_TRUE(VP.runOneLocal());
+  EXPECT_EQ(VP.queueDepth(), 4u);
+  while (VP.runOneLocal())
+    ;
+  EXPECT_EQ(VP.queueDepth(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Steal batching
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, BatchSizeOneRestoresSingleTaskSteals) {
+  RuntimeConfig Cfg = testRuntimeConfig(4);
+  Cfg.StealBatch = 1;
+  Runtime RT(Cfg, Topology::uniform(2, 2));
+  static std::atomic<int> Remaining;
+  Remaining = 60;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        for (int I = 0; I < 60; ++I)
+          VP.spawn({[](Runtime &, VProc &, Task) { Remaining.fetch_sub(1); },
+                    nullptr, Value::nil(), 0, 0});
+        while (Remaining.load() > 0) {
+          VP.poll();
+          std::this_thread::yield();
+        }
+      },
+      nullptr);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_EQ(S.TasksStolen, S.StealBatches)
+      << "StealBatch=1 must hand over exactly one task per handshake";
+  EXPECT_EQ(S.TasksServiced, S.TasksStolen);
+}
+
+TEST(Scheduler, BatchesRespectTheConfiguredCap) {
+  RuntimeConfig Cfg = testRuntimeConfig(4);
+  Cfg.StealBatch = 3;
+  Runtime RT(Cfg, Topology::uniform(2, 2));
+  EXPECT_EQ(RT.scheduler().stealBatchLimit(), 3u);
+  static std::atomic<int> Remaining;
+  Remaining = 60;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        for (int I = 0; I < 60; ++I)
+          VP.spawn({[](Runtime &, VProc &, Task) { Remaining.fetch_sub(1); },
+                    nullptr, Value::nil(), 0, 0});
+        while (Remaining.load() > 0) {
+          VP.poll();
+          std::this_thread::yield();
+        }
+      },
+      nullptr);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_GT(S.StealBatches, 0u);
+  EXPECT_LE(S.TasksStolen, S.StealBatches * 3)
+      << "no handshake may exceed the StealBatch cap";
+  EXPECT_GT(S.meanStealBatch(), 1.0)
+      << "a deep victim queue must yield multi-task batches";
+}
+
+//===----------------------------------------------------------------------===//
+// Idle ladder
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, IdleVProcsParkAndAccountTheTime) {
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(2, 2));
+  RT.run(
+      [](Runtime &, VProc &, void *) {
+        // No work spawned: the three workers descend the full ladder
+        // (generous window so heavily loaded CI hosts still park).
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      },
+      nullptr);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_GT(S.Parks, 0u) << "idle workers must reach the park rung";
+  EXPECT_GT(S.ParkNanos, 0u);
+  EXPECT_GT(S.FailedStealRounds, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Handshake hammer (run under TSan in CI)
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, HandshakeHammer) {
+  // Hammer the StealRequest protocol from 8 vprocs at once: a fine-grain
+  // parallelFor keeps every vproc both stealing and being stolen from,
+  // then an environment-carrying spawn storm checks that batched
+  // promotion delivers intact environments. The release/acquire pairs
+  // documented on StealRequest are exactly what TSan checks here.
+  RuntimeConfig Cfg = testRuntimeConfig(8);
+  Cfg.StealBatch = 4;
+  Runtime RT(Cfg, Topology::uniform(4, 2));
+
+  constexpr int Parents = 250, Children = 3;
+  static std::atomic<int> Remaining;
+  Remaining = Parents * (1 + Children);
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        GcFrame Frame(VP.heap());
+        // The spawner never runs its own tasks: every parent must be
+        // stolen. Parents spawn children from whatever vproc ran them,
+        // so workers become victims of each other too.
+        for (int I = 0; I < Parents; ++I) {
+          Value &Env = Frame.root(makeIntList(VP.heap(), 8));
+          VP.spawn({[](Runtime &, VProc &VP2, Task T) {
+                      EXPECT_EQ(listSum(T.Env), intListSum(8));
+                      GcFrame Inner(VP2.heap());
+                      for (int C = 0; C < Children; ++C) {
+                        Value &CEnv =
+                            Inner.root(makeIntList(VP2.heap(), 8));
+                        VP2.spawn({[](Runtime &, VProc &, Task CT) {
+                                     EXPECT_EQ(listSum(CT.Env),
+                                               intListSum(8));
+                                     Remaining.fetch_sub(1);
+                                   },
+                                   nullptr, CEnv, 0, 0});
+                      }
+                      Remaining.fetch_sub(1);
+                    },
+                    nullptr, Env, 0, 0});
+        }
+        while (Remaining.load() > 0) {
+          VP.poll();
+          std::this_thread::yield();
+        }
+      },
+      nullptr);
+
+  EXPECT_EQ(Remaining.load(), 0);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_EQ(S.TasksServiced, S.TasksStolen)
+      << "every task a victim hands over is received by exactly one thief";
+  EXPECT_GT(S.StealBatches, 0u);
+  EXPECT_GE(S.TasksStolen, static_cast<uint64_t>(Parents))
+      << "every parent task must have migrated off the spawner";
+}
+
+//===----------------------------------------------------------------------===//
+// Stats plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, ReportRendersSchedulerSection) {
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(2, 2));
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        parallelFor(
+            RT, VP, 0, 256, 4,
+            [](Runtime &, VProc &, int64_t, int64_t, void *) {},
+            nullptr);
+      },
+      nullptr);
+  std::string Report = gcReportString(RT.world(), RT.aggregateSchedStats());
+  EXPECT_NE(Report.find("scheduler:"), std::string::npos);
+  EXPECT_NE(Report.find("node-local"), std::string::npos);
+  EXPECT_NE(Report.find("parked"), std::string::npos);
+}
+
+TEST(Scheduler, StolenEnvBytesFlowIntoTrafficMatrix) {
+  // Steals with heap environments must charge (victim node -> thief
+  // node) in the traffic ledger.
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(4, 1));
+  static JoinCounter Join;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        GcFrame Frame(VP.heap());
+        for (int I = 0; I < 100; ++I) {
+          Value &Env = Frame.root(makeIntList(VP.heap(), 16));
+          Join.add();
+          VP.spawn({[](Runtime &, VProc &, Task T) {
+                      EXPECT_EQ(listSum(T.Env), intListSum(16));
+                      Join.sub();
+                    },
+                    nullptr, Env, 0, 0});
+        }
+        VP.joinWait(Join);
+      },
+      nullptr);
+  SchedStats S = RT.aggregateSchedStats();
+  if (S.StolenEnvBytes > 0) {
+    // One vproc per node here, so stolen-env traffic is off-node.
+    EXPECT_GT(RT.world().traffic().remoteBytes(), 0u);
+  }
+}

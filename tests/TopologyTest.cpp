@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 using namespace manti;
@@ -149,4 +150,42 @@ TEST(SparseAssignment, FullMachineUsesEveryCoreOnce) {
   std::vector<CoreId> Cores = T.assignVProcsSparsely(48);
   std::set<CoreId> Unique(Cores.begin(), Cores.end());
   EXPECT_EQ(Unique.size(), 48u);
+}
+
+TEST(NodesByDistance, IntelIsSelfThenEverybody) {
+  Topology T = Topology::intelXeon32();
+  for (NodeId N = 0; N < T.numNodes(); ++N) {
+    auto Tiers = T.nodesByDistance(N);
+    ASSERT_EQ(Tiers.size(), 2u); // fully connected: self, then 1 hop
+    ASSERT_EQ(Tiers[0].size(), 1u);
+    EXPECT_EQ(Tiers[0][0], N);
+    EXPECT_EQ(Tiers[1].size(), T.numNodes() - 1);
+  }
+}
+
+TEST(NodesByDistance, AmdTiersIncreaseInHops) {
+  Topology T = Topology::amdMagnyCours48();
+  for (NodeId N = 0; N < T.numNodes(); ++N) {
+    auto Tiers = T.nodesByDistance(N);
+    ASSERT_GE(Tiers.size(), 2u);
+    EXPECT_EQ(Tiers[0], std::vector<NodeId>{N});
+    unsigned Seen = 0;
+    int PrevHops = -1;
+    for (const auto &Tier : Tiers) {
+      ASSERT_FALSE(Tier.empty());
+      unsigned Hops = T.hopCount(N, Tier[0]);
+      EXPECT_GT(static_cast<int>(Hops), PrevHops);
+      PrevHops = static_cast<int>(Hops);
+      for (NodeId M : Tier) {
+        EXPECT_EQ(T.hopCount(N, M), Hops);
+        ++Seen;
+      }
+    }
+    EXPECT_EQ(Seen, T.numNodes());
+    // The package sibling is always a direct link on this machine.
+    NodeId Sibling = N ^ 1u;
+    ASSERT_GE(Tiers.size(), 2u);
+    EXPECT_NE(std::find(Tiers[1].begin(), Tiers[1].end(), Sibling),
+              Tiers[1].end());
+  }
 }
