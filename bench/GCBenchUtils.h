@@ -7,6 +7,7 @@
 #ifndef MANTI_BENCH_GCBENCHUTILS_H
 #define MANTI_BENCH_GCBENCHUTILS_H
 
+#include "gc/Handles.h"
 #include "gc/Heap.h"
 
 #include <atomic>
@@ -42,17 +43,14 @@ template <typename BodyT> void runOnWorldThreads(GCWorld &W, BodyT Body) {
 
 /// Builds a cons list of N tagged integers (vector cells [head, tail]).
 inline Value makeIntListB(VProcHeap &H, int64_t N) {
-  GcFrame Frame(H);
-  Value List = Value::nil();
-  Frame.root(List);
+  RootScope S(H);
+  Ref<> List = S.root(Value::nil());
   for (int64_t I = 0; I < N; ++I) {
-    Value Elems[2] = {Value::fromInt(I), List};
-    GcFrame Inner(H);
-    Inner.root(Elems[0]);
-    Inner.root(Elems[1]);
-    List = H.allocVector(Elems, 2);
+    RootScope Inner(H);
+    Ref<> Cell = allocVectorOf(Inner, Value::fromInt(I), List);
+    List = Cell.value();
   }
-  return List;
+  return List.value();
 }
 
 /// Keeps a value observably alive without benchmark library support.

@@ -43,13 +43,13 @@ AblationResult runChurn(bool PreserveAffinity) {
   // Each vproc promotes live and dead lists on its own thread; the
   // trigger fires global collections that recycle chunks.
   runOnWorldThreads(World, [](VProcHeap &H) {
-    GcFrame Frame(H);
-    Value &Keep = Frame.root(Value::nil());
+    RootScope Scope(H);
+    Ref<> Keep = Scope.root(Value::nil());
     for (int Round = 0; Round < 500; ++Round) {
       {
-        GcFrame Inner(H);
-        Value &Junk = Inner.root(makeIntListB(H, 300));
-        H.promote(Junk);
+        RootScope Inner(H);
+        Ref<> Junk = Inner.root(makeIntListB(H, 300));
+        promote(Inner, Junk);
       }
       Keep = H.promote(makeIntListB(H, 40));
       H.safePoint();

@@ -36,10 +36,10 @@ std::atomic<int> Remaining;
 
 void taskBody(Runtime &, VProc &VP, Task T) {
   // Touch the environment so the promotion is not dead weight.
-  GcFrame Frame(VP.heap());
-  Frame.root(T.Env);
+  RootScope S(VP.heap());
+  Ref<> Env = S.root(T.Env);
   int64_t Sum = 0;
-  for (Value Cur = T.Env; !Cur.isNil(); Cur = vectorGet(Cur, 1))
+  for (Value Cur = Env; !Cur.isNil(); Cur = vectorGet(Cur, 1))
     Sum += vectorGet(Cur, 0).asInt();
   benchmarkSink(Sum);
   Remaining.fetch_sub(1);
@@ -61,9 +61,9 @@ Load runLoad(bool Lazy, bool ForceSteals) {
   auto Start = std::chrono::steady_clock::now();
   RT.run(
       [](Runtime &, VProc &VP, void *) {
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         for (int I = 0; I < 400; ++I) {
-          Value &Env = Frame.root(makeIntListB(VP.heap(), 50));
+          Ref<> Env = Scope.root(makeIntListB(VP.heap(), 50));
           VP.spawn({taskBody, nullptr, Env, 0, 0});
           // In the force-steal configuration the spawner never runs its
           // own tasks, so all 400 migrate; otherwise it helps, and most

@@ -39,13 +39,13 @@ PolicyStats runChurn(AllocPolicyKind Policy) {
   GCWorld World(Cfg, Topology::uniform(4, 1), 4);
 
   runOnWorldThreads(World, [](VProcHeap &H) {
-    GcFrame Frame(H);
-    Value &Keep = Frame.root(Value::nil());
+    RootScope Scope(H);
+    Ref<> Keep = Scope.root(Value::nil());
     for (int Round = 0; Round < 60; ++Round) {
       {
-        GcFrame Inner(H);
-        Value &Junk = Inner.root(makeIntListB(H, 400));
-        H.promote(Junk);
+        RootScope Inner(H);
+        Ref<> Junk = Inner.root(makeIntListB(H, 400));
+        promote(Inner, Junk);
       }
       Keep = H.promote(makeIntListB(H, 30));
       H.majorGC();

@@ -17,7 +17,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "GCBenchUtils.h"
 #include "gc/GCReport.h"
+#include "gc/Handles.h"
 #include "numa/TrafficMatrix.h"
 #include "runtime/Runtime.h"
 #include "runtime/Scheduler.h"
@@ -42,20 +44,6 @@ int leavesFor(unsigned Producer) {
 
 std::atomic<int64_t> Remaining;
 
-Value makeEnvList(VProcHeap &H, int64_t N) {
-  GcFrame Frame(H);
-  Value List = Value::nil();
-  Frame.root(List);
-  for (int64_t I = 0; I < N; ++I) {
-    Value Elems[2] = {Value::fromInt(I), List};
-    GcFrame Inner(H);
-    Inner.root(Elems[0]);
-    Inner.root(Elems[1]);
-    List = H.allocVector(Elems, 2);
-  }
-  return List;
-}
-
 int64_t envSum(Value List) {
   int64_t Sum = 0;
   while (!List.isNil()) {
@@ -79,9 +67,9 @@ void leafTask(Runtime &, VProc &, Task T) {
 void producerTask(Runtime &, VProc &VP, Task T) {
   // Queue a deep run of leaves. The owner works the LIFO end while
   // thieves take batches from the FIFO end.
-  GcFrame Frame(VP.heap());
+  RootScope Scope(VP.heap());
   for (int64_t L = 0; L < T.A; ++L) {
-    Value &Env = Frame.root(makeEnvList(VP.heap(), EnvLen));
+    Ref<> Env = Scope.root(benchutil::makeIntListB(VP.heap(), EnvLen));
     VP.spawn({leafTask, nullptr, Env, 0, 0});
   }
   Remaining.fetch_sub(1, std::memory_order_relaxed);

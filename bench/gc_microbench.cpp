@@ -9,6 +9,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+// This bench measures the *raw* allocation paths beneath the handle
+// layer (the same surface the collectors use), so it opts into the
+// internal API deliberately.
+#define MANTI_GC_INTERNAL 1
+
 #include "gc/Heap.h"
 #include "gc/HeapVerifier.h"
 #include "numa/Topology.h"

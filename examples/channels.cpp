@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "gc/Handles.h"
 #include "runtime/Channel.h"
 #include "runtime/Runtime.h"
 
@@ -19,19 +20,17 @@ using namespace manti;
 namespace {
 
 Value cons(VProcHeap &H, Value Head, Value Tail) {
-  GcFrame Frame(H);
-  Value Elems[2] = {Head, Tail};
-  Frame.root(Elems[0]);
-  Frame.root(Elems[1]);
-  return H.allocVector(Elems, 2);
+  RootScope S(H);
+  Ref<> Cell = allocVectorOf(S, Head, Tail);
+  return Cell.value();
 }
 
 Value makeList(VProcHeap &H, int64_t Lo, int64_t Hi) {
-  GcFrame Frame(H);
-  Value &L = Frame.root(Value::nil());
+  RootScope S(H);
+  Ref<> L = S.root(Value::nil());
   for (int64_t I = Hi; I >= Lo; --I)
     L = cons(H, Value::fromInt(I), L);
-  return L;
+  return L.value();
 }
 
 int64_t listSum(Value L) {
@@ -51,12 +50,11 @@ struct PingPong {
 void serverTask(Runtime &, VProc &VP, Task T) {
   auto *PP = static_cast<PingPong *>(T.Ctx);
   for (int I = 0; I < PP->Rounds; ++I) {
-    GcFrame Frame(VP.heap());
+    RootScope S(VP.heap());
     // Park with continuation data: the round number, kept local until
     // the wake-up resolves the proxy.
-    Value Cont = Value::fromInt(I);
-    Value ContBack;
-    Value &Msg = Frame.root(PP->Requests->recv(VP, Cont, &ContBack));
+    Ref<> ContBack = S.root(Value::nil());
+    Ref<> Msg = PP->Requests->recv(S, VP, Value::fromInt(I), &ContBack);
     std::printf("  server(vp%u): round %lld received list, sum=%lld\n",
                 VP.id(), static_cast<long long>(ContBack.asInt()),
                 static_cast<long long>(listSum(Msg)));
@@ -88,12 +86,12 @@ int main() {
         auto *PP = static_cast<PingPong *>(CtxP);
         VP.spawn({serverTask, PP, Value::nil(), 0, 0});
         for (int I = 0; I < PP->Rounds; ++I) {
-          GcFrame Frame(VP.heap());
-          Value &Msg = Frame.root(makeList(VP.heap(), 1, 100 * (I + 1)));
+          RootScope S(VP.heap());
+          Ref<> Msg = S.root(makeList(VP.heap(), 1, 100 * (I + 1)));
           std::printf("client(vp%u): sending %d-element list\n", VP.id(),
                       100 * (I + 1));
           PP->Requests->send(VP, Msg); // promoted on send
-          Value Sum = PP->Replies->recv(VP);
+          Ref<> Sum = PP->Replies->recv(S, VP);
           std::printf("client(vp%u): server replied sum=%lld\n", VP.id(),
                       static_cast<long long>(Sum.asInt()));
         }

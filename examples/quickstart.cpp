@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gc/GCReport.h"
+#include "gc/Handles.h"
 #include "gc/Heap.h"
 #include "gc/HeapVerifier.h"
 #include "numa/Topology.h"
@@ -20,13 +21,13 @@ using namespace manti;
 
 namespace {
 
-/// [head | tail] cons cell.
+/// [head | tail] cons cell. allocVectorOf roots its arguments across
+/// the allocation; the result escapes the inner scope and is rooted
+/// again by the caller before the next allocation.
 Value cons(VProcHeap &H, Value Head, Value Tail) {
-  GcFrame Frame(H);
-  Value Elems[2] = {Head, Tail};
-  Frame.root(Elems[0]);
-  Frame.root(Elems[1]);
-  return H.allocVector(Elems, 2);
+  RootScope S(H);
+  Ref<> Cell = allocVectorOf(S, Head, Tail);
+  return Cell.value();
 }
 
 int64_t listSum(Value L) {
@@ -71,9 +72,10 @@ int main() {
   VProcHeap &H = World.heap(0);
 
   // Values are tagged words: 63-bit ints inline, pointers to immutable
-  // heap objects otherwise. Roots live in GcFrame scopes.
-  GcFrame Frame(H);
-  Value &List = Frame.root(Value::nil());
+  // heap objects otherwise. Roots are handles owned by RootScopes: a
+  // collection updates the handle's slot, so it can never dangle.
+  RootScope Scope(H);
+  Ref<> List = Scope.root(Value::nil());
   for (int64_t I = 1; I <= 1000; ++I)
     List = cons(H, Value::fromInt(I), List);
   std::printf("built a 1000-cell list; sum = %lld (expected 500500)\n\n",
@@ -82,7 +84,7 @@ int main() {
   // Minor collection: live nursery data moves to the old-data area.
   H.minorGC();
   std::printf("after minorGC the list lives in the young area: %s\n",
-              H.local().inYoungData(List.asPtr()) ? "yes" : "no");
+              H.local().inYoungData(List.value().asPtr()) ? "yes" : "no");
   printStats("after minor", World);
 
   // Major collection: old data moves to this vproc's global-heap chunk;
@@ -90,25 +92,27 @@ int main() {
   H.minorGC(); // age the list out of the young area
   H.majorGC();
   std::printf("after majorGC the list lives in the global heap: %s\n",
-              World.chunks().activeChunksContain(List.asPtr()) ? "yes"
-                                                               : "no");
+              World.chunks().activeChunksContain(List.value().asPtr())
+                  ? "yes"
+                  : "no");
   printStats("after major", World);
 
   // Promotion: sharing an object with other vprocs copies it to the
-  // global heap explicitly.
-  Value &Local = Frame.root(cons(H, Value::fromInt(7), Value::nil()));
-  Value &Shared = Frame.root(H.promote(Local));
+  // global heap explicitly; the promoted value comes back as a fresh
+  // rooted handle.
+  Ref<> Local = Scope.root(cons(H, Value::fromInt(7), Value::nil()));
+  Ref<> Shared = promote(Scope, Local);
   std::printf("promoted cell head: %lld\n\n",
               static_cast<long long>(vectorGet(Shared, 0).asInt()));
 
   // Global collection: stop-the-world, parallel across vprocs (one
   // here), per-node chunk lists, copying compaction.
   for (int I = 0; I < 40; ++I) {
-    GcFrame Junk(H);
-    Value &Dead = Junk.root(Value::nil());
+    RootScope Junk(H);
+    Ref<> Dead = Junk.root(Value::nil());
     for (int J = 0; J < 500; ++J)
       Dead = cons(H, Value::fromInt(J), Dead);
-    H.promote(Dead); // global garbage
+    promote(Junk, Dead); // global garbage
   }
   World.requestGlobalGC();
   H.safePoint();

@@ -1,0 +1,28 @@
+//===- gc/Handles.cpp - handle layer internals ----------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+// The handle layer is one of the two sanctioned users of the raw
+// Value-level mixed allocator (the other being the collectors).
+#define MANTI_GC_INTERNAL 1
+
+#include "gc/Handles.h"
+
+using namespace manti;
+
+Value manti::detail::allocMixedViaSlots(VProcHeap &H, uint16_t Id,
+                                        const Word *RawFields,
+                                        Value *const *PtrFieldSlots,
+                                        unsigned NumSlots) {
+  // Register the caller's slot array on the shadow stack for the span of
+  // the allocation: a collection triggered by it forwards the slots, and
+  // allocMixedRooted re-reads them into the new object's pointer fields.
+  std::size_t Mark = H.ShadowStack.size();
+  for (unsigned I = 0; I < NumSlots; ++I)
+    H.ShadowStack.push_back(PtrFieldSlots[I]);
+  Value V = H.allocMixedRooted(Id, RawFields, PtrFieldSlots);
+  H.ShadowStack.resize(Mark);
+  return V;
+}

@@ -4,17 +4,39 @@
 //
 //===----------------------------------------------------------------------===//
 
+// This TU implements the raw allocation surface the handle layer wraps.
+#define MANTI_GC_INTERNAL 1
+
 #include "gc/Heap.h"
 
 #include "gc/CollectorImpl.h"
 #include "support/Assert.h"
+#include "support/Compiler.h"
 #include "support/Logging.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 using namespace manti;
+
+namespace {
+
+/// GCConfig::StressGC can be forced from the environment so existing
+/// test binaries run stressed in CI without a rebuild.
+bool stressGCFromEnv() {
+  const char *Env = std::getenv("MANTI_STRESS_GC");
+  return Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
+}
+
+GCConfig applyEnvOverrides(GCConfig Config) {
+  if (stressGCFromEnv())
+    Config.StressGC = true;
+  return Config;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // GCWorld
@@ -22,7 +44,7 @@ using namespace manti;
 
 GCWorld::GCWorld(const GCConfig &Config, const Topology &Topo,
                  unsigned NumVProcs)
-    : Config(Config), Topo(Topo), Banks(Topo.numNodes()),
+    : Config(applyEnvOverrides(Config)), Topo(Topo), Banks(Topo.numNodes()),
       Policy(Config.Policy, Topo.numNodes()), Traffic(Topo.numNodes()),
       Chunks(Banks, Policy, Config.ChunkBytes, Config.PreserveChunkAffinity,
              Config.ChunkBatch),
@@ -158,10 +180,56 @@ Word *VProcHeap::globalAllocObject(uint16_t Id, uint64_t LenWords) {
 //===----------------------------------------------------------------------===//
 
 Word *VProcHeap::allocLocalObject(uint16_t Id, uint64_t LenWords) {
+  if (MANTI_UNLIKELY(World.Config.StressGC))
+    stressGCBeforeAlloc();
   Stats.BytesAllocatedLocal += (LenWords + 1) * sizeof(Word);
   if (Word *P = Local.tryAlloc(Id, LenWords))
     return P;
   return allocSlowPath(Id, LenWords);
+}
+
+/// StressGC: every slow-path-eligible allocation first validates the
+/// shadow stack, then actually collects, so any Value held outside a
+/// rooted slot across this allocation is stale the moment the caller
+/// resumes -- the intermittent bug becomes a deterministic one.
+void VProcHeap::stressGCBeforeAlloc() {
+  debugCheckShadowStack();
+  if (World.globalGCPending())
+    globalGCParticipate(*this);
+  minorGCImpl(*this);
+  if (Local.nurseryCapacityBytes() < World.Config.MinNurseryBytes)
+    majorGCImpl(*this, EvacuateMode::OldOnly);
+}
+
+void VProcHeap::debugCheckShadowStack() const {
+  for (const Value *Slot : ShadowStack) {
+    Value V = *Slot;
+    if (!V.isPtr())
+      continue; // nil and tagged ints are always fine
+    const Word *P = V.asPtr();
+    bool Placed;
+    if (Local.contains(P)) {
+      // Must be an allocated region of *this* vproc's heap: old data,
+      // young data, or the used prefix of the nursery -- never the gap
+      // or the unallocated nursery tail a stale pointer would hit.
+      Placed = Local.inOldData(P) || Local.inYoungData(P) ||
+               (P >= Local.nurseryStart() && P < Local.allocPtr());
+    } else {
+      Placed = World.Chunks.activeChunksContain(P);
+    }
+    bool Sound = Placed;
+    if (Sound) {
+      Word Hdr = headerOf(P);
+      if (isForwardWord(Hdr))
+        // A promotion husk: the slot is repaired lazily by the next
+        // local collection (Heap.h, promote). The forwarded copy must
+        // already live in the global heap.
+        Sound = World.Chunks.activeChunksContain(
+            reinterpret_cast<const Word *>(Hdr));
+    }
+    MANTI_CHECK(Sound,
+                "shadow-stack slot holds an unrooted or stale heap pointer");
+  }
 }
 
 Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {

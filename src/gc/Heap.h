@@ -5,7 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level garbage-collected heap API.
+/// The heap *infrastructure* layer: worlds, per-vproc heaps, and the
+/// raw Value-level allocators the collectors and the handle layer are
+/// built on. **The public mutator-facing surface is gc/Handles.h**
+/// (RootScope, Ref<T>, ObjectType<T>, alloc<T>); workloads, examples,
+/// and runtime libraries should program against that API, which makes
+/// the rooting discipline below impossible to get wrong by construction.
 ///
 /// A GCWorld owns everything shared: the object-descriptor table, the
 /// per-node memory banks, the page-placement policy, the chunk manager
@@ -20,9 +25,11 @@
 /// global collector zeroing allocation limits.
 ///
 /// Rooting discipline: any Value live across an allocation must be
-/// registered in the shadow stack (see GcFrame). Allocation functions
-/// that take source Values receive *pointers to rooted slots* so the
-/// sources survive a collection triggered by the allocation itself.
+/// registered in the shadow stack (RootScope in Handles.h; the legacy
+/// GcFrame below is the internal/deprecated face of the same stack).
+/// Allocation functions that take source Values receive *pointers to
+/// rooted slots* so the sources survive a collection triggered by the
+/// allocation itself.
 ///
 /// The language model is mutation-free (PML): once an object's fields
 /// are initialized they never change. That invariant -- not a write
@@ -50,7 +57,21 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
+
+/// The raw Value-level allocation surface (allocMixed, allocMixedRooted,
+/// GcFrame) is internal: only the collectors, the handle layer, and
+/// collector tests may use it. Such translation units define
+/// MANTI_GC_INTERNAL before including this header; everywhere else the
+/// surface is marked deprecated so new mutator code lands on Handles.h.
+#if defined(MANTI_GC_INTERNAL)
+#define MANTI_INTERNAL_GC_API
+#else
+#define MANTI_INTERNAL_GC_API                                                  \
+  [[deprecated("internal GC surface; use gc/Handles.h (RootScope / Ref<T> / " \
+               "alloc<T>) instead")]]
+#endif
 
 namespace manti {
 
@@ -86,6 +107,15 @@ struct GCConfig {
   /// Chunks carved per fresh MemoryBanks mapping: the global
   /// synchronization cost of chunk registration is paid once per batch.
   unsigned ChunkBatch = ChunkManager::DefaultBatchChunks;
+  /// Stress mode: force a minor collection on every allocation that is
+  /// eligible for the GC slow path, and validate every shadow-stack slot
+  /// (nil / int / live heap pointer) first. Turns "a collection *may*
+  /// happen here" into "a collection *does* happen here", so unrooted
+  /// Values fail deterministically instead of intermittently. Also
+  /// enabled by setting the MANTI_STRESS_GC environment variable (any
+  /// value but "0"), so existing test binaries can be stressed in CI
+  /// without recompilation.
+  bool StressGC = false;
 };
 
 /// Visits one root slot; the visitor may rewrite the slot's word.
@@ -144,7 +174,10 @@ public:
   /// supplies the object's SizeWords initial words verbatim. CAUTION:
   /// the allocation may collect, moving any objects \p Fields points at;
   /// only use this when the pointer fields are nil/ints or when no
-  /// collection can intervene. Prefer allocMixedRooted.
+  /// collection can intervene.
+  /// Migration: use alloc<T>(RootScope&, ...) from gc/Handles.h, which
+  /// roots its pointer arguments automatically.
+  MANTI_INTERNAL_GC_API
   Value allocMixed(uint16_t Id, const Word *Fields);
 
   /// Collection-safe mixed allocation: \p RawFields supplies every word,
@@ -152,6 +185,9 @@ public:
   /// corresponding entry of \p PtrFieldSlots (rooted Value slots, in
   /// descriptor offset order) *after* the allocation, so a collection
   /// triggered by the allocation cannot leave stale pointers behind.
+  /// Migration: use alloc<T>(RootScope&, ...) from gc/Handles.h, which
+  /// performs exactly this dance from a typed field spec.
+  MANTI_INTERNAL_GC_API
   Value allocMixedRooted(uint16_t Id, const Word *RawFields,
                          Value *const *PtrFieldSlots);
 
@@ -190,6 +226,12 @@ public:
 
   /// \returns true if this vproc's allocation limit has been zeroed.
   bool gcSignalled() const { return Local.limitSignalled(); }
+
+  /// Aborts unless every shadow-stack slot holds nil, a tagged int, or a
+  /// pointer to a live object in this vproc's local heap or the global
+  /// heap. Run before every forced collection under GCConfig::StressGC;
+  /// catches the unrooted Values the raw API invited. Cold path.
+  void debugCheckShadowStack() const;
 
   //===--------------------------------------------------------------------===//
   // Roots
@@ -230,6 +272,7 @@ private:
   Chunk *acquireChunkCounted();
   Word *allocLocalObject(uint16_t Id, uint64_t LenWords);
   Word *allocSlowPath(uint16_t Id, uint64_t LenWords);
+  void stressGCBeforeAlloc();
   bool vectorIsOversized(std::size_t N) const;
 
   GCWorld &World;
@@ -241,15 +284,38 @@ private:
   LocalHeap Local;
 };
 
-/// RAII shadow-stack frame. Usage:
+/// Reference-only view of a rooted shadow-stack slot, returned by
+/// GcFrame::root. Binds to `Value &` but refuses to decay into a plain
+/// `Value`: the old `Value Xs = Frame.root(...)` silently copied the
+/// root into an *unregistered* local that a collection would never
+/// update, so that spelling is now a compile error instead of a
+/// latent use-after-move.
+class RootedSlot {
+public:
+  /// Bind as `Value &Xs = Frame.root(...)`.
+  operator Value &() const { return *Slot; }
+  /// `Value Xs = Frame.root(...)` un-roots by copy; deleted.
+  operator Value() const = delete;
+
+private:
+  friend class GcFrame;
+  explicit RootedSlot(Value &Slot) : Slot(&Slot) {}
+  Value *Slot;
+};
+
+/// RAII shadow-stack frame. Internal/legacy surface: collectors and
+/// collector tests only -- everything else uses RootScope (gc/Handles.h),
+/// which owns its slot storage and hands out handles instead of bare
+/// references.
+/// Migration: replace `GcFrame F(H); Value &X = F.root(v);` with
+/// `RootScope S(H); Ref<> X = S.root(v);`.
+/// Usage:
 /// \code
 ///   GcFrame Frame(Heap);
 ///   Value &Xs = Frame.root(Heap.allocVectorFill(4, Value::fromInt(0)));
 ///   ...                      // Xs is updated if a collection moves it
 /// \endcode
-/// Bind the result of rooting a temporary to a *reference*: a by-value
-/// copy would not be updated when a collection forwards the root.
-class GcFrame {
+class MANTI_INTERNAL_GC_API GcFrame {
 public:
   explicit GcFrame(VProcHeap &Heap)
       : Heap(Heap), Mark(Heap.ShadowStack.size()) {}
@@ -259,17 +325,17 @@ public:
   GcFrame &operator=(const GcFrame &) = delete;
 
   /// Registers \p Slot (an lvalue that outlives this frame) as a root.
-  Value &root(Value &Slot) {
+  RootedSlot root(Value &Slot) {
     Heap.ShadowStack.push_back(&Slot);
-    return Slot;
+    return RootedSlot(Slot);
   }
 
   /// Copies a temporary into frame-owned stable storage and roots it.
-  /// \returns a reference to the rooted slot (bind it as Value&).
-  Value &root(Value &&Temp) {
+  /// \returns a reference-only view of the slot (bind it as Value&).
+  RootedSlot root(Value &&Temp) {
     OwnedSlots.push_back(Temp);
     Heap.ShadowStack.push_back(&OwnedSlots.back());
-    return OwnedSlots.back();
+    return RootedSlot(OwnedSlots.back());
   }
 
 private:
@@ -361,6 +427,19 @@ public:
   uint16_t RopeNodeId = 0;
   uint16_t BhNodeId = 0;
 
+  /// Typed-object-id registry for the handle layer (gc/Handles.h):
+  /// object IDs are world state, so ObjectType<T> binds T's id here
+  /// under a key unique per C++ type. Like descriptor registration,
+  /// binding must finish before vprocs start running; lookups afterwards
+  /// are lock-free reads.
+  uint16_t typedObjectId(const void *TypeKey) const {
+    auto It = TypedObjectIds.find(TypeKey);
+    return It == TypedObjectIds.end() ? 0 : It->second;
+  }
+  void bindTypedObjectId(const void *TypeKey, uint16_t Id) {
+    TypedObjectIds.emplace(TypeKey, Id);
+  }
+
 private:
   friend class VProcHeap;
   friend void globalGCParticipate(VProcHeap &H);
@@ -386,6 +465,9 @@ private:
   void *VProcRootsCtx = nullptr;
   GlobalRootEnumerator GlobalRoots = nullptr;
   void *GlobalRootsCtx = nullptr;
+
+  /// ObjectType<T> tag address -> object id (see typedObjectId).
+  std::unordered_map<const void *, uint16_t> TypedObjectIds;
 };
 
 //===----------------------------------------------------------------------===//

@@ -4,6 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+// Proxies are part of the collector machinery and use the internal
+// rooting surface directly.
+#define MANTI_GC_INTERNAL 1
+
 #include "gc/Proxy.h"
 
 #include "support/Assert.h"

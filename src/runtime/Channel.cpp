@@ -19,8 +19,6 @@ Channel::Channel(Runtime &RT) : RT(RT) { RT.registerChannel(this); }
 Channel::~Channel() { RT.unregisterChannel(this); }
 
 void Channel::send(VProc &VP, Value V) {
-  GcFrame Frame(VP.heap());
-  Frame.root(V);
   // Messages are shared with other vprocs: promote before publishing.
   V = VP.heap().promote(V);
 
@@ -73,9 +71,8 @@ Value Channel::recv(VProc &VP, Value ContData, Value *ContOut) {
   // Block: park a proxy-wrapped continuation record. The record lives in
   // this vproc's local heap; the proxy is the sanctioned global-to-local
   // reference that keeps it alive and tracked while we are parked.
-  GcFrame Frame(VP.heap());
-  Frame.root(ContData);
-  Value &Proxy = Frame.root(createProxy(VP.heap(), ContData));
+  RootScope Scope(VP.heap());
+  Value &Proxy = Scope.slot(createProxy(VP.heap(), ContData));
 
   Waiter W;
   W.ProxyBits = Proxy.bits();
@@ -102,7 +99,7 @@ Value Channel::recv(VProc &VP, Value ContData, Value *ContOut) {
   // Root the message before leaving the waiter queue; there is no safe
   // point between observing Ready and this line, so the value cannot
   // have moved since the channel roots last covered it.
-  Value &Msg = Frame.root(Value::fromBits(W.CellBits));
+  Value &Msg = Scope.slot(Value::fromBits(W.CellBits));
   if (Enqueued) {
     std::lock_guard<SpinLock> Guard(Lock);
     for (std::size_t I = 0; I < Receivers.size(); ++I) {

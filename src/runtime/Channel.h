@@ -31,6 +31,7 @@
 #ifndef MANTI_RUNTIME_CHANNEL_H
 #define MANTI_RUNTIME_CHANNEL_H
 
+#include "gc/Handles.h"
 #include "gc/Heap.h"
 #include "runtime/Runtime.h"
 #include "support/SpinLock.h"
@@ -50,6 +51,9 @@ public:
   /// Sends \p V, blocking until a receiver takes it. \p V is promoted.
   void send(VProc &VP, Value V);
 
+  /// Handle face: sends the handle's current value.
+  void send(VProc &VP, const Ref<> &V) { send(VP, V.value()); }
+
   /// Receives a value, blocking until a sender provides one.
   /// \p ContData, when non-nil, is local continuation data the receiver
   /// wants back on wake-up; it rides in a proxy while blocked. \returns
@@ -58,9 +62,32 @@ public:
   Value recv(VProc &VP, Value ContData = Value::nil(),
              Value *ContOut = nullptr);
 
+  /// Handle face: the received message comes back rooted in \p S.
+  Ref<Object> recv(RootScope &S, VProc &VP) { return S.root(recv(VP)); }
+
+  /// Handle face with continuation data: \p ContOut (when non-null) has
+  /// its rooted slot overwritten with the recovered continuation.
+  Ref<Object> recv(RootScope &S, VProc &VP, Value ContData,
+                   Ref<> *ContOut) {
+    Value Cont;
+    Ref<Object> Msg = S.root(recv(VP, ContData, &Cont));
+    if (ContOut)
+      *ContOut = Cont;
+    return Msg;
+  }
+
   /// Non-blocking receive; \returns true and stores into \p Out if a
   /// sender was waiting.
   bool tryRecv(VProc &VP, Value &Out);
+
+  /// Handle face: on success \p Out's rooted slot holds the message.
+  bool tryRecv(VProc &VP, Ref<> &Out) {
+    Value V;
+    if (!tryRecv(VP, V))
+      return false;
+    Out = V;
+    return true;
+  }
 
   /// CML-style choice over several channels: blocks until one of
   /// \p Chans has a message, receives it, and \returns it; *WhichOut
@@ -69,6 +96,13 @@ public:
   /// CML's choose semantics for recv events).
   static Value selectRecv(VProc &VP, Channel *const *Chans, unsigned N,
                           unsigned *WhichOut = nullptr);
+
+  /// Handle face of selectRecv.
+  static Ref<Object> selectRecv(RootScope &S, VProc &VP,
+                                Channel *const *Chans, unsigned N,
+                                unsigned *WhichOut = nullptr) {
+    return S.root(selectRecv(VP, Chans, N, WhichOut));
+  }
 
   /// Number of blocked senders / receivers (racy; for tests and stats).
   std::size_t pendingSends() const;

@@ -95,11 +95,42 @@ Value reduceRange(Runtime &RT, VProc &VP, ReduceJob &Job, int64_t Lo,
   ReduceSplit Split{&Job, &Cell};
   VP.spawn({reduceTask, &Split, Value::nil(), Mid, Hi});
 
-  GcFrame Frame(VP.heap());
-  Value &Left = Frame.root(reduceRange(RT, VP, Job, Lo, Mid));
+  RootScope Scope(VP.heap());
+  Value &Left = Scope.slot(reduceRange(RT, VP, Job, Lo, Mid));
   VP.joinWait(Split.Join);
-  Value &Right = Frame.root(Cell.take());
+  Value &Right = Scope.slot(Cell.take());
   return Job.Combine(RT, VP, Left, Right, Job.Ctx);
+}
+
+//===----------------------------------------------------------------------===//
+// Handle-aware adaptor: opens a RootScope around every leaf and combine
+// call so user code only ever touches rooted handles.
+//===----------------------------------------------------------------------===//
+
+struct HandleReduceJob {
+  HandleLeafFn Leaf;
+  HandleCombineFn Combine;
+  void *Ctx;
+};
+
+Value handleLeafThunk(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                      void *CtxP) {
+  auto *Job = static_cast<HandleReduceJob *>(CtxP);
+  RootScope S(VP.heap());
+  Ref<> Result = Job->Leaf(RT, VP, S, Lo, Hi, Job->Ctx);
+  // The value escapes the scope here, but the caller (the reduce
+  // plumbing) roots it again before the next safe point.
+  return Result.value();
+}
+
+Value handleCombineThunk(Runtime &RT, VProc &VP, Value Left, Value Right,
+                         void *CtxP) {
+  auto *Job = static_cast<HandleReduceJob *>(CtxP);
+  RootScope S(VP.heap());
+  Ref<> L = S.root(Left);
+  Ref<> R = S.root(Right);
+  Ref<> Result = Job->Combine(RT, VP, S, L, R, Job->Ctx);
+  return Result.value();
 }
 
 } // namespace
@@ -110,6 +141,15 @@ Value manti::parallelReduce(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
   MANTI_CHECK(Grain > 0, "parallelReduce grain must be positive");
   ReduceJob Job{Leaf, Combine, Ctx, Grain};
   return reduceRange(RT, VP, Job, Lo, Hi);
+}
+
+Ref<Object> manti::parallelReduce(RootScope &S, Runtime &RT, VProc &VP,
+                                  int64_t Lo, int64_t Hi, int64_t Grain,
+                                  HandleLeafFn Leaf, HandleCombineFn Combine,
+                                  void *Ctx) {
+  HandleReduceJob Job{Leaf, Combine, Ctx};
+  return S.root(parallelReduce(RT, VP, Lo, Hi, Grain, handleLeafThunk,
+                               handleCombineThunk, &Job));
 }
 
 //===----------------------------------------------------------------------===//

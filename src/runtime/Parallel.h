@@ -22,6 +22,7 @@
 #ifndef MANTI_RUNTIME_PARALLEL_H
 #define MANTI_RUNTIME_PARALLEL_H
 
+#include "gc/Handles.h"
 #include "runtime/Runtime.h"
 
 #include <cstdint>
@@ -56,6 +57,28 @@ void parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
 Value parallelReduce(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
                      int64_t Grain, LeafFn Leaf, CombineFn Combine,
                      void *Ctx);
+
+//===----------------------------------------------------------------------===//
+// Handle-aware reduction
+//===----------------------------------------------------------------------===//
+
+/// Handle-aware leaf: produces a handle rooted in the scope the
+/// combinator opens around the call.
+using HandleLeafFn = Ref<Object> (*)(Runtime &RT, VProc &VP, RootScope &S,
+                                     int64_t Lo, int64_t Hi, void *Ctx);
+
+/// Handle-aware combine: both inputs arrive as rooted handles, so the
+/// combiner may allocate freely without any manual rooting.
+using HandleCombineFn = Ref<Object> (*)(Runtime &RT, VProc &VP, RootScope &S,
+                                        const Ref<> &Left,
+                                        const Ref<> &Right, void *Ctx);
+
+/// Handle face of parallelReduce: results still route through the
+/// ResultCell machinery (cross-vproc results are promoted by the
+/// producer), and the final value comes back rooted in \p S.
+Ref<Object> parallelReduce(RootScope &S, Runtime &RT, VProc &VP, int64_t Lo,
+                           int64_t Hi, int64_t Grain, HandleLeafFn Leaf,
+                           HandleCombineFn Combine, void *Ctx);
 
 /// Parallel sum of per-range doubles (associative reduction; the
 /// combination order is the split tree's, so results are deterministic

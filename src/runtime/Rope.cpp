@@ -15,16 +15,12 @@
 using namespace manti;
 using namespace manti::rope;
 
-// Rope node layout (mixed object, 4 words):
-//   word 0: left subrope (pointer)
-//   word 1: right subrope (pointer)
-//   word 2: total scalar count (raw)
-//   word 3: depth (raw; leaves are 0)
+// Rope nodes are the typed RopeNode layout (Rope.h): two scanned
+// subrope fields plus raw length and depth, registered through
+// ObjectType<RopeNode>.
 namespace {
-constexpr unsigned NodeLeft = 0;
-constexpr unsigned NodeRight = 1;
-constexpr unsigned NodeLen = 2;
-constexpr unsigned NodeDepth = 3;
+
+using Node = ObjectType<RopeNode>;
 
 bool isLeaf(Value Rope) { return objectId(Rope) == IdRaw; }
 
@@ -33,19 +29,13 @@ int64_t leafLen(Value Leaf) {
 }
 
 Value makeNode(VProcHeap &H, Value Left, Value Right) {
-  GcFrame Frame(H);
-  Frame.root(Left);
-  Frame.root(Right);
-  uint16_t Id = H.world().RopeNodeId;
-  MANTI_CHECK(Id != 0, "rope descriptors not registered with this world");
-  Word Fields[4];
-  Fields[NodeLeft] = Left.bits();
-  Fields[NodeRight] = Right.bits();
-  Fields[NodeLen] = static_cast<Word>(length(Left) + length(Right));
-  Fields[NodeDepth] =
-      static_cast<Word>(std::max(depth(Left), depth(Right)) + 1);
-  Value *Slots[2] = {&Left, &Right};
-  return H.allocMixedRooted(Id, Fields, Slots);
+  MANTI_CHECK(H.world().RopeNodeId != 0,
+              "rope descriptors not registered with this world");
+  RootScope S(H);
+  Ref<RopeNode> N = alloc<RopeNode>(
+      S, RopeNode{Left, Right, length(Left) + length(Right),
+                  std::max(depth(Left), depth(Right)) + 1});
+  return N.value();
 }
 
 /// Builds a balanced rope over Gen for [Lo, Hi).
@@ -62,9 +52,9 @@ Value buildBalanced(VProcHeap &H, int64_t Lo, int64_t Hi,
   // Split on a leaf-aligned midpoint for a balanced tree.
   int64_t Leaves = divideCeil(static_cast<uint64_t>(N), LeafElems);
   int64_t Mid = Lo + (Leaves / 2) * LeafElems;
-  GcFrame Frame(H);
-  Value &Left = Frame.root(buildBalanced(H, Lo, Mid, Gen, Ctx));
-  Value &Right = Frame.root(buildBalanced(H, Mid, Hi, Gen, Ctx));
+  RootScope S(H);
+  Ref<> Left = S.root(buildBalanced(H, Lo, Mid, Gen, Ctx));
+  Ref<> Right = S.root(buildBalanced(H, Mid, Hi, Gen, Ctx));
   return makeNode(H, Left, Right);
 }
 
@@ -72,8 +62,7 @@ Value buildBalanced(VProcHeap &H, int64_t Lo, int64_t Hi,
 
 void manti::registerRopeDescriptors(GCWorld &World) {
   MANTI_CHECK(World.RopeNodeId == 0, "rope descriptors already registered");
-  World.RopeNodeId = World.descriptors().registerMixed(
-      "rope-node", 4, {NodeLeft, NodeRight});
+  World.RopeNodeId = Node::registerWith(World);
 }
 
 int64_t manti::rope::length(Value Rope) {
@@ -81,13 +70,13 @@ int64_t manti::rope::length(Value Rope) {
     return 0;
   if (isLeaf(Rope))
     return leafLen(Rope);
-  return static_cast<int64_t>(Rope.asPtr()[NodeLen]);
+  return Node::get<&RopeNode::Len>(Rope);
 }
 
 int64_t manti::rope::depth(Value Rope) {
   if (Rope.isNil() || isLeaf(Rope))
     return 0;
-  return static_cast<int64_t>(Rope.asPtr()[NodeDepth]);
+  return Node::get<&RopeNode::Depth>(Rope);
 }
 
 Value manti::rope::fromFunction(VProcHeap &H, int64_t N,
@@ -112,13 +101,13 @@ Value manti::rope::fromArray(VProcHeap &H, const uint64_t *Data, int64_t N) {
 uint64_t manti::rope::get(Value Rope, int64_t Index) {
   assert(Index >= 0 && Index < length(Rope) && "rope index out of range");
   while (!isLeaf(Rope)) {
-    Value Left = Value::fromBits(Rope.asPtr()[NodeLeft]);
+    Value Left = Node::get<&RopeNode::Left>(Rope);
     int64_t LeftLen = length(Left);
     if (Index < LeftLen) {
       Rope = Left;
     } else {
       Index -= LeftLen;
-      Rope = Value::fromBits(Rope.asPtr()[NodeRight]);
+      Rope = Node::get<&RopeNode::Right>(Rope);
     }
   }
   return static_cast<uint64_t *>(rawData(Rope))[Index];
@@ -151,8 +140,8 @@ void manti::rope::toArray(Value Rope, uint64_t *Out) {
       Pos += N;
       continue;
     }
-    Stack.push_back(Value::fromBits(Cur.asPtr()[NodeRight]));
-    Stack.push_back(Value::fromBits(Cur.asPtr()[NodeLeft]));
+    Stack.push_back(Node::get<&RopeNode::Right>(Cur));
+    Stack.push_back(Node::get<&RopeNode::Left>(Cur));
   }
 }
 
@@ -161,25 +150,23 @@ Value manti::rope::concat(VProcHeap &H, Value Left, Value Right) {
     return Right;
   if (Right.isNil())
     return Left;
-  GcFrame Frame(H);
-  Frame.root(Left);
-  Frame.root(Right);
-  Value &Node = Frame.root(makeNode(H, Left, Right));
+  RootScope S(H);
+  Ref<> Joined = S.root(makeNode(H, Left, Right));
 
   // Keep depth logarithmic: when the spine grows far beyond what a
   // balanced tree of this size needs, rebuild. Rebuilding is O(n) but
   // amortizes across the O(n) concats that caused the skew.
-  int64_t Len = length(Node);
+  int64_t Len = length(Joined);
   int64_t Leaves = std::max<int64_t>(
       1, static_cast<int64_t>(divideCeil(static_cast<uint64_t>(Len),
                                          LeafElems)));
   int64_t Budget = 2 * static_cast<int64_t>(log2Floor(
                            nextPowerOf2(static_cast<uint64_t>(Leaves)))) +
                    8;
-  if (depth(Node) <= Budget)
-    return Node;
+  if (depth(Joined) <= Budget)
+    return Joined.value();
   std::vector<uint64_t> Tmp(static_cast<std::size_t>(Len));
-  toArray(Node, Tmp.data());
+  toArray(Joined, Tmp.data());
   return fromArray(H, Tmp.data(), Len);
 }
 
@@ -189,8 +176,9 @@ Value manti::rope::slice(VProcHeap &H, Value Rope, int64_t Lo, int64_t Hi) {
   int64_t N = Hi - Lo;
   if (N == 0)
     return Value::nil();
-  GcFrame Frame(H);
-  Frame.root(Rope);
+  RootScope S(H);
+  Ref<> Keep = S.root(Rope);
+  (void)Keep;
   // Materialize then rebuild balanced; simple and O(n) like any copy.
   std::vector<uint64_t> Tmp(static_cast<std::size_t>(length(Rope)));
   toArray(Rope, Tmp.data());

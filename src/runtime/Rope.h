@@ -26,6 +26,7 @@
 #ifndef MANTI_RUNTIME_ROPE_H
 #define MANTI_RUNTIME_ROPE_H
 
+#include "gc/Handles.h"
 #include "gc/Heap.h"
 
 #include <cstdint>
@@ -34,6 +35,20 @@ namespace manti {
 
 class Runtime;
 class VProc;
+
+/// Interior rope node: two scanned subrope fields plus the cached scalar
+/// count and depth. Registered through the typed-handle layer
+/// (ObjectType<RopeNode>); exposed so clients can use typed accessors on
+/// rope values they know are interior nodes.
+struct RopeNode {
+  Value Left;
+  Value Right;
+  int64_t Len;
+  int64_t Depth;
+  static constexpr const char *GcName = "rope-node";
+  static constexpr auto GcPtrFields =
+      ptrFields(&RopeNode::Left, &RopeNode::Right);
+};
 
 /// Registers the rope node descriptor with \p World. Runtime's
 /// constructor calls this; standalone GCWorld users (tests) call it
@@ -76,6 +91,33 @@ void toArray(Value Rope, uint64_t *Out);
 
 /// \returns true if \p V is a rope leaf or node.
 bool isRope(GCWorld &W, Value V);
+
+//===----------------------------------------------------------------------===//
+// Handle-aware faces: same operations, but results come back rooted in
+// the caller's RootScope. These are the entry points workloads use; the
+// Value-level functions above remain for allocation-free traversal
+// (length, get, toArray) where no rooting is needed.
+//===----------------------------------------------------------------------===//
+
+inline Ref<Object> fromFunction(RootScope &S, int64_t N,
+                                uint64_t (*Gen)(int64_t I, void *Ctx),
+                                void *Ctx) {
+  return S.root(fromFunction(S.heap(), N, Gen, Ctx));
+}
+
+inline Ref<Object> fromArray(RootScope &S, const uint64_t *Data, int64_t N) {
+  return S.root(fromArray(S.heap(), Data, N));
+}
+
+inline Ref<Object> concat(RootScope &S, const Ref<> &Left,
+                          const Ref<> &Right) {
+  return S.root(concat(S.heap(), Left.value(), Right.value()));
+}
+
+inline Ref<Object> slice(RootScope &S, const Ref<> &Rope, int64_t Lo,
+                         int64_t Hi) {
+  return S.root(slice(S.heap(), Rope.value(), Lo, Hi));
+}
 
 /// Packing helpers for double-valued ropes.
 inline uint64_t packDouble(double D) {

@@ -6,6 +6,7 @@
 
 #include "runtime/VProc.h"
 
+#include "gc/Handles.h"
 #include "runtime/Runtime.h"
 #include "runtime/Scheduler.h"
 #include "support/Assert.h"
@@ -52,8 +53,8 @@ void VProc::enqueueStolen(Task T) {
 }
 
 void VProc::runTask(Task T) {
-  GcFrame Frame(Heap);
-  Frame.root(T.Env); // keep the environment rooted while the task runs
+  RootScope Scope(Heap);
+  Scope.rootExternal(T.Env); // keep the environment rooted while it runs
   T.Fn(RT, *this, T);
 }
 

@@ -18,20 +18,11 @@
 using namespace manti;
 using namespace manti::workloads;
 
-// Quadtree node (mixed object, 9 words):
-//   0-3: children NW/NE/SW/SE (pointer or nil)
-//   4:   total mass        (raw double bits)
-//   5,6: center of mass x,y (raw double bits)
-//   7:   body count         (raw int)
-//   8:   cell half-width    (raw double bits)
-// A leaf is a raw object of 3 doubles: x, y, mass.
+// Interior nodes use the typed BhNode layout (BarnesHut.h); a leaf is a
+// raw object of 3 doubles: x, y, mass.
 namespace {
 
-constexpr unsigned NodeMass = 4;
-constexpr unsigned NodeCmx = 5;
-constexpr unsigned NodeCmy = 6;
-constexpr unsigned NodeCount = 7;
-constexpr unsigned NodeHalf = 8;
+using Node = ObjectType<BhNode>;
 
 constexpr double Softening = 1e-9;
 
@@ -89,10 +80,9 @@ Value buildRec(VProcHeap &H, const Bodies &B, std::vector<int64_t> &Idx,
   Idx.clear();
   Idx.shrink_to_fit();
 
-  GcFrame Frame(H);
-  Value Children[4] = {};
-  for (Value &C : Children)
-    Frame.root(C);
+  RootScope S(H);
+  Ref<> Children[4] = {S.root(Value::nil()), S.root(Value::nil()),
+                       S.root(Value::nil()), S.root(Value::nil())};
   double H2 = Half / 2;
   const double QCx[4] = {Cx - H2, Cx + H2, Cx - H2, Cx + H2};
   const double QCy[4] = {Cy - H2, Cy - H2, Cy + H2, Cy + H2};
@@ -102,7 +92,7 @@ Value buildRec(VProcHeap &H, const Bodies &B, std::vector<int64_t> &Idx,
   // Aggregate mass and center of mass from the children.
   double M = 0, Mx = 0, My = 0;
   int64_t Count = 0;
-  for (Value C : Children) {
+  for (const Ref<> &C : Children) {
     if (C.isNil())
       continue;
     if (objectId(C) == IdRaw) {
@@ -113,33 +103,25 @@ Value buildRec(VProcHeap &H, const Bodies &B, std::vector<int64_t> &Idx,
       My += Lm * unpackD(L[1]);
       ++Count;
     } else {
-      Word *N = C.asPtr();
-      double Nm = unpackD(N[NodeMass]);
+      double Nm = Node::get<&BhNode::Mass>(C);
       M += Nm;
-      Mx += Nm * unpackD(N[NodeCmx]);
-      My += Nm * unpackD(N[NodeCmy]);
-      Count += static_cast<int64_t>(N[NodeCount]);
+      Mx += Nm * Node::get<&BhNode::CmX>(C);
+      My += Nm * Node::get<&BhNode::CmY>(C);
+      Count += Node::get<&BhNode::Count>(C);
     }
   }
 
-  Word Fields[9];
-  for (unsigned Q = 0; Q < 4; ++Q)
-    Fields[Q] = Children[Q].bits();
-  Fields[NodeMass] = packD(M);
-  Fields[NodeCmx] = packD(M > 0 ? Mx / M : Cx);
-  Fields[NodeCmy] = packD(M > 0 ? My / M : Cy);
-  Fields[NodeCount] = static_cast<Word>(Count);
-  Fields[NodeHalf] = packD(Half);
-  Value *Slots[4] = {&Children[0], &Children[1], &Children[2], &Children[3]};
-  return H.allocMixedRooted(H.world().BhNodeId, Fields, Slots);
+  Ref<BhNode> Cell = alloc<BhNode>(
+      S, BhNode{Children[0], Children[1], Children[2], Children[3], M,
+                M > 0 ? Mx / M : Cx, M > 0 ? My / M : Cy, Count, Half});
+  return Cell.value();
 }
 
 } // namespace
 
 void manti::workloads::registerBarnesHutDescriptors(GCWorld &World) {
   MANTI_CHECK(World.BhNodeId == 0, "Barnes-Hut descriptors already registered");
-  World.BhNodeId =
-      World.descriptors().registerMixed("bh-quadtree-node", 9, {0, 1, 2, 3});
+  World.BhNodeId = Node::registerWith(World);
 }
 
 Bodies manti::workloads::plummerDistribution(int64_t N, uint64_t Seed) {
@@ -204,20 +186,20 @@ void manti::workloads::treeForce(Value Root, const Bodies &B, int64_t I,
       Accumulate(unpackD(L[0]), unpackD(L[1]), unpackD(L[2]));
       continue;
     }
-    const Word *N = Cur.asPtr();
-    double Cmx = unpackD(N[NodeCmx]), Cmy = unpackD(N[NodeCmy]);
+    double Cmx = Node::get<&BhNode::CmX>(Cur);
+    double Cmy = Node::get<&BhNode::CmY>(Cur);
     double Dx = Cmx - Px, Dy = Cmy - Py;
     double Dist = std::sqrt(Dx * Dx + Dy * Dy + Softening);
-    double Width = 2.0 * unpackD(N[NodeHalf]);
+    double Width = 2.0 * Node::get<&BhNode::Half>(Cur);
     if (Width / Dist < Theta) {
-      Accumulate(Cmx, Cmy, unpackD(N[NodeMass]));
+      Accumulate(Cmx, Cmy, Node::get<&BhNode::Mass>(Cur));
       continue;
     }
     for (unsigned Q = 0; Q < 4; ++Q) {
-      Word W = N[Q];
-      if (wordIsPtr(W)) {
+      Value Kid = Node::get(Cur, BhChildren[Q]);
+      if (Kid.isPtr()) {
         MANTI_CHECK(Top < 128, "quadtree deeper than traversal stack");
-        Stack[Top++] = Value::fromBits(W);
+        Stack[Top++] = Kid;
       }
     }
   }
@@ -289,16 +271,16 @@ BarnesHutResult manti::workloads::runBarnesHut(Runtime &RT, VProc &VP,
   Bodies B = plummerDistribution(P.NumBodies, P.Seed);
   auto Start = std::chrono::steady_clock::now();
 
-  GcFrame Frame(VP.heap());
-  Value &Root = Frame.root(Value::nil());
+  RootScope S(VP.heap());
+  Ref<> Root = S.root(Value::nil());
   for (unsigned Iter = 0; Iter < P.Iterations; ++Iter) {
     // Phase 1 (sequential, as in the paper's analysis): build the tree,
     // then promote it so every vproc may traverse it.
     Root = buildQuadtree(VP.heap(), B);
-    Root = VP.heap().promote(Root);
+    promoteInPlace(S, Root);
 
     // Phase 2 (parallel): forces, then positions.
-    ForceCtx Ctx{&Root, &B, P.Theta, P.Dt};
+    ForceCtx Ctx{Root.slotAddr(), &B, P.Theta, P.Dt};
     int64_t Grain = std::max<int64_t>(64, P.NumBodies / 256);
     parallelFor(RT, VP, 0, P.NumBodies, Grain, forceRange, &Ctx);
     parallelFor(RT, VP, 0, P.NumBodies, 1024, advanceRange, &Ctx);

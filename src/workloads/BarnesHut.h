@@ -23,12 +23,30 @@
 #ifndef MANTI_WORKLOADS_BARNESHUT_H
 #define MANTI_WORKLOADS_BARNESHUT_H
 
+#include "gc/Handles.h"
 #include "runtime/Runtime.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace manti::workloads {
+
+/// Quadtree interior node (typed layout; leaves are raw objects of
+/// three doubles x, y, mass). Registered through ObjectType<BhNode>.
+struct BhNode {
+  Value NW, NE, SW, SE; ///< children (pointer or nil), scanned
+  double Mass;          ///< total mass
+  double CmX, CmY;      ///< center of mass
+  int64_t Count;        ///< body count
+  double Half;          ///< cell half-width
+  static constexpr const char *GcName = "bh-quadtree-node";
+  static constexpr auto GcPtrFields =
+      ptrFields(&BhNode::NW, &BhNode::NE, &BhNode::SW, &BhNode::SE);
+};
+
+/// The four child members in quadrant order ((x>=cx) | (y>=cy)<<1).
+inline constexpr Value BhNode::*BhChildren[4] = {&BhNode::NW, &BhNode::NE,
+                                                 &BhNode::SW, &BhNode::SE};
 
 struct BarnesHutParams {
   int64_t NumBodies = 10000;

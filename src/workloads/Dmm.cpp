@@ -6,6 +6,8 @@
 
 #include "workloads/Dmm.h"
 
+#include "gc/Handles.h"
+
 #include "runtime/Parallel.h"
 #include "support/Assert.h"
 #include "support/XorShift.h"
@@ -77,11 +79,9 @@ DmmResult manti::workloads::runDmm(Runtime &RT, VProc &VP,
   for (auto &V : BData)
     V = Rng.nextDouble(-1.0, 1.0);
 
-  GcFrame Frame(VP.heap());
-  Value &A =
-      Frame.root(VP.heap().allocGlobalRaw(AData.data(), AData.size() * 8));
-  Value &B =
-      Frame.root(VP.heap().allocGlobalRaw(BData.data(), BData.size() * 8));
+  RootScope S(VP.heap());
+  Ref<> A = allocGlobalRaw(S, AData.data(), AData.size() * 8);
+  Ref<> B = allocGlobalRaw(S, BData.data(), BData.size() * 8);
 
   std::vector<double> C(static_cast<std::size_t>(N * N));
   auto Start = std::chrono::steady_clock::now();

@@ -6,6 +6,7 @@
 
 #include "workloads/Quicksort.h"
 
+#include "gc/Handles.h"
 #include "runtime/Rope.h"
 #include "support/XorShift.h"
 
@@ -28,9 +29,9 @@ struct SortSplit {
 
 void sortTask(Runtime &RT, VProc &VP, Task T) {
   auto &Split = *static_cast<SortSplit *>(T.Ctx);
-  GcFrame Frame(VP.heap());
-  Frame.root(T.Env);
-  Value Sorted = quicksort(RT, VP, T.Env, Split.Cutoff);
+  RootScope S(VP.heap());
+  Ref<> Env = S.root(T.Env);
+  Value Sorted = quicksort(RT, VP, Env, Split.Cutoff);
   Split.Cell->fill(VP, Sorted);
   Split.Join.sub();
 }
@@ -54,8 +55,8 @@ Value manti::workloads::quicksort(Runtime &RT, VProc &VP, Value R,
   if (N <= Cutoff)
     return sortLeaf(VP, R);
 
-  GcFrame Frame(VP.heap());
-  Frame.root(R);
+  RootScope S(VP.heap());
+  S.rootExternal(R); // R is this frame's parameter; keep it current
 
   // NESL-style three-way partition on a median-of-three pivot.
   std::vector<uint64_t> Buf(static_cast<std::size_t>(N));
@@ -79,12 +80,12 @@ Value manti::workloads::quicksort(Runtime &RT, VProc &VP, Value R,
       Equal.push_back(W);
   }
 
-  Value &LessRope = Frame.root(rope::fromArray(
-      VP.heap(), Less.data(), static_cast<int64_t>(Less.size())));
-  Value &EqualRope = Frame.root(rope::fromArray(
-      VP.heap(), Equal.data(), static_cast<int64_t>(Equal.size())));
-  Value &GreaterRope = Frame.root(rope::fromArray(
-      VP.heap(), Greater.data(), static_cast<int64_t>(Greater.size())));
+  Ref<> LessRope =
+      rope::fromArray(S, Less.data(), static_cast<int64_t>(Less.size()));
+  Ref<> EqualRope =
+      rope::fromArray(S, Equal.data(), static_cast<int64_t>(Equal.size()));
+  Ref<> GreaterRope =
+      rope::fromArray(S, Greater.data(), static_cast<int64_t>(Greater.size()));
 
   // Fork: sort the greater partition as a stealable task whose
   // environment is the rope itself; sort the lesser partition here.
@@ -92,17 +93,17 @@ Value manti::workloads::quicksort(Runtime &RT, VProc &VP, Value R,
   SortSplit Split{&RT, Cutoff, &Cell};
   VP.spawn({sortTask, &Split, GreaterRope, 0, 0});
 
-  Value &SortedLess = Frame.root(quicksort(RT, VP, LessRope, Cutoff));
+  Ref<> SortedLess = S.root(quicksort(RT, VP, LessRope, Cutoff));
   VP.joinWait(Split.Join);
-  Value &SortedGreater = Frame.root(Cell.take());
+  Ref<> SortedGreater = S.root(Cell.take());
 
-  Value &Front = Frame.root(rope::concat(VP.heap(), SortedLess, EqualRope));
+  Ref<> Front = rope::concat(S, SortedLess, EqualRope);
   return rope::concat(VP.heap(), Front, SortedGreater);
 }
 
 QuicksortResult manti::workloads::runQuicksort(Runtime &RT, VProc &VP,
                                                const QuicksortParams &P) {
-  GcFrame Frame(VP.heap());
+  RootScope S(VP.heap());
   XorShift64 Rng(P.Seed);
   uint64_t CheckIn = 0;
   std::vector<uint64_t> Input(static_cast<std::size_t>(P.NumElements));
@@ -110,11 +111,11 @@ QuicksortResult manti::workloads::runQuicksort(Runtime &RT, VProc &VP,
     W = Rng.next() >> 8; // keep values positive as int64
     CheckIn += W;
   }
-  Value &R = Frame.root(rope::fromArray(
-      VP.heap(), Input.data(), static_cast<int64_t>(Input.size())));
+  Ref<> R = rope::fromArray(S, Input.data(),
+                            static_cast<int64_t>(Input.size()));
 
   auto Start = std::chrono::steady_clock::now();
-  Value &Sorted = Frame.root(quicksort(RT, VP, R, P.Cutoff));
+  Ref<> Sorted = S.root(quicksort(RT, VP, R, P.Cutoff));
   auto End = std::chrono::steady_clock::now();
 
   QuicksortResult Res;

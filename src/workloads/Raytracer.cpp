@@ -145,7 +145,8 @@ struct RenderCtx {
 };
 
 /// Leaf: render rows [Lo, Hi) into a rope of packed pixels.
-Value renderRows(Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *CtxP) {
+Ref<> renderRows(Runtime &, VProc &, RootScope &S, int64_t Lo, int64_t Hi,
+                 void *CtxP) {
   auto *Ctx = static_cast<RenderCtx *>(CtxP);
   const RaytracerParams &P = *Ctx->P;
   std::vector<uint64_t> Row(static_cast<std::size_t>(P.Width) *
@@ -154,11 +155,12 @@ Value renderRows(Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *CtxP) {
   for (int64_t Y = Lo; Y < Hi; ++Y)
     for (int X = 0; X < P.Width; ++X)
       Row[Out++] = tracePixel(*Ctx->Scene, X, static_cast<int>(Y), P);
-  return rope::fromArray(VP.heap(), Row.data(), static_cast<int64_t>(Out));
+  return rope::fromArray(S, Row.data(), static_cast<int64_t>(Out));
 }
 
-Value concatRows(Runtime &, VProc &VP, Value A, Value B, void *) {
-  return rope::concat(VP.heap(), A, B);
+Ref<> concatRows(Runtime &, VProc &, RootScope &S, const Ref<> &A,
+                 const Ref<> &B, void *) {
+  return rope::concat(S, A, B);
 }
 
 } // namespace
@@ -170,10 +172,9 @@ RaytracerResult manti::workloads::runRaytracer(Runtime &RT, VProc &VP,
   RenderCtx Ctx{&Scene, &P};
 
   auto Start = std::chrono::steady_clock::now();
-  GcFrame Frame(VP.heap());
-  Value &Image = Frame.root(
-      parallelReduce(RT, VP, 0, P.Height, /*Grain=*/4, renderRows,
-                     concatRows, &Ctx));
+  RootScope S(VP.heap());
+  Ref<> Image = parallelReduce(S, RT, VP, 0, P.Height, /*Grain=*/4,
+                               renderRows, concatRows, &Ctx);
   auto End = std::chrono::steady_clock::now();
 
   RaytracerResult Res;

@@ -6,6 +6,7 @@
 
 #include "workloads/Smvm.h"
 
+#include "gc/Handles.h"
 #include "runtime/Parallel.h"
 #include "support/Assert.h"
 #include "support/XorShift.h"
@@ -100,12 +101,12 @@ void manti::workloads::smvmSerial(const SmvmProblem &Prob, double *Y) {
 
 SmvmResult manti::workloads::runSmvm(Runtime &RT, VProc &VP,
                                      const SmvmParams &P) {
-  GcFrame Frame(VP.heap());
+  RootScope S(VP.heap());
   SmvmProblem Prob = makeProblem(VP.heap(), P);
-  Frame.root(Prob.RowPtr);
-  Frame.root(Prob.ColIdx);
-  Frame.root(Prob.Vals);
-  Frame.root(Prob.X);
+  S.rootExternal(Prob.RowPtr);
+  S.rootExternal(Prob.ColIdx);
+  S.rootExternal(Prob.Vals);
+  S.rootExternal(Prob.X);
 
   std::vector<double> Y(static_cast<std::size_t>(P.NumRows));
   auto Start = std::chrono::steady_clock::now();

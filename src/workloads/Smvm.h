@@ -50,7 +50,7 @@ struct SmvmProblem {
 };
 
 /// Builds a random problem directly in the global heap. The caller must
-/// root the four Values (e.g. via GcFrame on each member).
+/// root the four Values (e.g. RootScope::rootExternal on each member).
 SmvmProblem makeProblem(VProcHeap &H, const SmvmParams &P);
 
 /// y = A * x in parallel over rows; writes into \p Y (size NumRows).

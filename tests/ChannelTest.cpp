@@ -36,8 +36,8 @@ struct ChanCtx {
 void receiverTask(Runtime &, VProc &VP, Task T) {
   auto *Ctx = static_cast<ChanCtx *>(T.Ctx);
   for (int I = 0; I < Ctx->Messages; ++I) {
-    GcFrame Frame(VP.heap());
-    Value &Msg = Frame.root(Ctx->Chan->recv(VP));
+    RootScope Scope(VP.heap());
+    Ref<> Msg = Ctx->Chan->recv(Scope, VP);
     Ctx->Received.fetch_add(listSum(Msg));
   }
   Ctx->Done.fetch_add(1);
@@ -61,8 +61,8 @@ TEST(Channel, SendRecvAcrossVProcs) {
         // here; either way the channel handshake works).
         VP.spawn({receiverTask, Ctx, Value::nil(), 0, 0});
         for (int I = 0; I < Ctx->Messages; ++I) {
-          GcFrame Frame(VP.heap());
-          Value &Msg = Frame.root(makeIntList(VP.heap(), 12));
+          RootScope Scope(VP.heap());
+          Ref<> Msg = Scope.root(makeIntList(VP.heap(), 12));
           Ctx->Chan->send(VP, Msg);
         }
         while (Ctx->Done.load() == 0)
@@ -92,15 +92,15 @@ TEST(Channel, MessagesArePromoted) {
         Join.add();
         VP.spawn({[](Runtime &RT, VProc &VP, Task T) {
                     auto *Ctx = static_cast<LocalCtx *>(T.Ctx);
-                    GcFrame Frame(VP.heap());
-                    Value &Msg = Frame.root(Ctx->Chan->recv(VP));
+                    RootScope Scope(VP.heap());
+                    Ref<> Msg = Ctx->Chan->recv(Scope, VP);
                     Ctx->WasGlobal = isGlobal(RT.world(), Msg);
                     EXPECT_EQ(listSum(Msg), intListSum(7));
                     Join.sub();
                   },
                   Ctx, Value::nil(), 0, 0});
-        GcFrame Frame(VP.heap());
-        Value &Msg = Frame.root(makeIntList(VP.heap(), 7));
+        RootScope Scope(VP.heap());
+        Ref<> Msg = Scope.root(makeIntList(VP.heap(), 7));
         EXPECT_TRUE(isLocalTo(VP.heap(), Msg));
         Ctx->Chan->send(VP, Msg);
         VP.joinWait(Join);
@@ -180,23 +180,23 @@ TEST(Channel, BlockedReceiverSurvivesGlobalGC) {
                     // Churn the global heap so collections run while the
                     // receiver is parked, then send.
                     for (int I = 0; I < 60; ++I) {
-                      GcFrame Frame(VP.heap());
-                      Value &Junk = Frame.root(makeIntList(VP.heap(), 150));
-                      VP.heap().promote(Junk);
+                      RootScope Inner(VP.heap());
+                      Ref<> Junk = Inner.root(makeIntList(VP.heap(), 150));
+                      promote(Inner, Junk);
                       VP.poll();
                     }
-                    GcFrame Frame(VP.heap());
-                    Value &Msg = Frame.root(makeIntList(VP.heap(), 11));
+                    RootScope Scope(VP.heap());
+                    Ref<> Msg = Scope.root(makeIntList(VP.heap(), 11));
                     ChanPtr->send(VP, Msg);
                   },
                   nullptr, Value::nil(), 0, 0});
 
         // Block with local continuation data. recv's poll loop answers
         // the worker's steal request, handing the sender task over.
-        GcFrame Frame(VP.heap());
-        Value &Cont = Frame.root(makeIntList(VP.heap(), 9));
-        Value ContBack;
-        Value &Msg = Frame.root(ChanPtr->recv(VP, Cont, &ContBack));
+        RootScope Scope(VP.heap());
+        Ref<> Cont = Scope.root(makeIntList(VP.heap(), 9));
+        Ref<> ContBack = Scope.root(Value::nil());
+        Ref<> Msg = ChanPtr->recv(Scope, VP, Cont, &ContBack);
         ContSum = listSum(ContBack);
         MsgSum = listSum(Msg);
       },
@@ -291,8 +291,8 @@ TEST(Channel, ManyMessagesManyCollections) {
         auto *Ctx = static_cast<ChanCtx *>(CtxP);
         VP.spawn({receiverTask, Ctx, Value::nil(), 0, 0});
         for (int I = 0; I < Ctx->Messages; ++I) {
-          GcFrame Frame(VP.heap());
-          Value &Msg = Frame.root(makeIntList(VP.heap(), 25));
+          RootScope Scope(VP.heap());
+          Ref<> Msg = Scope.root(makeIntList(VP.heap(), 25));
           Ctx->Chan->send(VP, Msg);
           // Interleave garbage to drive collections.
           allocGarbage(VP.heap(), 50);

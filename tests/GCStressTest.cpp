@@ -12,6 +12,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+// Collector test: exercises the raw Value-level surface beneath the
+// handle layer on purpose.
+#define MANTI_GC_INTERNAL 1
+
 #include "GCTestUtils.h"
 #include "gc/HeapVerifier.h"
 #include "gc/Proxy.h"
@@ -453,7 +457,14 @@ TEST(GCEdge, AggregateStatsSumAcrossVProcs) {
     TW.heap(V).minorGC();
   }
   GCStats Total = TW.World.aggregateStats();
-  EXPECT_EQ(Total.MinorPause.count(), 3u);
+  // The aggregate must be the sum over the per-vproc stats. (Compare
+  // against the actual per-heap counts rather than a literal: under
+  // GCConfig::StressGC every allocation also collects.)
+  uint64_t PerHeap = 0;
+  for (unsigned V = 0; V < 3; ++V)
+    PerHeap += TW.heap(V).Stats.MinorPause.count();
+  EXPECT_EQ(Total.MinorPause.count(), PerHeap);
+  EXPECT_GE(Total.MinorPause.count(), 3u);
   EXPECT_GT(Total.BytesAllocatedLocal, 0u);
 }
 

@@ -15,6 +15,7 @@
 #ifndef MANTI_TESTS_GCTESTUTILS_H
 #define MANTI_TESTS_GCTESTUTILS_H
 
+#include "gc/Handles.h"
 #include "gc/Heap.h"
 #include "numa/Topology.h"
 
@@ -44,23 +45,22 @@ struct TestWorld {
   VProcHeap &heap(unsigned I = 0) { return World.heap(I); }
 };
 
-/// Allocates the cons cell [Head, Tail].
+/// Allocates the cons cell [Head, Tail]. allocVectorOf roots both
+/// elements across the allocation; the returned Value escapes the inner
+/// scope and must be rooted by the caller before its next allocation.
 inline Value cons(VProcHeap &H, Value Head, Value Tail) {
-  GcFrame Frame(H);
-  Value Elems[2] = {Head, Tail};
-  Frame.root(Elems[0]);
-  Frame.root(Elems[1]);
-  return H.allocVector(Elems, 2);
+  RootScope S(H);
+  Ref<> Cell = allocVectorOf(S, Head, Tail);
+  return Cell.value();
 }
 
 /// Builds the list [N-1, ..., 1, 0] of tagged integers.
 inline Value makeIntList(VProcHeap &H, int64_t N) {
-  GcFrame Frame(H);
-  Value List = Value::nil();
-  Frame.root(List);
+  RootScope S(H);
+  Ref<> List = S.root(Value::nil());
   for (int64_t I = 0; I < N; ++I)
     List = cons(H, Value::fromInt(I), List);
-  return List;
+  return List.value();
 }
 
 inline int64_t listLength(Value List) {

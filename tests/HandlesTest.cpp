@@ -1,0 +1,392 @@
+//===- tests/HandlesTest.cpp - typed RAII-rooted handle API tests ---------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the mutator-facing handle layer (gc/Handles.h): handle
+/// survival across forced minor/major/global collections with StressGC
+/// enabled (a minor collection on *every* allocation), typed field
+/// access after promotion, and ObjectType descriptor registration
+/// round-trips against the ObjectDescriptorTest expectations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+#include "gc/Handles.h"
+#include "gc/HeapVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+using namespace manti;
+using namespace manti::test;
+
+namespace {
+
+/// A small typed object: two scanned fields flanking raw fields, so the
+/// descriptor's offset list is non-trivial ({0, 2}).
+struct PairNode {
+  Value First;
+  int64_t Tag;
+  Value Second;
+  double Weight;
+  static constexpr const char *GcName = "handles-pair";
+  static constexpr auto GcPtrFields =
+      ptrFields(&PairNode::First, &PairNode::Second);
+};
+
+/// Raw-only typed object (no scanned fields).
+struct Stamp {
+  int64_t A;
+  int64_t B;
+  static constexpr const char *GcName = "handles-stamp";
+  static constexpr auto GcPtrFields = ptrFields();
+};
+
+GCConfig stressConfig() {
+  GCConfig Cfg = smallConfig();
+  Cfg.StressGC = true; // minor collection on every eligible allocation
+  return Cfg;
+}
+
+struct HandleWorld : TestWorld {
+  explicit HandleWorld(GCConfig Cfg = stressConfig()) : TestWorld(1, Cfg) {
+    ObjectType<PairNode>::registerWith(World);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compile-time surface: the footguns the redesign retires must not
+// compile. These are satellite guarantees, checked as type traits.
+//===----------------------------------------------------------------------===//
+
+// A temporary handle must not decay into an unrooted Value...
+static_assert(!std::is_convertible_v<Ref<Object>, Value>,
+              "rvalue Ref -> Value snapshot must not compile");
+// ...but a named (lvalue) handle may be snapshotted deliberately.
+static_assert(std::is_convertible_v<Ref<Object> &, Value>,
+              "lvalue Ref -> Value interop must stay available");
+// Handles cannot be copied out of their scope.
+static_assert(!std::is_copy_constructible_v<Ref<Object>> &&
+                  !std::is_copy_assignable_v<Ref<Object>>,
+              "handles are non-copyable");
+static_assert(std::is_move_constructible_v<Ref<Object>>,
+              "handles are movable within their scope");
+// The legacy GcFrame::root proxy binds as Value& but refuses the
+// silently-unrooting by-value copy.
+static_assert(std::is_convertible_v<RootedSlot, Value &>,
+              "RootedSlot must bind as Value&");
+static_assert(!std::is_convertible_v<RootedSlot, Value>,
+              "Value X = Frame.root(...) must not compile");
+
+//===----------------------------------------------------------------------===//
+// ObjectType registration round-trips (ObjectDescriptorTest parity)
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectTypeDSL, RegistrationMatchesDescriptorTable) {
+  TestWorld TW;
+  uint16_t Id = ObjectType<PairNode>::registerWith(TW.World);
+  EXPECT_EQ(Id, FirstMixedId) << "first registration takes the first id";
+  EXPECT_EQ(ObjectType<PairNode>::idIn(TW.World), Id);
+
+  const ObjectDescriptor &D = TW.World.descriptors().lookup(Id);
+  EXPECT_EQ(D.name(), "handles-pair");
+  EXPECT_EQ(D.id(), Id);
+  EXPECT_EQ(D.sizeWords(), 4u) << "four 8-byte members";
+  EXPECT_EQ(D.numPtrFields(), 2u);
+  EXPECT_EQ(D.ptrOffsets()[0], 0u);
+  EXPECT_EQ(D.ptrOffsets()[1], 2u) << "Second sits after the raw Tag";
+}
+
+TEST(ObjectTypeDSL, RawOnlyTypeHasNoPtrFields) {
+  TestWorld TW;
+  uint16_t Id = ObjectType<Stamp>::registerWith(TW.World);
+  const ObjectDescriptor &D = TW.World.descriptors().lookup(Id);
+  EXPECT_EQ(D.sizeWords(), 2u);
+  EXPECT_EQ(D.numPtrFields(), 0u);
+}
+
+TEST(ObjectTypeDSL, ScanVisitsExactlyTheValueMembers) {
+  TestWorld TW;
+  RootScope S(TW.heap());
+  ObjectType<PairNode>::registerWith(TW.World);
+  Ref<PairNode> P = alloc<PairNode>(
+      S, PairNode{Value::fromInt(1), 7, Value::fromInt(2), 0.5});
+
+  // Mirror ObjectDescriptorTest's scannedOffsets helper on a real
+  // handle-allocated object.
+  const ObjectDescriptor &D =
+      TW.World.descriptors().lookup(ObjectType<PairNode>::idIn(TW.World));
+  std::vector<unsigned> Offsets;
+  struct Ctx {
+    Word *Obj;
+    std::vector<unsigned> *Out;
+  } C{P.value().asPtr(), &Offsets};
+  D.scan(
+      C.Obj,
+      [](Word *Slot, void *CtxPtr) {
+        auto *C = static_cast<Ctx *>(CtxPtr);
+        C->Out->push_back(static_cast<unsigned>(Slot - C->Obj));
+      },
+      &C);
+  EXPECT_EQ(Offsets, (std::vector<unsigned>{0, 2}));
+}
+
+TEST(ObjectTypeDSL, PerWorldIds) {
+  TestWorld A, B;
+  ObjectType<Stamp>::registerWith(A.World);
+  uint16_t IdA = ObjectType<Stamp>::idIn(A.World);
+  EXPECT_FALSE(ObjectType<Stamp>::registeredIn(B.World))
+      << "ids are world state, not globals";
+  // Register something else first in B: the same C++ type may have a
+  // different id in a different world.
+  ObjectType<PairNode>::registerWith(B.World);
+  ObjectType<Stamp>::registerWith(B.World);
+  EXPECT_NE(ObjectType<Stamp>::idIn(B.World), IdA);
+}
+
+TEST(ObjectTypeDSL, IsInstance) {
+  HandleWorld TW;
+  RootScope S(TW.heap());
+  Ref<PairNode> P =
+      alloc<PairNode>(S, PairNode{Value::nil(), 0, Value::nil(), 0.0});
+  EXPECT_TRUE(ObjectType<PairNode>::isInstance(TW.World, P.value()));
+  Ref<> Vec = allocVectorOf(S, Value::fromInt(1));
+  EXPECT_FALSE(ObjectType<PairNode>::isInstance(TW.World, Vec.value()));
+}
+
+//===----------------------------------------------------------------------===//
+// Handle survival under StressGC (a collection on every allocation)
+//===----------------------------------------------------------------------===//
+
+TEST(HandlesStress, ListSurvivesPerAllocationCollections) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> List = S.root(Value::nil());
+  // Every cons triggers a minor collection; the handle must track the
+  // list through all of them.
+  for (int64_t I = 0; I < 300; ++I)
+    List = cons(H, Value::fromInt(I), List);
+  EXPECT_EQ(listLength(List), 300);
+  EXPECT_EQ(listSum(List), intListSum(300));
+  VerifyResult R = verifyHeap(H);
+  EXPECT_GT(R.LocalObjects + R.GlobalObjects, 0u);
+}
+
+TEST(HandlesStress, AllocRootsItsPointerArguments) {
+  HandleWorld TW;
+  RootScope S(TW.heap());
+  Ref<> A = S.root(makeIntList(TW.heap(), 20));
+  Ref<> B = S.root(makeIntList(TW.heap(), 10));
+  // The allocation below forces a minor collection (StressGC) that moves
+  // A's and B's referents; alloc must re-read the rooted slots when
+  // initializing the new object's pointer fields.
+  Ref<PairNode> P = alloc<PairNode>(S, PairNode{A, 42, B, 2.5});
+  EXPECT_EQ(listSum(P.get<&PairNode::First>()), intListSum(20));
+  EXPECT_EQ(listSum(P.get<&PairNode::Second>()), intListSum(10));
+  EXPECT_EQ(P.get<&PairNode::Tag>(), 42);
+  EXPECT_DOUBLE_EQ(P.get<&PairNode::Weight>(), 2.5);
+}
+
+TEST(HandlesStress, SurvivesForcedMinorMajorGlobal) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> List = S.root(makeIntList(H, 150));
+  Ref<PairNode> P = alloc<PairNode>(S, PairNode{List, 1, List, 0.0});
+
+  H.minorGC();
+  EXPECT_EQ(listSum(List), intListSum(150));
+  EXPECT_EQ(listSum(P.get<&PairNode::First>()), intListSum(150));
+
+  H.majorGC();
+  H.majorGC(); // age everything into the global heap
+  EXPECT_EQ(listSum(List), intListSum(150));
+  EXPECT_EQ(listSum(P.get<&PairNode::Second>()), intListSum(150));
+
+  // Global collection: make global garbage, then collect it.
+  for (int I = 0; I < 20; ++I) {
+    RootScope Junk(H);
+    Ref<> Dead = Junk.root(makeIntList(H, 200));
+    promote(Junk, Dead);
+  }
+  TW.World.requestGlobalGC();
+  H.safePoint();
+  EXPECT_EQ(listSum(List), intListSum(150));
+  EXPECT_EQ(listSum(P.get<&PairNode::First>()), intListSum(150));
+  VerifyResult R = verifyHeap(H);
+  EXPECT_GT(R.GlobalObjects, 0u);
+}
+
+TEST(HandlesStress, VectorOfRootsItsElements) {
+  HandleWorld TW;
+  RootScope S(TW.heap());
+  Ref<> A = S.root(makeIntList(TW.heap(), 12));
+  // allocVectorOf roots A across the stress collection it triggers.
+  Ref<> Vec = allocVectorOf(S, Value::fromInt(5), A);
+  EXPECT_EQ(vectorGet(Vec, 0).asInt(), 5);
+  EXPECT_EQ(listSum(vectorGet(Vec, 1)), intListSum(12));
+}
+
+//===----------------------------------------------------------------------===//
+// Typed field access after promotion
+//===----------------------------------------------------------------------===//
+
+TEST(Handles, TypedAccessAfterPromotion) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> Inner = S.root(makeIntList(H, 30));
+  Ref<PairNode> Local =
+      alloc<PairNode>(S, PairNode{Inner, 9, Value::fromInt(-3), 1.25});
+  ASSERT_TRUE(isLocalTo(H, Local.value()));
+
+  Ref<PairNode> Global = promote(S, Local);
+  EXPECT_TRUE(isGlobal(TW.World, Global.value()));
+  EXPECT_EQ(listSum(Global.get<&PairNode::First>()), intListSum(30));
+  EXPECT_EQ(Global.get<&PairNode::Second>().asInt(), -3);
+  EXPECT_EQ(Global.get<&PairNode::Tag>(), 9);
+  EXPECT_DOUBLE_EQ(Global.get<&PairNode::Weight>(), 1.25);
+  // The promoted copy's scanned fields must themselves be global (the
+  // no-global-to-local-pointer invariant).
+  EXPECT_TRUE(isGlobal(TW.World, Global.get<&PairNode::First>()));
+
+  // In-place promotion updates the handle's own slot.
+  Ref<PairNode> Again =
+      alloc<PairNode>(S, PairNode{Inner, 11, Value::nil(), 0.0});
+  promoteInPlace(S, Again);
+  EXPECT_TRUE(isGlobal(TW.World, Again.value()));
+  EXPECT_EQ(Again.get<&PairNode::Tag>(), 11);
+}
+
+TEST(Handles, RootAsChecksTheObjectType) {
+  HandleWorld TW;
+  RootScope S(TW.heap());
+  Ref<PairNode> P =
+      alloc<PairNode>(S, PairNode{Value::nil(), 3, Value::nil(), 0.0});
+  // Round-trip through an untyped handle and back.
+  Ref<> Untyped = S.root(P.value());
+  Ref<PairNode> Back = S.rootAs<PairNode>(Untyped.value());
+  EXPECT_EQ(Back.get<&PairNode::Tag>(), 3);
+  // nil is an instance of every type.
+  Ref<PairNode> Nil = S.rootAs<PairNode>(Value::nil());
+  EXPECT_TRUE(Nil.isNil());
+}
+
+TEST(HandlesDeath, RootAsWrongTypeAborts) {
+  HandleWorld TW;
+  RootScope S(TW.heap());
+  Ref<> Vec = allocVectorOf(S, Value::fromInt(1));
+  EXPECT_DEATH(S.rootAs<PairNode>(Vec.value()), "not an instance");
+}
+
+//===----------------------------------------------------------------------===//
+// RootScope mechanics and the StressGC shadow-stack check
+//===----------------------------------------------------------------------===//
+
+TEST(Handles, ScopesPopTheirSlots) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  std::size_t Before = H.ShadowStack.size();
+  {
+    RootScope Outer(H);
+    Outer.root(Value::fromInt(1));
+    {
+      RootScope Inner(H);
+      Inner.root(Value::fromInt(2));
+      Inner.root(Value::fromInt(3));
+      EXPECT_EQ(H.ShadowStack.size(), Before + 3);
+    }
+    EXPECT_EQ(H.ShadowStack.size(), Before + 1);
+  }
+  EXPECT_EQ(H.ShadowStack.size(), Before);
+}
+
+TEST(Handles, SwapExchangesValuesNotSlots) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> A = S.root(Value::fromInt(1));
+  Ref<> B = S.root(Value::fromInt(2));
+  Value *SlotA = A.slotAddr(), *SlotB = B.slotAddr();
+  using std::swap;
+  swap(A, B); // ADL picks the value-swapping overload
+  EXPECT_EQ(A.asInt(), 2);
+  EXPECT_EQ(B.asInt(), 1);
+  EXPECT_EQ(A.slotAddr(), SlotA);
+  EXPECT_EQ(B.slotAddr(), SlotB);
+}
+
+TEST(Handles, MoveAssignOverwritesTheSlotInPlace) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> A = S.root(Value::fromInt(1));
+  Value *SlotA = A.slotAddr();
+  A = S.root(Value::fromInt(2));
+  EXPECT_EQ(A.slotAddr(), SlotA) << "assignment keeps the original slot";
+  EXPECT_EQ(A.asInt(), 2);
+}
+
+TEST(HandlesDeath, StressGCCatchesStaleShadowSlot) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> Rooted = S.root(makeIntList(H, 5));
+  // Deliberately capture an unrooted snapshot, let a collection move the
+  // list, then register the stale copy: exactly the bug the old API
+  // invited. The next allocation's shadow-stack sweep must abort.
+  Value Stale = Rooted.value();
+  H.minorGC();
+  ASSERT_NE(Stale.bits(), Rooted.value().bits()) << "the list must move";
+  S.slot(Stale);
+  EXPECT_DEATH(H.allocRaw(nullptr, 8), "unrooted or stale");
+}
+
+TEST(Handles, EnvironmentVariableEnablesStress) {
+  // GCConfig::StressGC is also driven by MANTI_STRESS_GC so CI can run
+  // unmodified test binaries in stress mode.
+  GCConfig Cfg = smallConfig();
+  EXPECT_FALSE(Cfg.StressGC);
+  const char *Prev = getenv("MANTI_STRESS_GC");
+  std::string Saved = Prev ? Prev : "";
+  setenv("MANTI_STRESS_GC", "1", 1);
+  TestWorld TW(1, Cfg);
+  // Restore rather than unset: in the CI stress job the variable is set
+  // process-wide, and dropping it here would silently de-stress every
+  // world a later test constructs.
+  if (Prev)
+    setenv("MANTI_STRESS_GC", Saved.c_str(), 1);
+  else
+    unsetenv("MANTI_STRESS_GC");
+  EXPECT_TRUE(TW.World.config().StressGC);
+}
+
+TEST(Handles, VectorOfLeavesTheShadowStackConsistent) {
+  // Regression: allocVectorOf's temporary element roots must be popped
+  // before the result is rooted, or the result slot's registration is
+  // popped instead and a dangling stack-array slot stays registered.
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> Leaf = S.root(makeIntList(H, 4));
+  Ref<> Pair = allocVectorOf(S, Value::fromInt(1), Leaf);
+  ASSERT_EQ(H.ShadowStack.back(), Pair.slotAddr())
+      << "the result handle's slot must be the top registration";
+  // The README's workload pattern: keep allocating in the same scope.
+  // Under StressGC this collects, sweeping the whole shadow stack; a
+  // leftover dangling registration would abort (or corrupt) here.
+  Ref<> More = S.root(makeIntList(H, 8));
+  EXPECT_EQ(listSum(More), intListSum(8));
+  EXPECT_EQ(listSum(vectorGet(Pair, 1)), intListSum(4));
+  EXPECT_EQ(vectorGet(Pair, 0).asInt(), 1);
+}

@@ -7,6 +7,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+// Collector test: exercises the raw Value-level surface beneath the
+// handle layer on purpose.
+#define MANTI_GC_INTERNAL 1
+
 #include "GCTestUtils.h"
 #include "gc/GCReport.h"
 #include "gc/HeapVerifier.h"

@@ -5,6 +5,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+// Collector test: exercises the raw Value-level surface beneath the
+// handle layer on purpose.
+#define MANTI_GC_INTERNAL 1
+
 #include "GCTestUtils.h"
 #include "gc/HeapVerifier.h"
 
@@ -108,8 +112,12 @@ TEST(Promotion, MixedObjectGraph) {
   GcFrame Frame(H);
   Value &L = Frame.root(makeIntList(H, 3));
   Value &R = Frame.root(makeIntList(H, 4));
-  Word Fields[3] = {L.bits(), R.bits(), 777};
-  Value &Node = Frame.root(H.allocMixed(Id, Fields));
+  // allocMixedRooted re-reads the rooted slots after the allocation: the
+  // raw allocMixed snapshot pattern breaks under GCConfig::StressGC,
+  // which forces a collection inside every allocation.
+  Word Fields[3] = {0, 0, 777};
+  Value *Slots[2] = {&L, &R};
+  Value &Node = Frame.root(H.allocMixedRooted(Id, Fields, Slots));
   Value &P = Frame.root(H.promote(Node));
   EXPECT_TRUE(isGlobal(TW.World, P));
   EXPECT_TRUE(isGlobal(TW.World, mixedGet(P, 0)));

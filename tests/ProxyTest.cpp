@@ -5,6 +5,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+// Collector test: exercises the raw Value-level surface beneath the
+// handle layer on purpose.
+#define MANTI_GC_INTERNAL 1
+
 #include "GCTestUtils.h"
 #include "gc/HeapVerifier.h"
 #include "gc/Proxy.h"
@@ -56,10 +60,11 @@ TEST(Proxy, PayloadSurvivesEvenWithoutOtherRoots) {
   VProcHeap &H = TW.heap();
   GcFrame Frame(H);
   Value P;
+  Frame.root(P); // rooted before the proxy is stored into it
   {
     GcFrame Inner(H);
     Value &Payload = Inner.root(makeIntList(H, 9));
-    P = Frame.root(createProxy(H, Payload));
+    P = createProxy(H, Payload);
     // Payload's own root goes away here; only the proxy table keeps the
     // list alive.
   }

@@ -34,8 +34,8 @@ TEST(Rope, EmptyRopeIsNil) {
 
 TEST(Rope, SingleLeaf) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &R = Frame.root(rope::fromFunction(TW.heap(), 100, identity, nullptr));
+  RootScope Scope(TW.heap());
+  Ref<> R = Scope.root(rope::fromFunction(TW.heap(), 100, identity, nullptr));
   EXPECT_EQ(rope::length(R), 100);
   EXPECT_EQ(rope::depth(R), 0);
   for (int64_t I = 0; I < 100; I += 7)
@@ -44,9 +44,9 @@ TEST(Rope, SingleLeaf) {
 
 TEST(Rope, MultiLeafBalanced) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
+  RootScope Scope(TW.heap());
   const int64_t N = rope::LeafElems * 9 + 17;
-  Value &R = Frame.root(rope::fromFunction(TW.heap(), N, identity, nullptr));
+  Ref<> R = Scope.root(rope::fromFunction(TW.heap(), N, identity, nullptr));
   EXPECT_EQ(rope::length(R), N);
   EXPECT_LE(rope::depth(R), 5) << "10 leaves need depth <= ceil(log2(10))+1";
   for (int64_t I = 0; I < N; I += 997)
@@ -56,11 +56,11 @@ TEST(Rope, MultiLeafBalanced) {
 
 TEST(Rope, FromToArrayRoundTrip) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
+  RootScope Scope(TW.heap());
   std::vector<uint64_t> In(5000);
   for (std::size_t I = 0; I < In.size(); ++I)
     In[I] = I * 3 + 1;
-  Value &R = Frame.root(
+  Ref<> R = Scope.root(
       rope::fromArray(TW.heap(), In.data(), static_cast<int64_t>(In.size())));
   std::vector<uint64_t> Out(In.size());
   rope::toArray(R, Out.data());
@@ -69,12 +69,12 @@ TEST(Rope, FromToArrayRoundTrip) {
 
 TEST(Rope, ConcatPreservesOrder) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &A = Frame.root(rope::fromFunction(TW.heap(), 1500, identity, nullptr));
-  Value &B = Frame.root(rope::fromFunction(
+  RootScope Scope(TW.heap());
+  Ref<> A = Scope.root(rope::fromFunction(TW.heap(), 1500, identity, nullptr));
+  Ref<> B = Scope.root(rope::fromFunction(
       TW.heap(), 700, [](int64_t I, void *) { return uint64_t(I + 1500); },
       nullptr));
-  Value &C = Frame.root(rope::concat(TW.heap(), A, B));
+  Ref<> C = Scope.root(rope::concat(TW.heap(), A, B));
   EXPECT_EQ(rope::length(C), 2200);
   for (int64_t I = 0; I < 2200; I += 101)
     EXPECT_EQ(rope::getInt(C, I), I);
@@ -82,21 +82,21 @@ TEST(Rope, ConcatPreservesOrder) {
 
 TEST(Rope, ConcatWithNil) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &A = Frame.root(rope::fromFunction(TW.heap(), 10, identity, nullptr));
+  RootScope Scope(TW.heap());
+  Ref<> A = Scope.root(rope::fromFunction(TW.heap(), 10, identity, nullptr));
   EXPECT_EQ(rope::concat(TW.heap(), Value::nil(), A), A);
   EXPECT_EQ(rope::concat(TW.heap(), A, Value::nil()), A);
 }
 
 TEST(Rope, RepeatedConcatStaysShallow) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &R = Frame.root(Value::nil());
+  RootScope Scope(TW.heap());
+  Ref<> R = Scope.root(Value::nil());
   // Worst-case skew: append single elements one at a time.
   for (int64_t I = 0; I < 400; ++I) {
     uint64_t Elem = static_cast<uint64_t>(I);
-    GcFrame Inner(TW.heap());
-    Value &Leaf = Inner.root(rope::fromArray(TW.heap(), &Elem, 1));
+    RootScope Inner(TW.heap());
+    Ref<> Leaf = Inner.root(rope::fromArray(TW.heap(), &Elem, 1));
     R = rope::concat(TW.heap(), R, Leaf);
   }
   EXPECT_EQ(rope::length(R), 400);
@@ -107,9 +107,9 @@ TEST(Rope, RepeatedConcatStaysShallow) {
 
 TEST(Rope, Slice) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &R = Frame.root(rope::fromFunction(TW.heap(), 3000, identity, nullptr));
-  Value &S = Frame.root(rope::slice(TW.heap(), R, 1000, 1500));
+  RootScope Scope(TW.heap());
+  Ref<> R = Scope.root(rope::fromFunction(TW.heap(), 3000, identity, nullptr));
+  Ref<> S = Scope.root(rope::slice(TW.heap(), R, 1000, 1500));
   EXPECT_EQ(rope::length(S), 500);
   for (int64_t I = 0; I < 500; I += 49)
     EXPECT_EQ(rope::getInt(S, I), 1000 + I);
@@ -117,8 +117,8 @@ TEST(Rope, Slice) {
 
 TEST(Rope, DoubleRopes) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &R = Frame.root(rope::fromFunction(
+  RootScope Scope(TW.heap());
+  Ref<> R = Scope.root(rope::fromFunction(
       TW.heap(), 512,
       [](int64_t I, void *) {
         return rope::packDouble(0.5 * static_cast<double>(I));
@@ -131,9 +131,9 @@ TEST(Rope, DoubleRopes) {
 TEST(Rope, SurvivesCollections) {
   RopeWorld TW;
   VProcHeap &H = TW.heap();
-  GcFrame Frame(H);
+  RootScope Scope(H);
   const int64_t N = 4000;
-  Value &R = Frame.root(rope::fromFunction(H, N, identity, nullptr));
+  Ref<> R = Scope.root(rope::fromFunction(H, N, identity, nullptr));
   allocGarbage(H, 500);
   H.minorGC();
   for (int64_t I = 0; I < N; I += 371)
@@ -148,8 +148,8 @@ TEST(Rope, SurvivesCollections) {
 TEST(Rope, SurvivesPromotionAndGlobalGC) {
   RopeWorld TW;
   VProcHeap &H = TW.heap();
-  GcFrame Frame(H);
-  Value &R = Frame.root(rope::fromFunction(H, 2500, identity, nullptr));
+  RootScope Scope(H);
+  Ref<> R = Scope.root(rope::fromFunction(H, 2500, identity, nullptr));
   R = H.promote(R);
   TW.World.requestGlobalGC();
   H.safePoint();
@@ -160,11 +160,11 @@ TEST(Rope, SurvivesPromotionAndGlobalGC) {
 
 TEST(Rope, IsRopePredicate) {
   RopeWorld TW;
-  GcFrame Frame(TW.heap());
-  Value &R = Frame.root(rope::fromFunction(TW.heap(), 2048, identity, nullptr));
+  RootScope Scope(TW.heap());
+  Ref<> R = Scope.root(rope::fromFunction(TW.heap(), 2048, identity, nullptr));
   EXPECT_TRUE(rope::isRope(TW.World, R));
   EXPECT_TRUE(rope::isRope(TW.World, Value::nil()));
   EXPECT_FALSE(rope::isRope(TW.World, Value::fromInt(3)));
-  Value &V = Frame.root(TW.heap().allocVector(nullptr, 3));
+  Ref<> V = Scope.root(TW.heap().allocVector(nullptr, 3));
   EXPECT_FALSE(rope::isRope(TW.World, V));
 }

@@ -109,8 +109,8 @@ TEST(ParallelFor, TasksAllocateFreely) {
             RT, VP, 0, 200, 8,
             [](Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *) {
               for (int64_t I = Lo; I < Hi; ++I) {
-                GcFrame Frame(VP.heap());
-                Value &L = Frame.root(makeIntList(VP.heap(), 40));
+                RootScope Scope(VP.heap());
+                Ref<> L = Scope.root(makeIntList(VP.heap(), 40));
                 Total.fetch_add(listSum(L));
               }
             },
@@ -168,11 +168,11 @@ TEST(ParallelReduce, BuildsValueTree) {
         Value Result = parallelReduce(
             RT, VP, 0, 3000, 100,
             [](Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *) {
-              GcFrame Frame(VP.heap());
-              Value &L = Frame.root(Value::nil());
+              RootScope Scope(VP.heap());
+              Ref<> L = Scope.root(Value::nil());
               for (int64_t I = Lo; I < Hi; ++I)
                 L = cons(VP.heap(), Value::fromInt(I), L);
-              return L;
+              return L.value();
             },
             [](Runtime &, VProc &VP, Value A, Value B, void *) {
               // Combine: single cell holding the sum of both sides.
@@ -231,9 +231,9 @@ TEST(WorkStealing, GlobalCollectionDuringParallelWork) {
             RT, VP, 0, 300, 4,
             [](Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *) {
               for (int64_t I = Lo; I < Hi; ++I) {
-                GcFrame Frame(VP.heap());
-                Value &L = Frame.root(makeIntList(VP.heap(), 60));
-                L = VP.heap().promote(L); // drive the global trigger
+                RootScope Scope(VP.heap());
+                Ref<> L = Scope.root(makeIntList(VP.heap(), 60));
+                promoteInPlace(Scope, L); // drive the global trigger
                 Total.fetch_add(listSum(L));
               }
             },
@@ -259,9 +259,9 @@ TEST(WorkStealing, LazyPromotesAtMostStolenTasks) {
   RT.run(
       [](Runtime &RT, VProc &VP, void *) {
         (void)RT;
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         for (int I = 0; I < 200; ++I) {
-          Value &Env = Frame.root(makeIntList(VP.heap(), 10));
+          Ref<> Env = Scope.root(makeIntList(VP.heap(), 10));
           Job.Join.add();
           VP.spawn({[](Runtime &, VProc &VP2, Task T) {
                       // Environment must be intact wherever we run.
@@ -292,9 +292,9 @@ TEST(WorkStealing, EagerPromotesEverySpawnWithEnv) {
   static JoinCounter Join;
   RT.run(
       [](Runtime &, VProc &VP, void *) {
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         for (int I = 0; I < 50; ++I) {
-          Value &Env = Frame.root(makeIntList(VP.heap(), 5));
+          Ref<> Env = Scope.root(makeIntList(VP.heap(), 5));
           Join.add();
           VP.spawn({[](Runtime &, VProc &, Task T) {
                       EXPECT_EQ(listSum(T.Env), intListSum(5));

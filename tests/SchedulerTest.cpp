@@ -297,17 +297,17 @@ TEST(Scheduler, HandshakeHammer) {
 
   RT.run(
       [](Runtime &, VProc &VP, void *) {
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         // The spawner never runs its own tasks: every parent must be
         // stolen. Parents spawn children from whatever vproc ran them,
         // so workers become victims of each other too.
         for (int I = 0; I < Parents; ++I) {
-          Value &Env = Frame.root(makeIntList(VP.heap(), 8));
+          Ref<> Env = Scope.root(makeIntList(VP.heap(), 8));
           VP.spawn({[](Runtime &, VProc &VP2, Task T) {
                       EXPECT_EQ(listSum(T.Env), intListSum(8));
-                      GcFrame Inner(VP2.heap());
+                      RootScope Inner(VP2.heap());
                       for (int C = 0; C < Children; ++C) {
-                        Value &CEnv =
+                        Ref<> CEnv =
                             Inner.root(makeIntList(VP2.heap(), 8));
                         VP2.spawn({[](Runtime &, VProc &, Task CT) {
                                      EXPECT_EQ(listSum(CT.Env),
@@ -363,9 +363,9 @@ TEST(Scheduler, StolenEnvBytesFlowIntoTrafficMatrix) {
   static JoinCounter Join;
   RT.run(
       [](Runtime &, VProc &VP, void *) {
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         for (int I = 0; I < 100; ++I) {
-          Value &Env = Frame.root(makeIntList(VP.heap(), 16));
+          Ref<> Env = Scope.root(makeIntList(VP.heap(), 16));
           Join.add();
           VP.spawn({[](Runtime &, VProc &, Task T) {
                       EXPECT_EQ(listSum(T.Env), intListSum(16));

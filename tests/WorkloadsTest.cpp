@@ -84,9 +84,9 @@ struct RootSortPack {
 
 void rootSortTask(Runtime &RT, VProc &VP, Task T) {
   auto *Pack = static_cast<RootSortPack *>(T.Ctx);
-  GcFrame Frame(VP.heap());
-  Frame.root(T.Env);
-  Value &Out = Frame.root(quicksort(RT, VP, T.Env, Pack->Cutoff));
+  RootScope Scope(VP.heap());
+  Scope.rootExternal(T.Env);
+  Ref<> Out = Scope.root(quicksort(RT, VP, T.Env, Pack->Cutoff));
   int64_t N = rope::length(Out);
   Pack->Sorted = true;
   for (int64_t I = 1; I < N && Pack->Sorted; ++I)
@@ -104,13 +104,13 @@ TEST(QuicksortWL, StealsPromoteRopeEnvironments) {
   static RootSortPack Pack;
   RT.run(
       [](Runtime &, VProc &VP, void *) {
-        GcFrame Frame(VP.heap());
+        RootScope Scope(VP.heap());
         XorShift64 Rng(99);
         std::vector<uint64_t> In(20000);
         for (auto &W : In)
           W = Rng.next() >> 8;
-        Value &R = Frame.root(rope::fromArray(
-            VP.heap(), In.data(), static_cast<int64_t>(In.size())));
+        Ref<> R = rope::fromArray(Scope, In.data(),
+                                  static_cast<int64_t>(In.size()));
         VP.spawn({rootSortTask, &Pack, R, 0, 0});
         while (!Pack.Join.done()) {
           VP.poll(); // answer the steal, never run the task ourselves
@@ -143,8 +143,8 @@ TEST(BarnesHutWL, TreeForceApproximatesDirectForce) {
   TestWorld TW(1, smallConfig());
   registerBarnesHutDescriptors(TW.World);
   Bodies B = plummerDistribution(400, 21);
-  GcFrame Frame(TW.heap());
-  Value &Root = Frame.root(buildQuadtree(TW.heap(), B));
+  RootScope Scope(TW.heap());
+  Ref<> Root = Scope.root(buildQuadtree(TW.heap(), B));
 
   double MaxRel = 0.0;
   for (int64_t I = 0; I < B.size(); I += 7) {
@@ -163,15 +163,13 @@ TEST(BarnesHutWL, TreeMassEqualsTotalMass) {
   TestWorld TW(1, smallConfig());
   registerBarnesHutDescriptors(TW.World);
   Bodies B = plummerDistribution(1000, 3);
-  GcFrame Frame(TW.heap());
-  Value &Root = Frame.root(buildQuadtree(TW.heap(), B));
+  RootScope Scope(TW.heap());
+  Ref<BhNode> Root = Scope.rootAs<BhNode>(buildQuadtree(TW.heap(), B));
   ASSERT_TRUE(Root.isPtr());
   ASSERT_EQ(objectId(Root), TW.World.BhNodeId);
-  double TreeMass;
-  uint64_t Bits = Root.asPtr()[4];
-  __builtin_memcpy(&TreeMass, &Bits, 8);
-  EXPECT_NEAR(TreeMass, 1.0, 1e-9) << "Plummer masses sum to 1";
-  EXPECT_EQ(static_cast<int64_t>(Root.asPtr()[7]), 1000);
+  EXPECT_NEAR(Root.get<&BhNode::Mass>(), 1.0, 1e-9)
+      << "Plummer masses sum to 1";
+  EXPECT_EQ(Root.get<&BhNode::Count>(), 1000);
 }
 
 TEST(BarnesHutWL, FullRunConservesMomentumRoughly) {
@@ -298,7 +296,7 @@ TEST(SmvmWL, ParallelMatchesSerial) {
 
 TEST(SmvmWL, ProblemShapesMatchPaper) {
   TestWorld TW(1, smallConfig());
-  GcFrame Frame(TW.heap());
+  RootScope Scope(TW.heap());
   SmvmParams P; // defaults are the paper's sizes
   EXPECT_EQ(P.NumRows, 16614);
   EXPECT_EQ(P.NumNonZeros, 1091362);
@@ -306,10 +304,10 @@ TEST(SmvmWL, ProblemShapesMatchPaper) {
   P.NumRows = 100;
   P.NumNonZeros = 1000;
   SmvmProblem Prob = makeProblem(TW.heap(), P);
-  Frame.root(Prob.RowPtr);
-  Frame.root(Prob.ColIdx);
-  Frame.root(Prob.Vals);
-  Frame.root(Prob.X);
+  Scope.rootExternal(Prob.RowPtr);
+  Scope.rootExternal(Prob.ColIdx);
+  Scope.rootExternal(Prob.Vals);
+  Scope.rootExternal(Prob.X);
   const auto *RowPtr = static_cast<const int64_t *>(rawData(Prob.RowPtr));
   EXPECT_EQ(RowPtr[0], 0);
   EXPECT_EQ(RowPtr[100], 1000);
