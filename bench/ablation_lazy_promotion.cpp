@@ -37,10 +37,10 @@ std::atomic<int> Remaining;
 void taskBody(Runtime &, VProc &VP, Task T) {
   // Touch the environment so the promotion is not dead weight.
   RootScope S(VP.heap());
-  Ref<> Env = S.root(T.Env);
+  VecRef<> Cur = S.rootVector(T.Env);
   int64_t Sum = 0;
-  for (Value Cur = Env; !Cur.isNil(); Cur = vectorGet(Cur, 1))
-    Sum += vectorGet(Cur, 0).asInt();
+  for (; !Cur.isNil(); Cur = Cur.at(1))
+    Sum += Cur.intAt(0);
   benchmarkSink(Sum);
   Remaining.fetch_sub(1);
 }

@@ -47,8 +47,8 @@ std::atomic<int64_t> Remaining;
 int64_t envSum(Value List) {
   int64_t Sum = 0;
   while (!List.isNil()) {
-    Sum += vectorGet(List, 0).asInt();
-    List = vectorGet(List, 1);
+    Sum += VecRef<>::getInt(List, 0);
+    List = VecRef<>::get(List, 1);
   }
   return Sum;
 }

@@ -35,8 +35,8 @@ Value makeList(VProcHeap &H, int64_t Lo, int64_t Hi) {
 
 int64_t listSum(Value L) {
   int64_t Sum = 0;
-  for (; !L.isNil(); L = vectorGet(L, 1))
-    Sum += vectorGet(L, 0).asInt();
+  for (; !L.isNil(); L = VecRef<>::get(L, 1))
+    Sum += VecRef<>::getInt(L, 0);
   return Sum;
 }
 

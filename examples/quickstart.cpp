@@ -30,10 +30,12 @@ Value cons(VProcHeap &H, Value Head, Value Tail) {
   return Cell.value();
 }
 
+/// Allocation-free traversal through the typed-vector face (the static
+/// VecRef accessors are the handle layer's blessed raw-Value reads).
 int64_t listSum(Value L) {
   int64_t Sum = 0;
-  for (; !L.isNil(); L = vectorGet(L, 1))
-    Sum += vectorGet(L, 0).asInt();
+  for (; !L.isNil(); L = VecRef<>::get(L, 1))
+    Sum += VecRef<>::getInt(L, 0);
   return Sum;
 }
 
@@ -103,7 +105,7 @@ int main() {
   Ref<> Local = Scope.root(cons(H, Value::fromInt(7), Value::nil()));
   Ref<> Shared = promote(Scope, Local);
   std::printf("promoted cell head: %lld\n\n",
-              static_cast<long long>(vectorGet(Shared, 0).asInt()));
+              static_cast<long long>(VecRef<>::getInt(Shared, 0)));
 
   // Global collection: stop-the-world, parallel across vprocs (one
   // here), per-node chunk lists, copying compaction.

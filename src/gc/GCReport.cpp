@@ -116,6 +116,15 @@ std::string manti::gcReportString(GCWorld &World, const SchedStats &Sched) {
           " attempts), parked %" PRIu64 " times for %.1f ms\n",
           Sched.FailedStealRounds, Sched.FailedStealAttempts, Sched.Parks,
           static_cast<double>(Sched.ParkNanos) / 1e6);
+  appendf(Out,
+          "  parking: %" PRIu64 " ring wake-ups, %" PRIu64
+          " timeouts, mean wake latency %.1f us\n",
+          Sched.RingWakeups, Sched.ParkTimeouts,
+          Sched.meanRingWakeupMicros());
+  appendf(Out,
+          "  doorbell: %" PRIu64 " rings sent, %" PRIu64
+          " wasted (no waiter), %" PRIu64 " affinity-matched handoffs\n",
+          Sched.RingsSent, Sched.RingsWasted, Sched.AffinityHandoffs);
   return Out;
 }
 

@@ -314,6 +314,10 @@ void GlobalCollection::participate(VProcHeap &H) {
                               std::memory_order_relaxed);
     W.GlobalGCsCompleted.fetch_add(1, std::memory_order_relaxed);
     W.GlobalGCRequested.store(false, std::memory_order_release);
+    // Completion rings the broadcast doorbell too: anything parked on
+    // "no collection pending" (the runtime's between-runs drain wait)
+    // resumes now instead of running out its park backstop.
+    W.notifyWakeupHook();
     MANTI_DEBUG("gc", "global GC #%llu: freed %llu bytes, live %llu bytes",
                 static_cast<unsigned long long>(W.globalGCCount()),
                 static_cast<unsigned long long>(Freed),

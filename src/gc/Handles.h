@@ -73,6 +73,7 @@ namespace manti {
 struct Object {};
 
 template <typename T = Object> class Ref;
+template <typename T = Object> class VecRef;
 class RootScope;
 
 namespace detail {
@@ -258,6 +259,10 @@ public:
   /// returning a result owned by an inner scope to the caller's scope.
   template <typename T> Ref<T> root(const Ref<T> &Other);
 
+  /// Roots \p V (nil or a vector object; checked) in a fresh scope-owned
+  /// slot and \returns a typed-vector handle to it.
+  template <typename T = Object> VecRef<T> rootVector(Value V);
+
   /// Low-level escape hatch: a scope-owned rooted slot holding \p V.
   /// The reference stays valid (and registered) until the scope dies.
   Value &slot(Value V) {
@@ -361,6 +366,97 @@ private:
   Value *Slot;
 };
 
+//===----------------------------------------------------------------------===//
+// VecRef<T>
+//===----------------------------------------------------------------------===//
+
+/// A handle to a rooted slot holding a *vector* object, with typed
+/// element access -- the vector face of the handle layer, retiring raw
+/// vectorGet/vectorInit from mutator code. T is the element view:
+/// Object (the default) for untyped elements, or an ObjectType-described
+/// struct, in which case rooted element reads are rootAs<T>-checked.
+///
+/// Like Ref, a VecRef *is* a registered slot: collections update it
+/// transparently, so it may be held across allocations, and assigning a
+/// Value re-targets the slot in place -- which makes the cons-list
+/// traversal pattern `Cell = Cell.at(1)` allocation-free and rooted:
+/// \code
+///   RootScope S(H);
+///   VecRef<> Cell = S.rootVector(List);
+///   for (; !Cell.isNil(); Cell = Cell.at(1))
+///     Sum += Cell.intAt(0);
+/// \endcode
+template <typename T> class VecRef {
+public:
+  VecRef(const VecRef &) = delete;
+  VecRef &operator=(const VecRef &) = delete;
+
+  VecRef(VecRef &&Other) noexcept : Slot(Other.Slot) {}
+  VecRef &operator=(VecRef &&Other) noexcept {
+    *Slot = *Other.Slot;
+    return *this;
+  }
+
+  /// Swaps the two handles' *values* (both slots stay registered) --
+  /// the same ADL overload Ref needs: generic std::swap would
+  /// mis-compose the aliasing move-ctor with the value-copying
+  /// move-assign and drop one value.
+  friend void swap(VecRef &A, VecRef &B) noexcept {
+    Value Tmp = *A.Slot;
+    *A.Slot = *B.Slot;
+    *B.Slot = Tmp;
+  }
+
+  /// Re-targets the rooted slot (nil or a vector object; checked).
+  VecRef &operator=(Value V) {
+    assert((V.isNil() || (V.isPtr() && objectId(V) == IdVector)) &&
+           "VecRef may only hold vector objects");
+    *Slot = V;
+    return *this;
+  }
+
+  /// Same lvalue-only decay rules as Ref (see Ref::value).
+  Value value() const & { return *Slot; }
+  Value value() const && = delete;
+  operator Value() const & { return *Slot; }
+  operator Value() const && = delete;
+
+  bool isNil() const { return Slot->isNil(); }
+  uint64_t size() const { return vectorLen(*Slot); }
+
+  /// Element snapshot. For allocation-free traversals; anything that
+  /// allocates between the read and the use should root the element
+  /// (get below) instead.
+  Value at(uint64_t I) const { return vectorGet(*Slot, I); }
+  /// Typed scalar element read.
+  int64_t intAt(uint64_t I) const { return at(I).asInt(); }
+
+  /// Rooted, typed element read: the element comes back as a checked
+  /// Ref<T> rooted in \p S.
+  Ref<T> get(RootScope &S, uint64_t I) const;
+
+  /// Initialization-time element store (PML values are immutable once
+  /// published, so only before the vector escapes its allocator).
+  void init(uint64_t I, Value E) { vectorInit(*Slot, I, E); }
+  void init(uint64_t I, const Ref<T> &E) { init(I, E.value()); }
+
+  /// Static typed element reads for raw-Value traversals that hold no
+  /// handle (the vector analogue of ObjectType<T>::get(Value)).
+  static Value get(Value Vec, uint64_t I) { return vectorGet(Vec, I); }
+  static int64_t getInt(Value Vec, uint64_t I) {
+    return get(Vec, I).asInt();
+  }
+
+  /// The registered slot (collector-facing; tests observe forwarding).
+  Value *slotAddr() const { return Slot; }
+
+private:
+  friend class RootScope;
+  explicit VecRef(Value &Slot) : Slot(&Slot) {}
+
+  Value *Slot;
+};
+
 inline Ref<Object> RootScope::root(Value V) { return Ref<Object>(slot(V)); }
 
 template <typename T> Ref<T> RootScope::rootAs(Value V) {
@@ -372,6 +468,17 @@ template <typename T> Ref<T> RootScope::rootAs(Value V) {
 
 template <typename T> Ref<T> RootScope::root(const Ref<T> &Other) {
   return Ref<T>(slot(Other.value()));
+}
+
+template <typename T> VecRef<T> RootScope::rootVector(Value V) {
+  MANTI_CHECK(V.isNil() || (V.isPtr() && objectId(V) == IdVector),
+              "rootVector: value is not a vector object");
+  return VecRef<T>(slot(V));
+}
+
+template <typename T>
+Ref<T> VecRef<T>::get(RootScope &S, uint64_t I) const {
+  return S.rootAs<T>(at(I));
 }
 
 //===----------------------------------------------------------------------===//
@@ -456,6 +563,15 @@ inline Ref<Object> allocVector(RootScope &S, const Value *Elems,
   // The caller vouches that Elems points at rooted slots (e.g. obtained
   // from RootScope::slot); handles should prefer allocVectorOf.
   return S.root(S.heap().allocVector(Elems, N));
+}
+
+/// Allocates a vector of \p N copies of a non-pointer \p Fill value as a
+/// typed-vector handle, for init-then-publish construction
+/// (VecRef::init each element before the vector escapes).
+template <typename T = Object>
+VecRef<T> allocVec(RootScope &S, std::size_t N,
+                   Value Fill = Value::nil()) {
+  return S.rootVector<T>(S.heap().allocVectorFill(N, Fill));
 }
 
 //===----------------------------------------------------------------------===//

@@ -33,6 +33,14 @@ bool stressGCFromEnv() {
 GCConfig applyEnvOverrides(GCConfig Config) {
   if (stressGCFromEnv())
     Config.StressGC = true;
+  // MANTI_STRESS_GC_PERIOD=N: collect on every Nth eligible allocation
+  // instead of every one (takes precedence over the config value).
+  if (const char *Env = std::getenv("MANTI_STRESS_GC_PERIOD")) {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Env, &End, 10);
+    if (End != Env && *End == '\0' && N >= 1)
+      Config.StressGCPeriod = static_cast<unsigned>(N);
+  }
   return Config;
 }
 
@@ -79,8 +87,22 @@ void GCWorld::requestGlobalGC() {
   // limit; each enters the collector at its next safe point.
   for (auto &H : Heaps)
     H->local().signalLimit();
+  // Ring the broadcast doorbell: vprocs parked in the idle ladder or in
+  // channel waits head for their safe points now instead of adding a
+  // park interval to everyone's stop-the-world entry.
+  notifyWakeupHook();
   MANTI_DEBUG("gc", "global collection requested (active=%llu)",
               static_cast<unsigned long long>(Chunks.activeBytes()));
+}
+
+NodeId GCWorld::homeNodeOf(Value V, NodeId Fallback) {
+  if (!V.isPtr())
+    return Fallback;
+  const Word *P = V.asPtr();
+  for (auto &H : Heaps)
+    if (H->local().contains(P))
+      return H->localHeapHomeNode();
+  return Chunks.chunkOf(P)->HomeNode;
 }
 
 GCStats GCWorld::aggregateStats() const {
@@ -193,6 +215,11 @@ Word *VProcHeap::allocLocalObject(uint16_t Id, uint64_t LenWords) {
 /// rooted slot across this allocation is stale the moment the caller
 /// resumes -- the intermittent bug becomes a deterministic one.
 void VProcHeap::stressGCBeforeAlloc() {
+  // StressGCPeriod spaces the forced collections out: only every Nth
+  // eligible allocation pays the check + collection.
+  if (World.Config.StressGCPeriod > 1 &&
+      (++StressTick % World.Config.StressGCPeriod) != 0)
+    return;
   debugCheckShadowStack();
   if (World.globalGCPending())
     globalGCParticipate(*this);

@@ -116,6 +116,14 @@ struct GCConfig {
   /// value but "0"), so existing test binaries can be stressed in CI
   /// without recompilation.
   bool StressGC = false;
+  /// Stress schedule: collect on every Nth slow-path-eligible allocation
+  /// instead of every one (1 = every allocation, the strictest setting).
+  /// Larger periods let stress cover tests whose premises (phase-exact
+  /// accounting, zero-promotion setups) a collection inside every
+  /// allocation would destroy, and make big-geometry workloads
+  /// affordable under stress. Overridden by the MANTI_STRESS_GC_PERIOD
+  /// environment variable when set.
+  unsigned StressGCPeriod = 1;
 };
 
 /// Visits one root slot; the visitor may rewrite the slot's word.
@@ -282,6 +290,7 @@ private:
   NodeId LocalHeapHome;
   void *LocalMem;
   LocalHeap Local;
+  uint64_t StressTick = 0; ///< StressGCPeriod schedule position
 };
 
 /// Reference-only view of a rooted shadow-stack slot, returned by
@@ -396,9 +405,34 @@ public:
   }
 
   /// Requests a global collection: sets the pending flag and zeroes every
-  /// vproc's allocation limit (Section 3.4, steps 1-2). No-op when a
-  /// collection is already pending or running.
+  /// vproc's allocation limit (Section 3.4, steps 1-2), then invokes the
+  /// wakeup hook so parked vprocs reach their safe points immediately.
+  /// No-op when a collection is already pending or running.
   void requestGlobalGC();
+
+  /// Registers the runtime's wakeup hook: invoked (from any thread) when
+  /// every vproc must promptly observe collector state -- at the global
+  /// GC trigger and at its completion. The runtime wires this to the
+  /// ParkLot's broadcast doorbell; without a hook the vprocs' bounded
+  /// park backstops provide the (slower) fallback.
+  void setWakeupHook(void (*Fn)(void *), void *Ctx) {
+    WakeupHook = Fn;
+    WakeupHookCtx = Ctx;
+  }
+
+  /// Invokes the registered wakeup hook, if any (collector use).
+  void notifyWakeupHook() {
+    if (WakeupHook)
+      WakeupHook(WakeupHookCtx);
+  }
+
+  /// Home NUMA node of the memory backing \p V: the backing chunk's home
+  /// for global objects, the backing bank of the owning vproc's local
+  /// heap for local objects, \p Fallback for nil and tagged ints. The
+  /// runtime uses this to derive Task affinity hints ("tasks chase their
+  /// data"); O(NumVProcs) worst case, so derive hints once per job, not
+  /// per element.
+  NodeId homeNodeOf(Value V, NodeId Fallback);
 
   /// \returns true if a global collection has been requested and not yet
   /// completed.
@@ -465,6 +499,8 @@ private:
   void *VProcRootsCtx = nullptr;
   GlobalRootEnumerator GlobalRoots = nullptr;
   void *GlobalRootsCtx = nullptr;
+  void (*WakeupHook)(void *) = nullptr;
+  void *WakeupHookCtx = nullptr;
 
   /// ObjectType<T> tag address -> object id (see typedObjectId).
   std::unordered_map<const void *, uint16_t> TypedObjectIds;

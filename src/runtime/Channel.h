@@ -22,6 +22,19 @@
 /// collections while the receiver is blocked; on wake-up the receiver
 /// resolves the proxy and resumes with its continuation data.
 ///
+/// Blocking goes through the scheduler's ParkLot: a blocked receiver
+/// registers a Waiter carrying its home node and parks on its node's
+/// doorbell; send() claims the waiter (a CAS -- selectRecv registers one
+/// waiter on several channels, whose senders hold different locks),
+/// fills it, marks it Ready, and *rings the receiver's node*. Blocked
+/// senders symmetrically park until a consumer sets their item's Taken
+/// completion flag and rings the sender's node. The two-flag handoff
+/// (Claimed to pick a unique filler, Ready/Taken to publish completion)
+/// is also what keeps tryRecv non-blocking: a consumer claims a queued
+/// item by unlinking it under the lock, so a concurrent tryRecv sees
+/// either an available item or an empty queue -- never a mid-handoff
+/// item it would have to wait on.
+///
 /// The channel object itself is runtime (C++) state registered as a
 /// global GC root provider; everything it references in the heap is
 /// global or proxy-mediated.
@@ -91,9 +104,10 @@ public:
 
   /// CML-style choice over several channels: blocks until one of
   /// \p Chans has a message, receives it, and \returns it; *WhichOut
-  /// (when non-null) gets the index of the chosen channel. Implemented
-  /// by polling with safe points (losers are never committed, matching
-  /// CML's choose semantics for recv events).
+  /// (when non-null) gets the index of the chosen channel. One Waiter is
+  /// registered on every channel and parked in the ParkLot; the first
+  /// sender to *claim* it wins, and losers are never committed, matching
+  /// CML's choose semantics for recv events.
   static Value selectRecv(VProc &VP, Channel *const *Chans, unsigned N,
                           unsigned *WhichOut = nullptr);
 
@@ -113,15 +127,37 @@ public:
   void enumerateRoots(RootSlotVisitor Visit, void *Ctx);
 
 private:
+  /// A blocked sender's queue entry (stack-allocated in send()). A
+  /// consumer unlinks it under the channel lock -- claiming it -- then
+  /// stores the Taken *completion flag* outside the lock; the sender
+  /// parks until Taken and must touch nothing after setting it free.
   struct SendItem {
     Word Bits;
+    NodeId Node; ///< sender's node: rung when the item is taken
     std::atomic<bool> Taken{false};
   };
+  /// A blocked receiver (or selectRecv) registration. Claimed picks the
+  /// unique filler (CAS; selectRecv shares one waiter across channels),
+  /// Ready publishes the filled cell. The waiter stays registered until
+  /// the receiver removes it, so the channel's root enumeration keeps
+  /// the handed-off value alive across a global collection that lands
+  /// between hand-off and wake-up.
   struct Waiter {
     Word CellBits = 0;
     Word ProxyBits = 0;
+    NodeId Node = 0;              ///< receiver's node: rung on hand-off
+    Channel *FilledBy = nullptr;  ///< written by the claimant before Ready
+    std::atomic<bool> Claimed{false};
     std::atomic<bool> Ready{false};
   };
+
+  /// Claims the oldest unclaimed parked receiver, \returns it (the
+  /// caller fills and rings it) or null. Caller holds Lock.
+  Waiter *claimReceiverLocked();
+
+  /// Completes a queued item popped from Senders: publishes Taken and
+  /// rings the sender's node. Call *without* the lock held.
+  void finishTake(VProc &VP, SendItem *Item);
 
   Runtime &RT;
   mutable SpinLock Lock;

@@ -21,6 +21,7 @@ struct ForJob {
   RangeFn Body;
   void *Ctx;
   int64_t Grain;
+  RangeAffinityFn Affinity;
   JoinCounter Join;
 };
 
@@ -36,7 +37,10 @@ void forRange(Runtime &RT, VProc &VP, ForJob &Job, int64_t Lo, int64_t Hi) {
   while (Hi - Lo > Job.Grain) {
     int64_t Mid = Lo + (Hi - Lo) / 2;
     Job.Join.add();
-    VP.spawn({forTask, &Job, Value::nil(), Mid, Hi});
+    Task T{forTask, &Job, Value::nil(), Mid, Hi};
+    if (Job.Affinity)
+      T.Affinity = Job.Affinity(Mid, Hi, Job.Ctx);
+    VP.spawn(T);
     Hi = Mid;
   }
   if (Lo < Hi)
@@ -47,10 +51,16 @@ void forRange(Runtime &RT, VProc &VP, ForJob &Job, int64_t Lo, int64_t Hi) {
 
 void manti::parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
                         int64_t Grain, RangeFn Body, void *Ctx) {
+  parallelFor(RT, VP, Lo, Hi, Grain, Body, Ctx, nullptr);
+}
+
+void manti::parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                        int64_t Grain, RangeFn Body, void *Ctx,
+                        RangeAffinityFn Affinity) {
   MANTI_CHECK(Grain > 0, "parallelFor grain must be positive");
   if (Lo >= Hi)
     return;
-  ForJob Job{Body, Ctx, Grain, JoinCounter(0)};
+  ForJob Job{Body, Ctx, Grain, Affinity, JoinCounter(0)};
   forRange(RT, VP, Job, Lo, Hi);
   VP.joinWait(Job.Join);
 }

@@ -49,9 +49,22 @@ using LeafDoubleFn = double (*)(Runtime &RT, VProc &VP, int64_t Lo,
 using LeafInt64Fn = int64_t (*)(Runtime &RT, VProc &VP, int64_t Lo,
                                 int64_t Hi, void *Ctx);
 
+/// Node affinity hint for a [Lo, Hi) range: the NUMA node holding the
+/// data the range will traverse (Task::NoAffinity for none). Evaluated
+/// at spawn time for each spawned right half.
+using RangeAffinityFn = NodeId (*)(int64_t Lo, int64_t Hi, void *Ctx);
+
 /// Runs \p Body over [Lo, Hi) in parallel, splitting down to \p Grain.
 void parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
                  int64_t Grain, RangeFn Body, void *Ctx);
+
+/// parallelFor with an affinity hint: every spawned subrange task is
+/// tagged with \p Affinity(Lo, Hi, Ctx), so victim selection routes it
+/// toward the node owning its data and spawn rings that node's
+/// doorbell. Null \p Affinity behaves like the plain overload.
+void parallelFor(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,
+                 int64_t Grain, RangeFn Body, void *Ctx,
+                 RangeAffinityFn Affinity);
 
 /// Parallel tree reduction producing a heap Value.
 Value parallelReduce(Runtime &RT, VProc &VP, int64_t Lo, int64_t Hi,

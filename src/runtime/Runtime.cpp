@@ -7,6 +7,7 @@
 #include "runtime/Runtime.h"
 
 #include "runtime/Channel.h"
+#include "runtime/ParkLot.h"
 #include "runtime/Rope.h"
 #include "runtime/Scheduler.h"
 #include "support/Assert.h"
@@ -25,10 +26,19 @@ Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
   VProcs.reserve(Config.NumVProcs);
   for (unsigned I = 0; I < Config.NumVProcs; ++I)
     VProcs.push_back(std::make_unique<VProc>(*this, World.heap(I)));
+  Lot = std::make_unique<ParkLot>(World.topology().numNodes());
   Sched = std::make_unique<Scheduler>(*this);
 
   World.setVProcRootEnumerator(&Runtime::enumerateVProcRootsThunk, this);
   World.setGlobalRootEnumerator(&Runtime::enumerateGlobalRootsThunk, this);
+  if (Config.UseDoorbells) {
+    // The global-GC trigger (and completion) rings the broadcast
+    // doorbell: every parked vproc reaches its safe point immediately
+    // instead of waiting out a park interval.
+    World.setWakeupHook(
+        [](void *LotPtr) { static_cast<ParkLot *>(LotPtr)->ringBroadcast(); },
+        Lot.get());
+  }
 
   // Initially "between runs": workers idle in the drained state.
   ShuttingDown.store(true, std::memory_order_release);
@@ -40,6 +50,7 @@ Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
 
 Runtime::~Runtime() {
   Terminating.store(true, std::memory_order_release);
+  Lot->ringBroadcast(); // wake drain-parked workers to observe the flag
   for (std::thread &W : Workers)
     W.join();
   MANTI_CHECK(Channels.empty(),
@@ -91,6 +102,8 @@ void Runtime::workerLoop(unsigned Id) {
       Counted = true;
       Sched->noteProgress(VP);
       Drained.fetch_add(1, std::memory_order_acq_rel);
+      // run() waits for the last check-in parked on vproc 0's doorbell.
+      Lot->ring(VProcs[0]->node());
     }
     VP.poll();
     Sched->idleBackoff(VP, /*RecordStats=*/false);
@@ -101,23 +114,41 @@ void Runtime::run(MainFn Main, void *Ctx) {
   MANTI_CHECK(ShuttingDown.load(std::memory_order_acquire),
               "run() is not reentrant");
   Drained.store(0, std::memory_order_release);
-  RunEpoch.fetch_add(1, std::memory_order_acq_rel);
+  // Order matters: the active flag is published *before* the epoch
+  // bump. A worker that acquires the new epoch therefore also sees
+  // ShuttingDown == false; reading true afterwards can only mean the
+  // run already ended, so its drain check-in is genuine. (The reverse
+  // order let a worker see the new epoch with the stale true, check in
+  // as "drained", and then keep scheduling -- racing the post-run stats
+  // aggregation.)
   ShuttingDown.store(false, std::memory_order_release);
+  RunEpoch.fetch_add(1, std::memory_order_acq_rel);
+  // Run-epoch turnover: wake workers parked in the drain loop so the new
+  // run starts scheduling immediately.
+  Lot->ringBroadcast();
 
   VProc &VP0 = vproc(0);
   Main(*this, VP0, Ctx);
 
   // Main returned: all fork-join regions it created are complete. Drain:
   // every vproc checks in, and nobody leaves while a collection is
-  // pending (a collection needs all vprocs at its barriers).
+  // pending (a collection needs all vprocs at its barriers). blockOn
+  // (not a bare park): each worker's check-in rings vproc 0's node, and
+  // the predicate re-check inside the park protocol means the last
+  // check-in cannot slip between our load and the wait and cost a full
+  // backstop interval.
   ShuttingDown.store(true, std::memory_order_release);
   Drained.fetch_add(1, std::memory_order_acq_rel);
   Sched->noteProgress(VP0);
-  while (Drained.load(std::memory_order_acquire) < numVProcs() ||
-         World.globalGCPending()) {
-    VP0.poll();
-    Sched->idleBackoff(VP0, /*RecordStats=*/false);
-  }
+  Sched->blockOn(
+      VP0,
+      [](void *Ctx) {
+        Runtime *RT = static_cast<Runtime *>(Ctx);
+        return RT->Drained.load(std::memory_order_acquire) >=
+                   RT->numVProcs() &&
+               !RT->World.globalGCPending();
+      },
+      this, /*RecordStats=*/false);
   Sched->noteProgress(VP0);
 }
 

@@ -38,6 +38,7 @@
 namespace manti {
 
 class Channel;
+class ParkLot;
 class Scheduler;
 
 struct RuntimeConfig {
@@ -63,6 +64,12 @@ struct RuntimeConfig {
   /// vprocs get first claim on new work before remote thieves converge
   /// on it. 0 unlocks every tier immediately.
   unsigned RemoteStealPatience = 64;
+  /// Route every blocking site through the ParkLot's per-node doorbells:
+  /// idle and channel-blocked vprocs park on their node's doorbell and
+  /// are rung awake by spawns, steal requests, channel peers, and the
+  /// global-GC broadcast. false restores the blind bounded-sleep ladder
+  /// (the parking ablation baseline; correct but latency-blind).
+  bool UseDoorbells = true;
 };
 
 using MainFn = void (*)(Runtime &RT, VProc &VP, void *Ctx);
@@ -83,6 +90,9 @@ public:
   /// The work-stealing policy layer (victim selection, batching, idle
   /// back-off).
   Scheduler &scheduler() { return *Sched; }
+
+  /// The per-node doorbells every blocking site parks on.
+  ParkLot &parkLot() { return *Lot; }
 
   /// Sum of every vproc's scheduler statistics (call while quiescent).
   SchedStats aggregateSchedStats() const;
@@ -115,6 +125,7 @@ private:
   RuntimeConfig Config;
   GCWorld World;
   std::vector<std::unique_ptr<VProc>> VProcs;
+  std::unique_ptr<ParkLot> Lot; ///< before Sched: the Scheduler binds it
   std::unique_ptr<Scheduler> Sched;
   std::vector<std::thread> Workers;
 

@@ -43,8 +43,19 @@ struct SchedStats {
   // Failures and idleness.
   uint64_t FailedStealAttempts = 0; ///< handshakes that yielded no task
   uint64_t FailedStealRounds = 0;   ///< full victim sweeps with no task
-  uint64_t Parks = 0;               ///< idle-ladder park episodes
+  uint64_t Parks = 0;               ///< park episodes (idle ladder + channels)
   uint64_t ParkNanos = 0;           ///< total time spent parked
+
+  // Doorbell traffic (ParkLot). Ringer-side counters are charged to the
+  // vproc that rang; parker-side wake-up counters to the vproc that
+  // parked.
+  uint64_t RingsSent = 0;        ///< doorbell rings attempted
+  uint64_t RingsWasted = 0;      ///< ... that found no parked waiter
+  uint64_t RingWakeups = 0;      ///< parks ended by a ring (not timeout)
+  uint64_t ParkTimeouts = 0;     ///< parks that ran out the backstop
+  uint64_t RingWakeupNanos = 0;  ///< total ring-to-wake latency
+  uint64_t AffinityHandoffs = 0; ///< steal-batch tasks handed to their
+                                 ///< hinted node's thief
 
   /// Fraction of successful steal handshakes whose victim was on the
   /// thief's own node (1.0 when no steals happened).
@@ -62,6 +73,14 @@ struct SchedStats {
                         : 0.0;
   }
 
+  /// Mean ring-to-wake latency in microseconds (0 when nothing was ever
+  /// woken by a ring).
+  double meanRingWakeupMicros() const {
+    return RingWakeups ? static_cast<double>(RingWakeupNanos) /
+                             (1e3 * static_cast<double>(RingWakeups))
+                       : 0.0;
+  }
+
   /// Merges another vproc's stats into this one (for reporting).
   void merge(const SchedStats &O) {
     Spawns += O.Spawns;
@@ -76,6 +95,12 @@ struct SchedStats {
     FailedStealRounds += O.FailedStealRounds;
     Parks += O.Parks;
     ParkNanos += O.ParkNanos;
+    RingsSent += O.RingsSent;
+    RingsWasted += O.RingsWasted;
+    RingWakeups += O.RingWakeups;
+    ParkTimeouts += O.ParkTimeouts;
+    RingWakeupNanos += O.RingWakeupNanos;
+    AffinityHandoffs += O.AffinityHandoffs;
   }
 };
 

@@ -21,21 +21,34 @@ namespace {
 
 /// Idle-ladder shape: the first rungs retry immediately (the caller's
 /// poll loop is the spin), the next rungs yield, and everything beyond
-/// parks in bounded, exponentially growing sleeps.
+/// parks on the node doorbell in bounded, exponentially growing waits.
 constexpr unsigned SpinRounds = 16;
 constexpr unsigned YieldRounds = 32;
 constexpr unsigned MinParkMicros = 8;
-/// Park cap: small enough that a parked vproc reaches its next safe
-/// point (and answers steal requests) promptly, keeping global-GC entry
-/// latency bounded.
+/// Park backstop: with doorbells a ring ends the wait immediately, so
+/// this bound only matters when a wake-up signal has no ring (e.g. a
+/// join counter hitting zero) or in the ladder-baseline ablation. Small
+/// enough that such a vproc still reaches its next safe point promptly.
 constexpr unsigned MaxParkMicros = 256;
+
+/// blockOn's poll+yield spin before the first doorbell park: long
+/// enough that a fast channel partner is caught without a futex round
+/// trip, short enough that a genuinely blocked vproc stops burning CPU.
+constexpr unsigned BlockSpinRounds = 48;
+
+/// noteSpawn escalates a wasted local ring to the nearest parked remote
+/// node only once the spawner's queue has at least this many tasks (the
+/// local vprocs are saturated and there is work to spare).
+constexpr std::size_t RemoteRingDepth = 4;
 
 } // namespace
 
 Scheduler::Scheduler(Runtime &RT)
-    : RT(RT), StealBatch(std::clamp(RT.config().StealBatch, 1u,
-                                    StealRequest::MaxBatch)),
+    : RT(RT), Lot(RT.parkLot()),
+      StealBatch(std::clamp(RT.config().StealBatch, 1u,
+                            StealRequest::MaxBatch)),
       LocalStealFirst(RT.config().LocalStealFirst),
+      UseDoorbells(RT.config().UseDoorbells),
       RemotePatience(RT.config().RemoteStealPatience) {
   unsigned N = RT.numVProcs();
   Backoff.resize(N);
@@ -56,6 +69,19 @@ Scheduler::Scheduler(Runtime &RT)
       if (!VTier.empty())
         Proximity[V].push_back(std::move(VTier));
     }
+  }
+
+  // Ring-escalation order: from each vproc-hosting node, the *other*
+  // nodes that host vprocs, nearest first.
+  std::vector<bool> HasVProc(Topo.numNodes(), false);
+  for (unsigned V = 0; V < N; ++V)
+    HasVProc[RT.vproc(V).node()] = true;
+  NodeOrder.resize(Topo.numNodes());
+  for (NodeId From = 0; From < Topo.numNodes(); ++From) {
+    for (const std::vector<NodeId> &Tier : Topo.nodesByDistance(From))
+      for (NodeId To : Tier)
+        if (To != From && HasVProc[To])
+          NodeOrder[From].push_back(To);
   }
 }
 
@@ -150,6 +176,10 @@ bool Scheduler::attemptSteal(VProc &Thief, VProc &Victim) {
     ++Thief.SStats.FailedStealAttempts;
     return false; // another thief got there first
   }
+  // The victim answers mailboxes from its poll loop; if it is parked
+  // (idle between polls, or blocked in a channel), ring its node so the
+  // handshake is not stuck behind a park backstop.
+  ringNode(Thief, Victim.node());
 
   // Wait for the victim's answer; keep answering our own mailbox and
   // joining pending collections so nothing deadlocks.
@@ -178,6 +208,10 @@ bool Scheduler::attemptSteal(VProc &Thief, VProc &Victim) {
         ++Thief.SStats.NodeLocalBatches;
       else
         ++Thief.SStats.CrossNodeBatches;
+      // Finishing a multi-task handshake leaves fresh work on this
+      // node's queue: ring it so parked peers help with the batch.
+      if (Count > 1)
+        ringNode(Thief, Thief.node());
       MANTI_DEBUG("sched", "vp%u stole %u task(s) from vp%u (%s-node)",
                   Thief.id(), Count, Victim.id(),
                   Victim.node() == Thief.node() ? "same" : "cross");
@@ -207,25 +241,28 @@ bool Scheduler::serviceSteal(VProc &Victim) {
   }
   // Steal the oldest ceil(k/2) tasks (capped): they are the largest
   // units of pending work, and handing over several at once amortizes
-  // the handshake and the promotion pauses.
+  // the handshake and the promotion pauses. Within that budget, tasks
+  // hinted at the thief's node go first (popForSteal) so hinted work
+  // chases its data.
   unsigned Take = static_cast<unsigned>(
       std::min<std::size_t>((K + 1) / 2, StealBatch));
   uint64_t PromotedBefore = Victim.Heap.Stats.PromoteBytes;
+  // Tasks staged in Req->Stolen are rooted by nobody until the thief
+  // sees Filled; this is safe because nothing between popForSteal() and
+  // the Filled store below can collect -- promote() copies and at most
+  // *requests* a global GC (which only runs at safe points, and the
+  // victim takes none inside this loop).
+  unsigned AffinityMatches = 0;
+  Take = Victim.popForSteal(Req->ThiefNode, Take, Req->Stolen,
+                            &AffinityMatches);
   for (unsigned I = 0; I < Take; ++I) {
-    // Tasks staged in Req->Stolen are rooted by nobody until the thief
-    // sees Filled; this is safe because nothing between popOldest() and
-    // the Filled store below can collect -- promote() copies and at most
-    // *requests* a global GC (which only runs at safe points, and the
-    // victim takes none inside this loop).
-    Task T = Victim.popOldest();
     if (RT.lazyPromotion()) {
       // "a lazy promotion scheme for work stealing": only now -- when
       // the task provably leaves this vproc -- does its environment move
       // to the global heap, and only this vproc can legally copy it out
       // of its own local heap.
-      T.Env = Victim.Heap.promote(T.Env);
+      Req->Stolen[I].Env = Victim.Heap.promote(Req->Stolen[I].Env);
     }
-    Req->Stolen[I] = T;
   }
   uint64_t EnvBytes = Victim.Heap.Stats.PromoteBytes - PromotedBefore;
   Req->Count = Take;
@@ -233,6 +270,7 @@ bool Scheduler::serviceSteal(VProc &Victim) {
   Victim.SStats.TasksServiced += Take;
   ++Victim.SStats.BatchesServiced;
   Victim.SStats.StolenEnvBytes += EnvBytes;
+  Victim.SStats.AffinityHandoffs += AffinityMatches;
   if (EnvBytes > 0)
     RT.world().traffic().record(Victim.node(), Req->ThiefNode, EnvBytes);
 
@@ -240,6 +278,64 @@ bool Scheduler::serviceSteal(VProc &Victim) {
   Victim.Mailbox.store(nullptr, std::memory_order_release);
   Req->State.store(StealRequest::Filled, std::memory_order_release);
   return true;
+}
+
+unsigned Scheduler::parkMicrosFor(unsigned Step) {
+  return std::min(MinParkMicros << std::min(Step, 5u), MaxParkMicros);
+}
+
+void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
+                             bool (*Pred)(void *), void *PredCtx) {
+  if (!UseDoorbells) {
+    // Ladder baseline: a blind bounded sleep nobody can cut short.
+    auto Start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::microseconds(Micros));
+    auto End = std::chrono::steady_clock::now();
+    if (RecordStats) {
+      ++VP.SStats.Parks;
+      VP.SStats.ParkNanos += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+              .count());
+      ++VP.SStats.ParkTimeouts;
+    }
+    return;
+  }
+  // Doorbell park: snapshot the epochs, re-check every standing wake
+  // condition, then wait. Any ring that lands after the snapshot --
+  // including the global-GC broadcast -- makes the wait return
+  // immediately, so the conditions checked here can never be missed.
+  ParkLot::Token T = Lot.prepare(VP.node());
+  // Fence pairing with tryRing: in the seq_cst fence order, either this
+  // fence precedes the ringer's (so the ringer's waiter-count load sees
+  // prepare's increment and rings) or the ringer's precedes this one
+  // (so the re-checks below see the condition its ring site published).
+  // Either way a condition set concurrently with this park cannot be
+  // missed, which is what lets blockOn use long ring-driven parks.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if ((Pred && Pred(PredCtx)) ||
+      VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
+      RT.world().globalGCPending()) {
+    Lot.cancel(VP.node());
+    std::this_thread::yield();
+    return;
+  }
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t RingLatency = 0;
+  bool Rung = Lot.park(VP.node(), T, std::chrono::microseconds(Micros),
+                       &RingLatency);
+  auto End = std::chrono::steady_clock::now();
+  if (RecordStats) {
+    ++VP.SStats.Parks;
+    VP.SStats.ParkNanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+    if (Rung) {
+      ++VP.SStats.RingWakeups;
+      VP.SStats.RingWakeupNanos += RingLatency;
+    } else {
+      ++VP.SStats.ParkTimeouts;
+    }
+  }
 }
 
 void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
@@ -255,16 +351,78 @@ void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
     std::this_thread::yield();
     return;
   }
-  unsigned Step = std::min(R - SpinRounds - YieldRounds - 1, 5u);
-  unsigned Micros = std::min(MinParkMicros << Step, MaxParkMicros);
-  auto Start = std::chrono::steady_clock::now();
-  std::this_thread::sleep_for(std::chrono::microseconds(Micros));
-  auto End = std::chrono::steady_clock::now();
-  if (RecordStats) {
-    ++VP.SStats.Parks;
-    VP.SStats.ParkNanos += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-            .count());
+  doorbellPark(VP, parkMicrosFor(R - SpinRounds - YieldRounds - 1),
+               RecordStats, /*Pred=*/nullptr, /*PredCtx=*/nullptr);
+}
+
+bool Scheduler::tryRing(VProc &Ringer, NodeId Node) {
+  ++Ringer.SStats.RingsSent;
+  // Skip the epoch bump and futex when nobody is parked: the common
+  // busy-system case stays a fence plus one atomic load. The fence
+  // pairs with doorbellPark's (see there): every ring site publishes
+  // its condition before calling here, so a parker that this load
+  // misses is one whose pre-park re-check sees the condition instead.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (Lot.parkedOn(Node) != 0 && Lot.ring(Node) != 0)
+    return true;
+  ++Ringer.SStats.RingsWasted;
+  return false;
+}
+
+void Scheduler::ringNode(VProc &Ringer, NodeId Node) {
+  if (!UseDoorbells)
+    return;
+  tryRing(Ringer, Node);
+}
+
+void Scheduler::noteSpawn(VProc &VP, const Task &T) {
+  if (!UseDoorbells)
+    return;
+  // A hinted task rings its data's node first ("tasks chase their
+  // data"); with no hint the spawner's own node is the target.
+  if (T.Affinity != Task::NoAffinity && T.Affinity != VP.node() &&
+      tryRing(VP, T.Affinity))
+    return;
+  // Hinted node saturated (or no hint): the task sits on *this* queue,
+  // so parked local peers can steal it either way -- ring them rather
+  // than leaving them to their backstops.
+  if (tryRing(VP, VP.node()))
+    return;
+  // Local vprocs are all busy too. Once the queue runs deep enough that
+  // this node cannot drain it alone, wake the nearest node with parked
+  // vprocs -- the one remote ring a saturated node earns.
+  if (VP.queueDepth() < RemoteRingDepth)
+    return;
+  for (NodeId Remote : NodeOrder[VP.node()]) {
+    if (Lot.parkedOn(Remote) != 0) {
+      tryRing(VP, Remote);
+      return;
+    }
+  }
+}
+
+void Scheduler::blockOn(VProc &VP, bool (*Pred)(void *), void *Ctx,
+                        bool RecordStats) {
+  // Fast path: the partner is often mid-operation; a short poll+yield
+  // spin catches it without a futex round trip.
+  for (unsigned I = 0; I < BlockSpinRounds; ++I) {
+    if (Pred(Ctx))
+      return;
+    VP.poll();
+    std::this_thread::yield();
+  }
+  // Slow path: doorbell parks with the same growing bounded backstop as
+  // the idle ladder. Every wake-up a channel block waits for has a ring
+  // (hand-offs, Taken, steal requests, the GC broadcast) and the fence
+  // pairing in doorbellPark/tryRing means none can be missed, so the
+  // backstop is purely a safety net; it is kept short anyway because on
+  // an oversubscribed host a shallow sleep resumes faster than a deep
+  // futex wake. poll() between parks keeps this vproc answering steal
+  // requests and joining pending collections while blocked.
+  unsigned Round = 0;
+  while (!Pred(Ctx)) {
+    VP.poll();
+    doorbellPark(VP, parkMicrosFor(Round++), RecordStats, Pred, Ctx);
   }
 }
 

@@ -30,19 +30,37 @@
 ///     amortizes several promotions.
 ///
 ///   * Idle vprocs descend a spin -> yield -> park ladder instead of
-///     hammering victim mailboxes. Parks are bounded sleeps (<= 256 us),
-///     never unbounded waits, so a parked vproc still reaches its next
-///     safe point quickly and global-GC latency is preserved.
+///     hammering victim mailboxes. The park rung is a *doorbell wait* in
+///     the ParkLot: the vproc parks on its node's doorbell and is rung
+///     awake by whoever produces work for it -- a spawner (on the
+///     spawner's or the task's hinted node), a thief posting a steal
+///     request, a channel peer, or the global-GC trigger's broadcast.
+///     The bounded sleep (<= 256 us) remains only as a backstop, so a
+///     missed ring can never strand a vproc.
+///
+///   * Spawns may carry a Task::Affinity node hint. noteSpawn rings the
+///     hinted node (work chases its data), and steal handshakes hand
+///     hinted tasks to thieves on their hinted node first
+///     (VProc::popForSteal) -- a soft preference; a starved thief is
+///     never refused work.
+///
+///   * Every *other* blocking loop in the runtime (channel send/recv,
+///     selectRecv) funnels through blockOn, which keeps polling for
+///     steal requests and pending collections between doorbell parks.
 ///
 /// Per-vproc SchedStats record node-local vs cross-node steals, batch
-/// sizes, failed rounds, and park time; stolen-environment bytes are
-/// charged to the TrafficMatrix under (victim node -> thief node).
+/// sizes, failed rounds, park time, and doorbell traffic (rings sent /
+/// wasted, ring-to-wake latency); stolen-environment bytes are charged
+/// to the TrafficMatrix under (victim node -> thief node).
+/// RuntimeConfig::UseDoorbells = false restores the blind bounded-sleep
+/// ladder everywhere (the parking ablation baseline).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MANTI_RUNTIME_SCHEDULER_H
 #define MANTI_RUNTIME_SCHEDULER_H
 
+#include "runtime/ParkLot.h"
 #include "runtime/SchedStats.h"
 #include "runtime/VProc.h"
 #include "support/Compiler.h"
@@ -67,6 +85,9 @@ public:
   /// Effective batch cap (config clamped to [1, StealRequest::MaxBatch]).
   unsigned stealBatchLimit() const { return StealBatch; }
   bool localStealFirst() const { return LocalStealFirst; }
+  /// True when blocking sites use ParkLot doorbells (false = the blind
+  /// bounded-sleep ablation baseline).
+  bool doorbells() const { return UseDoorbells; }
 
   /// \p Thief's victim probe order: tiers of vproc ids, tier 0 holding
   /// the same-node vprocs, later tiers sorted by increasing node
@@ -110,6 +131,32 @@ public:
     Backoff[VP.id()].FailedRounds = 0;
   }
 
+  /// Wake-up policy for a freshly spawned task: rings \p T's hinted node
+  /// when it has one, otherwise \p VP's own node; when the local ring
+  /// finds no parked vproc and \p VP's queue has run deep, escalates to
+  /// the nearest node with parked vprocs (remote rings only when the
+  /// local vprocs are saturated). Called by VProc::spawn.
+  void noteSpawn(VProc &VP, const Task &T);
+
+  /// Blocks \p VP until \p Pred(Ctx) holds: a short poll+yield spin,
+  /// then doorbell parks on \p VP's node with the bounded backstop.
+  /// Keeps answering steal requests and joining pending collections
+  /// between parks, so channel blocking can never deadlock a collection.
+  /// \p Pred must be safe to evaluate concurrently with its producer
+  /// (read atomics). Pass \p RecordStats = false from between-runs
+  /// waits, whose idling must not leak into the per-run statistics.
+  void blockOn(VProc &VP, bool (*Pred)(void *), void *Ctx,
+               bool RecordStats = true);
+
+  /// Rings \p Node's doorbell on \p Ringer's behalf (stats accounting),
+  /// skipping the futex when nobody is parked there. No-op in the
+  /// ladder-baseline mode.
+  void ringNode(VProc &Ringer, NodeId Node);
+
+  /// The doorbells (exposed so Runtime can broadcast run-epoch and
+  /// termination turnovers).
+  ParkLot &parkLot() { return Lot; }
+
   /// Sum of every vproc's SchedStats (call while vprocs are quiescent).
   SchedStats aggregateStats() const;
 
@@ -129,6 +176,22 @@ private:
   template <typename TryFnT>
   VProc *walkTiers(VProc &Thief, std::size_t TierLimit, TryFnT Try);
 
+  /// One doorbell park for \p VP: prepare, re-check the standing wake
+  /// conditions (mailbox, pending collection) plus \p Pred (when
+  /// non-null) *after* the epoch snapshot -- the re-check-after-prepare
+  /// is what makes a racing ring unable to be lost -- then wait for at
+  /// most \p Micros. Records park statistics on \p VP when
+  /// \p RecordStats.
+  void doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
+                    bool (*Pred)(void *), void *PredCtx);
+
+  /// Exponential park bound for ladder position \p Step.
+  static unsigned parkMicrosFor(unsigned Step);
+
+  /// Stats-counted ring of \p Node: skips the futex when nobody is
+  /// parked there. \returns true when a waiter was present.
+  bool tryRing(VProc &Ringer, NodeId Node);
+
   /// Each vproc's owner thread updates its own entry every idle round;
   /// pad to a cache line so idle vprocs on different nodes don't
   /// ping-pong a shared line (the very traffic this scheduler avoids).
@@ -138,11 +201,16 @@ private:
   };
 
   Runtime &RT;
+  ParkLot &Lot;
   unsigned StealBatch;
   bool LocalStealFirst;
+  bool UseDoorbells;
   unsigned RemotePatience;
   /// Proximity[v][tier] = vproc ids at that distance from vproc v.
   std::vector<std::vector<std::vector<unsigned>>> Proximity;
+  /// NodeOrder[n] = the other nodes hosting vprocs, nearest first (ring
+  /// escalation order).
+  std::vector<std::vector<NodeId>> NodeOrder;
   /// Owner-thread-only ladder state, indexed by vproc id.
   std::vector<BackoffState> Backoff;
 };

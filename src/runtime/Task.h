@@ -30,6 +30,7 @@
 #define MANTI_RUNTIME_TASK_H
 
 #include "gc/ObjectModel.h"
+#include "numa/Topology.h"
 
 #include <atomic>
 #include <cstdint>
@@ -43,11 +44,21 @@ struct Task;
 using TaskFn = void (*)(Runtime &RT, VProc &VP, Task T);
 
 struct Task {
+  /// Affinity value meaning "run anywhere" (the default).
+  static constexpr NodeId NoAffinity = ~0u;
+
   TaskFn Fn = nullptr;
   void *Ctx = nullptr;
   Value Env;
   int64_t A = 0;
   int64_t B = 0;
+  /// Optional hint: the NUMA node holding the data this task will
+  /// traverse. Victim selection hands hinted tasks to thieves on that
+  /// node first (a soft preference -- work conservation always wins),
+  /// and spawn rings the hinted node's doorbell so its parked vprocs
+  /// come and claim the task. NoAffinity leaves both decisions to the
+  /// default locality policy.
+  NodeId Affinity = NoAffinity;
 };
 
 /// Counts outstanding subtasks of a fork-join region. The spawner waits

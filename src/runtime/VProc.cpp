@@ -12,6 +12,8 @@
 #include "support/Assert.h"
 #include "support/Logging.h"
 
+#include <algorithm>
+
 using namespace manti;
 
 VProc::VProc(Runtime &RT, VProcHeap &Heap)
@@ -26,6 +28,9 @@ void VProc::spawn(Task T) {
   }
   ReadyQ.push_back(T);
   Depth.store(ReadyQ.size(), std::memory_order_relaxed);
+  // New work is a wake-up event: ring the hinted node (or this one) so
+  // parked vprocs come and steal instead of running out their backstop.
+  RT.scheduler().noteSpawn(*this, T);
 }
 
 bool VProc::runOneLocal() {
@@ -38,18 +43,52 @@ bool VProc::runOneLocal() {
   return true;
 }
 
-Task VProc::popOldest() {
-  MANTI_CHECK(!ReadyQ.empty(), "popOldest on an empty queue");
-  // The oldest task is the largest unit of pending work.
-  Task T = ReadyQ.front();
-  ReadyQ.pop_front();
-  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
-  return T;
-}
-
 void VProc::enqueueStolen(Task T) {
   ReadyQ.push_back(T);
   Depth.store(ReadyQ.size(), std::memory_order_relaxed);
+}
+
+unsigned VProc::popForSteal(NodeId ThiefNode, unsigned Max, Task *Out,
+                            unsigned *AffinityMatches) {
+  std::size_t K = ReadyQ.size();
+  MANTI_CHECK(K > 0 && Max > 0 && Max <= StealRequest::MaxBatch,
+              "popForSteal needs a non-empty queue and a batch-sized Max");
+  unsigned Take = static_cast<unsigned>(std::min<std::size_t>(Max, K));
+
+  // Rank the oldest `Window` tasks: hinted-at-the-thief first, then
+  // unhinted, then hinted-elsewhere (those would rather stay, but a
+  // starved thief still gets them). Indices within a class stay
+  // ascending, preserving oldest-first inside each preference class.
+  constexpr std::size_t ScanWindow = 4 * StealRequest::MaxBatch;
+  std::size_t Window = std::min<std::size_t>(K, ScanWindow);
+  std::size_t Picked[StealRequest::MaxBatch];
+  unsigned N = 0;
+  unsigned Matches = 0;
+  for (int Class = 0; Class < 3 && N < Take; ++Class) {
+    for (std::size_t I = 0; I < Window && N < Take; ++I) {
+      NodeId Hint = ReadyQ[I].Affinity;
+      int C = Hint == ThiefNode ? 0 : (Hint == Task::NoAffinity ? 1 : 2);
+      if (C != Class)
+        continue; // each index belongs to exactly one class
+      Picked[N++] = I;
+      if (Class == 0)
+        ++Matches;
+    }
+  }
+  // Copy out in pick order, then erase highest-index-first so the
+  // remaining indices stay valid. All indices are near the front, so
+  // each erase shifts at most the scan window.
+  for (unsigned I = 0; I < N; ++I)
+    Out[I] = ReadyQ[Picked[I]];
+  std::size_t Sorted[StealRequest::MaxBatch];
+  std::copy(Picked, Picked + N, Sorted);
+  std::sort(Sorted, Sorted + N);
+  for (unsigned I = N; I-- > 0;)
+    ReadyQ.erase(ReadyQ.begin() + static_cast<std::ptrdiff_t>(Sorted[I]));
+  Depth.store(ReadyQ.size(), std::memory_order_relaxed);
+  if (AffinityMatches)
+    *AffinityMatches = Matches;
+  return N;
 }
 
 void VProc::runTask(Task T) {

@@ -120,6 +120,18 @@ public:
   /// Runs \p T with its environment rooted.
   void runTask(Task T);
 
+  /// Owner-thread pop of up to \p Max tasks from the steal (oldest) end
+  /// for a thief on \p ThiefNode, written to \p Out. Tasks hinted at the
+  /// thief's node go first, then unhinted tasks, then -- so work
+  /// conservation always wins over affinity -- tasks hinted elsewhere;
+  /// oldest-first within each class. Scans a bounded window of the
+  /// oldest tasks so a deep queue never makes a handshake O(queue).
+  /// \p AffinityMatches, when non-null, receives how many handed-over
+  /// tasks were hinted at the thief's node. \returns the task count
+  /// (min(Max, queue depth)).
+  unsigned popForSteal(NodeId ThiefNode, unsigned Max, Task *Out,
+                       unsigned *AffinityMatches = nullptr);
+
   /// Number of tasks currently in the local queue. Safe to call from any
   /// thread: reads a depth counter the owner maintains at push/pop
   /// instead of touching the deque (which only the owner may do). The
@@ -164,9 +176,6 @@ public:
 private:
   friend class ResultCell;
   friend class Scheduler;
-
-  /// Owner-thread pop of the oldest task (the steal end of the queue).
-  Task popOldest();
 
   /// Owner-thread push of an already-promoted stolen task (no spawn
   /// accounting, no eager promotion -- the victim promoted it already).

@@ -234,7 +234,15 @@ struct ForceCtx {
   Bodies *B;
   double Theta;
   double Dt;
+  /// Home node of the promoted tree's backing chunk: force tasks are
+  /// tagged with it so traversals chase the tree instead of dragging it
+  /// across the interconnect.
+  NodeId TreeHome = Task::NoAffinity;
 };
+
+NodeId forceAffinity(int64_t, int64_t, void *CtxP) {
+  return static_cast<ForceCtx *>(CtxP)->TreeHome;
+}
 
 void forceRange(Runtime &, VProc &, int64_t Lo, int64_t Hi, void *CtxP) {
   auto *Ctx = static_cast<ForceCtx *>(CtxP);
@@ -279,10 +287,14 @@ BarnesHutResult manti::workloads::runBarnesHut(Runtime &RT, VProc &VP,
     Root = buildQuadtree(VP.heap(), B);
     promoteInPlace(S, Root);
 
-    // Phase 2 (parallel): forces, then positions.
-    ForceCtx Ctx{Root.slotAddr(), &B, P.Theta, P.Dt};
+    // Phase 2 (parallel): forces, then positions. Force tasks carry the
+    // tree's home node as their affinity hint (computed once per
+    // iteration -- the root's chunk stands in for the tree).
+    ForceCtx Ctx{Root.slotAddr(), &B, P.Theta, P.Dt,
+                 RT.world().homeNodeOf(Root.value(), Task::NoAffinity)};
     int64_t Grain = std::max<int64_t>(64, P.NumBodies / 256);
-    parallelFor(RT, VP, 0, P.NumBodies, Grain, forceRange, &Ctx);
+    parallelFor(RT, VP, 0, P.NumBodies, Grain, forceRange, &Ctx,
+                forceAffinity);
     parallelFor(RT, VP, 0, P.NumBodies, 1024, advanceRange, &Ctx);
   }
 

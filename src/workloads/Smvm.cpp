@@ -60,7 +60,15 @@ namespace {
 struct SmvmCtx {
   const SmvmProblem *Prob;
   double *Y;
+  /// Home node of the chunk backing the non-zero values: row-range
+  /// tasks are tagged with it so the traversal lands where the matrix
+  /// lives.
+  NodeId DataHome = Task::NoAffinity;
 };
+
+NodeId rowAffinity(int64_t, int64_t, void *CtxP) {
+  return static_cast<SmvmCtx *>(CtxP)->DataHome;
+}
 
 void rowRange(Runtime &, VProc &, int64_t Lo, int64_t Hi, void *CtxP) {
   auto *Ctx = static_cast<SmvmCtx *>(CtxP);
@@ -81,9 +89,10 @@ void rowRange(Runtime &, VProc &, int64_t Lo, int64_t Hi, void *CtxP) {
 
 void manti::workloads::smvm(Runtime &RT, VProc &VP, const SmvmProblem &Prob,
                             double *Y) {
-  SmvmCtx Ctx{&Prob, Y};
+  SmvmCtx Ctx{&Prob, Y,
+              RT.world().homeNodeOf(Prob.Vals, Task::NoAffinity)};
   int64_t Grain = std::max<int64_t>(16, Prob.NumRows / 512);
-  parallelFor(RT, VP, 0, Prob.NumRows, Grain, rowRange, &Ctx);
+  parallelFor(RT, VP, 0, Prob.NumRows, Grain, rowRange, &Ctx, rowAffinity);
 }
 
 void manti::workloads::smvmSerial(const SmvmProblem &Prob, double *Y) {

@@ -8,10 +8,13 @@
 #include "gc/HeapVerifier.h"
 #include "runtime/Channel.h"
 #include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 using namespace manti;
 using namespace manti::test;
@@ -273,6 +276,210 @@ TEST(Channel, SelectRecvDrainsBothChannels) {
           VP.poll();
       },
       nullptr);
+}
+
+TEST(Channel, BlockedReceiverParksAndIsRungAwake) {
+  // The blocked receiver registers a waiter and parks in the ParkLot;
+  // the sender's hand-off rings its node. The sender holds the message
+  // until it *observes the receiver parked on its doorbell*, so the
+  // park rung is reached deterministically even on a loaded host.
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel Chan(RT);
+  static Channel *ChanPtr;
+  ChanPtr = &Chan;
+  static int64_t Got;
+  Got = 0;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        VP.spawn({[](Runtime &RT2, VProc &VP, Task) {
+                    // The receiver (vproc 0) lives on node 0: wait for
+                    // it to park before handing over the message.
+                    NodeId RecvNode = RT2.vproc(0).node();
+                    while (RT2.parkLot().parkedOn(RecvNode) == 0)
+                      std::this_thread::yield();
+                    RootScope S(VP.heap());
+                    Ref<> Msg = S.root(makeIntList(VP.heap(), 13));
+                    ChanPtr->send(VP, Msg);
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        RootScope S(VP.heap());
+        Ref<> Msg = ChanPtr->recv(S, VP);
+        Got = listSum(Msg);
+      },
+      nullptr);
+
+  EXPECT_EQ(Got, intListSum(13));
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_GT(S.Parks, 0u)
+      << "the receiver must reach the park rung before the hand-off";
+}
+
+TEST(Channel, TryRecvReturnsEmptyWhileHandoffPends) {
+  // Regression (mid-handoff spin): a parked receiver's pending
+  // handshake is not a queued message. tryRecv must report "empty"
+  // instead of waiting on someone else's hand-off to settle.
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel Chan(RT);
+  static Channel *ChanPtr;
+  ChanPtr = &Chan;
+  static std::atomic<int64_t> ReceiverGot;
+  ReceiverGot = 0;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        // The receiver task parks on a worker vproc.
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    RootScope S(VP.heap());
+                    Ref<> Msg = ChanPtr->recv(S, VP);
+                    ReceiverGot.store(listSum(Msg));
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        // Wait until the receiver is registered, then probe: the parked
+        // receiver must be invisible to tryRecv.
+        while (ChanPtr->pendingRecvs() == 0)
+          VP.poll();
+        Value Out;
+        for (int I = 0; I < 100; ++I)
+          EXPECT_FALSE(ChanPtr->tryRecv(VP, Out))
+              << "a parked receiver is not a message";
+        RootScope S(VP.heap());
+        Ref<> Msg = S.root(makeIntList(VP.heap(), 6));
+        ChanPtr->send(VP, Msg);
+        while (ReceiverGot.load() == 0)
+          VP.poll();
+      },
+      nullptr);
+
+  EXPECT_EQ(ReceiverGot.load(), intListSum(6));
+  EXPECT_EQ(Chan.pendingSends(), 0u);
+  EXPECT_EQ(Chan.pendingRecvs(), 0u);
+}
+
+TEST(Channel, TryRecvHandoffHammer) {
+  // TSan hammer for the two-flag handoff (Claimed picks the filler,
+  // Ready/Taken publish completion): a blocked receiver, a sender, and
+  // a prober that hammers tryRecv and recycles anything it happens to
+  // intercept, so every message still arrives exactly once.
+  Runtime RT(chanConfig(3), Topology::uniform(3, 1));
+  Channel Chan(RT);
+  static Channel *ChanPtr;
+  ChanPtr = &Chan;
+  constexpr int Messages = 40;
+  static std::atomic<int64_t> Received;
+  static std::atomic<bool> Done;
+  Received = 0;
+  Done = false;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        // Prober: intercepted messages go right back into the channel.
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    while (!Done.load(std::memory_order_acquire)) {
+                      RootScope S(VP.heap());
+                      Ref<> Out = S.root(Value::nil());
+                      if (ChanPtr->tryRecv(VP, Out))
+                        ChanPtr->send(VP, Out);
+                      VP.poll();
+                      std::this_thread::yield();
+                    }
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        // Sender: synchronous sends; each blocks until *someone* takes
+        // the message (the receiver's waiter or the prober).
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    for (int I = 0; I < Messages; ++I) {
+                      RootScope S(VP.heap());
+                      Ref<> Msg = S.root(makeIntList(VP.heap(), 5));
+                      ChanPtr->send(VP, Msg);
+                    }
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        // Receiver: the main vproc takes every message.
+        for (int I = 0; I < Messages; ++I) {
+          RootScope S(VP.heap());
+          Ref<> Msg = ChanPtr->recv(S, VP);
+          Received.fetch_add(listSum(Msg));
+        }
+        Done.store(true, std::memory_order_release);
+      },
+      nullptr);
+
+  EXPECT_EQ(Received.load(), Messages * intListSum(5));
+  EXPECT_EQ(Chan.pendingSends(), 0u);
+  EXPECT_EQ(Chan.pendingRecvs(), 0u);
+  verifyWorld(RT.world());
+}
+
+TEST(Channel, SelectRecvParksUntilLateSender) {
+  // selectRecv's real blocking path: no channel is ready, the selector
+  // registers one waiter on both and parks; the late sender claims it,
+  // fills it, and rings.
+  Runtime RT(chanConfig(2), Topology::uniform(2, 1));
+  Channel A(RT), B(RT);
+  static Channel *ChanA, *ChanB;
+  ChanA = &A;
+  ChanB = &B;
+  static int64_t Got;
+  static unsigned Which;
+  Got = 0;
+  Which = 99;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        static JoinCounter Join;
+        Join.add();
+        VP.spawn({[](Runtime &, VProc &VP, Task) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(15));
+                    ChanB->send(VP, Value::fromInt(321));
+                    Join.sub();
+                  },
+                  nullptr, Value::nil(), 0, 0});
+        Channel *Chans[2] = {ChanA, ChanB};
+        Value V = Channel::selectRecv(VP, Chans, 2, &Which);
+        Got = V.asInt();
+        VP.joinWait(Join);
+      },
+      nullptr);
+
+  EXPECT_EQ(Got, 321);
+  EXPECT_EQ(Which, 1u);
+  EXPECT_EQ(A.pendingRecvs(), 0u) << "losing waiters must be withdrawn";
+  EXPECT_EQ(B.pendingRecvs(), 0u);
+}
+
+TEST(Channel, LadderBaselineChannelsStillWork) {
+  // UseDoorbells=false: channel blocking falls back to the blind
+  // bounded-sleep ladder (the ablation baseline) -- slower, still
+  // correct.
+  RuntimeConfig Cfg = chanConfig(2);
+  Cfg.UseDoorbells = false;
+  Runtime RT(Cfg, Topology::uniform(2, 1));
+  Channel Chan(RT);
+  static ChanCtx Ctx;
+  Ctx.Chan = &Chan;
+  Ctx.Received = 0;
+  Ctx.Done = 0;
+  Ctx.Messages = 10;
+
+  RT.run(
+      [](Runtime &, VProc &VP, void *CtxP) {
+        auto *Ctx = static_cast<ChanCtx *>(CtxP);
+        VP.spawn({receiverTask, Ctx, Value::nil(), 0, 0});
+        for (int I = 0; I < Ctx->Messages; ++I) {
+          RootScope Scope(VP.heap());
+          Ref<> Msg = Scope.root(makeIntList(VP.heap(), 8));
+          Ctx->Chan->send(VP, Msg);
+        }
+        while (Ctx->Done.load() == 0)
+          VP.poll();
+      },
+      &Ctx);
+
+  EXPECT_EQ(Ctx.Received.load(), 10 * intListSum(8));
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_EQ(S.RingsSent, 0u);
 }
 
 TEST(Channel, ManyMessagesManyCollections) {

@@ -20,7 +20,9 @@
 #include "numa/Topology.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace manti::test {
@@ -34,6 +36,33 @@ inline GCConfig smallConfig() {
   Cfg.GlobalGCBytesPerVProc = 1024 * 1024;
   return Cfg;
 }
+
+/// Unsets an environment variable for the current scope and restores
+/// its previous value on destruction. Tests that pin a config knob an
+/// env override would clobber (e.g. MANTI_STRESS_GC_PERIOD) wrap the
+/// world construction in one of these.
+class ScopedUnsetEnv {
+public:
+  explicit ScopedUnsetEnv(const char *Name) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      Saved = Old;
+      HadValue = true;
+    }
+    unsetenv(Name);
+  }
+  ~ScopedUnsetEnv() {
+    if (HadValue)
+      setenv(Name, Saved.c_str(), 1);
+  }
+
+  ScopedUnsetEnv(const ScopedUnsetEnv &) = delete;
+  ScopedUnsetEnv &operator=(const ScopedUnsetEnv &) = delete;
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool HadValue = false;
+};
 
 /// A world over a 2-node, 4-core uniform machine unless overridden.
 struct TestWorld {

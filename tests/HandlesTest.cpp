@@ -390,3 +390,91 @@ TEST(Handles, VectorOfLeavesTheShadowStackConsistent) {
   EXPECT_EQ(listSum(vectorGet(Pair, 1)), intListSum(4));
   EXPECT_EQ(vectorGet(Pair, 0).asInt(), 1);
 }
+
+//===----------------------------------------------------------------------===//
+// VecRef<T>: the typed-vector face
+//===----------------------------------------------------------------------===//
+
+TEST(VecRef, TypedGetAndInit) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  // init-then-publish construction through the typed face.
+  VecRef<> V = allocVec(S, 3);
+  V.init(0, Value::fromInt(7));
+  V.init(1, Value::fromInt(8));
+  V.init(2, Value::fromInt(9));
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V.intAt(0), 7);
+  EXPECT_EQ(V.at(2).asInt(), 9);
+  // Static faces for raw-Value traversals.
+  EXPECT_EQ(VecRef<>::getInt(V, 1), 8);
+  EXPECT_TRUE(VecRef<>::get(V, 2).isInt());
+}
+
+TEST(VecRef, TypedElementReadIsChecked) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<PairNode> P =
+      alloc<PairNode>(S, PairNode{Value::nil(), 5, Value::nil(), 0.5});
+  Ref<> Vec = allocVectorOf(S, P);
+  VecRef<PairNode> V = S.rootVector<PairNode>(Vec.value());
+  Ref<PairNode> Elem = V.get(S, 0);
+  EXPECT_EQ(Elem.get<&PairNode::Tag>(), 5);
+}
+
+TEST(VecRef, TraversalSlotSurvivesCollections) {
+  // The cons-list traversal pattern: one rooted VecRef walked down the
+  // list with `Cell = Cell.at(1)`. Under StressGC every allocation
+  // collects, so the slot is being forwarded while the list is built
+  // and while it is traversed.
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> List = S.root(makeIntList(H, 20));
+  H.minorGC(); // move the list at least once
+  int64_t Sum = 0;
+  VecRef<> Cell = S.rootVector(List.value());
+  for (; !Cell.isNil(); Cell = Cell.at(1))
+    Sum += Cell.intAt(0);
+  EXPECT_EQ(Sum, intListSum(20));
+  // Allocate mid-traversal too: the rooted slot must be forwarded.
+  Sum = 0;
+  Cell = List.value();
+  for (; !Cell.isNil(); Cell = Cell.at(1)) {
+    Sum += Cell.intAt(0);
+    Ref<> Junk = S.root(makeIntList(H, 2)); // collects under stress
+    (void)Junk;
+  }
+  EXPECT_EQ(Sum, intListSum(20));
+}
+
+TEST(VecRef, SwapExchangesValuesNotSlots) {
+  // Pins the same move-semantics invariant Ref guards: the ADL swap
+  // must exchange the slots' *values*; generic std::swap would
+  // mis-compose the aliasing move-ctor with the value-copying
+  // move-assign and drop one value.
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  VecRef<> A = allocVec(S, 1, Value::fromInt(1));
+  VecRef<> B = allocVec(S, 1, Value::fromInt(2));
+  Value *SlotA = A.slotAddr(), *SlotB = B.slotAddr();
+  using std::swap;
+  swap(A, B);
+  EXPECT_EQ(A.intAt(0), 2);
+  EXPECT_EQ(B.intAt(0), 1);
+  EXPECT_EQ(A.slotAddr(), SlotA) << "swap exchanges values, not slots";
+  EXPECT_EQ(B.slotAddr(), SlotB);
+}
+
+TEST(VecRefDeath, RootVectorRejectsNonVectors) {
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<PairNode> P =
+      alloc<PairNode>(S, PairNode{Value::nil(), 1, Value::nil(), 0.0});
+  EXPECT_DEATH((void)S.rootVector(P.value()),
+               "rootVector: value is not a vector object");
+}

@@ -4,15 +4,18 @@
 //
 // Covers the Scheduler subsystem: proximity-tier victim ordering, the
 // LocalStealFirst ablation knob, steal batching, the cross-thread queue
-// depth counter, the idle ladder's park accounting, and a steal
-// handshake hammer (the regression test for the StealRequest
-// release/acquire protocol; CI runs this binary under ThreadSanitizer).
+// depth counter, the idle ladder's park accounting, the ParkLot
+// doorbells (node-exact rings, broadcast, and the ring-vs-park race),
+// spawn affinity routing, and a steal handshake hammer (the regression
+// test for the StealRequest release/acquire protocol; CI runs this
+// binary under ThreadSanitizer).
 //
 //===----------------------------------------------------------------------===//
 
 #include "GCTestUtils.h"
 #include "gc/GCReport.h"
 #include "runtime/Parallel.h"
+#include "runtime/ParkLot.h"
 #include "runtime/Runtime.h"
 #include "runtime/Scheduler.h"
 
@@ -275,6 +278,230 @@ TEST(Scheduler, IdleVProcsParkAndAccountTheTime) {
   EXPECT_GT(S.Parks, 0u) << "idle workers must reach the park rung";
   EXPECT_GT(S.ParkNanos, 0u);
   EXPECT_GT(S.FailedStealRounds, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ParkLot doorbells (run under TSan in CI)
+//===----------------------------------------------------------------------===//
+
+TEST(Doorbell, RingWakesExactlyTheRingedNode) {
+  ParkLot Lot(2);
+  std::atomic<int> Woken0{-1}, Woken1{-1};
+  std::atomic<bool> Ready0{false}, Ready1{false};
+
+  std::thread P0([&] {
+    ParkLot::Token T = Lot.prepare(0);
+    Ready0.store(true);
+    Woken0.store(Lot.park(0, T, std::chrono::milliseconds(2000)) ? 1 : 0);
+  });
+  std::thread P1([&] {
+    ParkLot::Token T = Lot.prepare(1);
+    Ready1.store(true);
+    // This parker must NOT be woken by the node-0 ring: it runs out its
+    // backstop instead.
+    Woken1.store(Lot.park(1, T, std::chrono::milliseconds(600)) ? 1 : 0);
+  });
+
+  // Wait until both are registered (a ring between prepare and park is
+  // fine -- the epoch snapshot catches it), then ring node 0 only.
+  while (!Ready0.load() || !Ready1.load())
+    std::this_thread::yield();
+  Lot.ring(0);
+  P0.join();
+  P1.join();
+  EXPECT_EQ(Woken0.load(), 1) << "ringed node must wake by ring";
+  EXPECT_EQ(Woken1.load(), 0) << "other node must run out its backstop";
+}
+
+TEST(Doorbell, BroadcastWakesAllNodes) {
+  constexpr unsigned Nodes = 4;
+  ParkLot Lot(Nodes);
+  std::atomic<unsigned> Rung{0};
+  std::vector<std::thread> Parkers;
+  for (unsigned N = 0; N < Nodes; ++N) {
+    Parkers.emplace_back([&, N] {
+      ParkLot::Token T = Lot.prepare(N);
+      if (Lot.park(N, T, std::chrono::milliseconds(2000)))
+        Rung.fetch_add(1);
+    });
+  }
+  for (unsigned N = 0; N < Nodes; ++N)
+    while (Lot.parkedOn(N) == 0)
+      std::this_thread::yield();
+  Lot.ringBroadcast();
+  for (std::thread &P : Parkers)
+    P.join();
+  EXPECT_EQ(Rung.load(), Nodes) << "a broadcast must wake every node";
+}
+
+TEST(Doorbell, NoLostWakeupWhenRingRacesPark) {
+  // The protocol's contract: a ring sent after the parker's prepare()
+  // fails the futex value check, and one sent before it is caught by the
+  // parker's own condition re-check -- no interleaving sleeps through a
+  // ring. A lost wake-up here would turn every round into a full 100 ms
+  // backstop timeout, so the timeout count is the observable.
+  constexpr int Rounds = 300;
+  ParkLot Lot(1);
+  std::atomic<int> Flag{0};
+  std::atomic<int> Timeouts{0};
+
+  std::thread Parker([&] {
+    for (int I = 1; I <= Rounds; ++I) {
+      while (Flag.load(std::memory_order_acquire) < I) {
+        ParkLot::Token T = Lot.prepare(0);
+        if (Flag.load(std::memory_order_acquire) >= I) {
+          Lot.cancel(0);
+          break;
+        }
+        if (!Lot.park(0, T, std::chrono::milliseconds(100)))
+          Timeouts.fetch_add(1);
+      }
+    }
+  });
+  for (int I = 1; I <= Rounds; ++I) {
+    Flag.store(I, std::memory_order_release);
+    Lot.ring(0);
+    // Lock-step: let the parker consume round I before round I+1, so
+    // every round really exercises a fresh park/ring race.
+    while (Flag.load(std::memory_order_acquire) == I &&
+           Lot.parkedOn(0) == 0 && I < Rounds)
+      std::this_thread::yield();
+  }
+  Parker.join();
+  // A scheduling stall can time out the odd round (the ring arrives
+  // while the parker is descheduled before prepare); systematic losses
+  // would time out nearly all of them.
+  EXPECT_LT(Timeouts.load(), Rounds / 4)
+      << "rings racing parks must not be lost";
+}
+
+TEST(Scheduler, SpawnRingsDoorbellsAndWorkCompletes) {
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(2, 2));
+  static std::atomic<int> Remaining;
+  Remaining = 200;
+  RT.run(
+      [](Runtime &RT2, VProc &VP, void *) {
+        // Let a worker descend to the park rung first, so the spawn
+        // rings below have a parked vproc to wake.
+        while (RT2.parkLot().parkedOn(0) == 0 &&
+               RT2.parkLot().parkedOn(1) == 0)
+          std::this_thread::yield();
+        static JoinCounter Join;
+        for (int I = 0; I < 200; ++I) {
+          Join.add();
+          VP.spawn({[](Runtime &, VProc &, Task) {
+                      Remaining.fetch_sub(1);
+                      Join.sub();
+                    },
+                    nullptr, Value::nil(), 0, 0});
+        }
+        VP.joinWait(Join);
+      },
+      nullptr);
+  EXPECT_EQ(Remaining.load(), 0);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_GT(S.RingsSent, 0u) << "every spawn attempts a doorbell ring";
+  EXPECT_GT(S.Parks, 0u);
+}
+
+TEST(Scheduler, LadderBaselineDisablesRings) {
+  RuntimeConfig Cfg = testRuntimeConfig(4);
+  Cfg.UseDoorbells = false;
+  Runtime RT(Cfg, Topology::uniform(2, 2));
+  EXPECT_FALSE(RT.scheduler().doorbells());
+  static std::atomic<int64_t> Sum;
+  Sum = 0;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        parallelFor(
+            RT, VP, 0, 512, 4,
+            [](Runtime &, VProc &, int64_t Lo, int64_t Hi, void *) {
+              Sum.fetch_add(Hi - Lo);
+            },
+            nullptr);
+      },
+      nullptr);
+  EXPECT_EQ(Sum.load(), 512);
+  SchedStats S = RT.aggregateSchedStats();
+  EXPECT_EQ(S.RingsSent, 0u) << "the ladder baseline never rings";
+  EXPECT_EQ(S.RingWakeups, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spawn affinity
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, PopForStealPrefersThiefAffineTasks) {
+  // 4 vprocs on uniform(2, 2): vprocs 0/2 on node 0, vprocs 1/3 on
+  // node 1. Queue mixed-affinity tasks on vproc 0 (its owner thread is
+  // this one, between runs) and pop for a node-1 thief.
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(2, 2));
+  VProc &VP = RT.vproc(0);
+  ASSERT_EQ(VP.node(), 0u);
+  ASSERT_EQ(RT.vproc(1).node(), 1u);
+
+  const NodeId Hints[6] = {1, Task::NoAffinity, 0, 1, Task::NoAffinity, 0};
+  for (int I = 0; I < 6; ++I) {
+    Task T = trivialTask();
+    T.A = I;
+    T.Affinity = Hints[I];
+    VP.spawn(T);
+  }
+
+  // A node-1 thief gets the node-1-hinted tasks first, then unhinted.
+  Task Out[StealRequest::MaxBatch];
+  unsigned Matches = 0;
+  unsigned Got = VP.popForSteal(/*ThiefNode=*/1, 3, Out, &Matches);
+  ASSERT_EQ(Got, 3u);
+  EXPECT_EQ(Matches, 2u);
+  EXPECT_EQ(Out[0].A, 0); // hinted at node 1, oldest
+  EXPECT_EQ(Out[1].A, 3); // hinted at node 1
+  EXPECT_EQ(Out[2].A, 1); // unhinted
+
+  // Work conservation: with no matching or unhinted tasks left, a
+  // node-1 thief still gets the node-0-hinted leftovers.
+  Got = VP.popForSteal(/*ThiefNode=*/1, 3, Out, &Matches);
+  ASSERT_EQ(Got, 3u);
+  EXPECT_EQ(Matches, 0u);
+  EXPECT_EQ(Out[0].A, 4); // unhinted beats hinted-elsewhere
+  EXPECT_EQ(Out[1].A, 2); // hinted at node 0, oldest
+  EXPECT_EQ(Out[2].A, 5);
+  EXPECT_EQ(VP.queueDepth(), 0u);
+}
+
+TEST(Scheduler, AffinityTasksFlowToTheirNode) {
+  // End-to-end: tasks hinted at node 1 end up running there when node 1
+  // has idle vprocs. The spawner never runs its own queue (it blocks in
+  // joinWait only after a final unhinted task), so every hinted task is
+  // stolen; the affinity-aware handshake routes them.
+  Runtime RT(testRuntimeConfig(4), Topology::uniform(2, 2));
+  static std::atomic<int> Total;
+  Total = 0;
+  RT.run(
+      [](Runtime &, VProc &VP, void *) {
+        static JoinCounter Join;
+        for (int I = 0; I < 64; ++I) {
+          Join.add();
+          Task T{[](Runtime &, VProc &, Task) {
+                   Total.fetch_add(1);
+                   Join.sub();
+                 },
+                 nullptr, Value::nil(), 0, 0};
+          T.Affinity = 1;
+          VP.spawn(T);
+          // Brief pause so thieves drain the queue through handshakes
+          // rather than the spawner running everything locally.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        VP.joinWait(Join);
+      },
+      nullptr);
+  EXPECT_EQ(Total.load(), 64);
+  SchedStats S = RT.aggregateSchedStats();
+  if (S.TasksStolen > 0) {
+    EXPECT_GT(S.AffinityHandoffs, 0u)
+        << "stolen hinted tasks must register affinity-matched handoffs";
+  }
 }
 
 //===----------------------------------------------------------------------===//
