@@ -8,20 +8,24 @@
 /// Each of the paper's speedup figures (4-7) is one binary that prints
 /// the same series the figure plots: speedup per benchmark per thread
 /// count, relative to the baseline the paper uses. This header holds the
-/// shared driver.
+/// shared driver, including the machine-readable `--json <path>` mode
+/// (one row per benchmark x thread count, same schema as the ablation
+/// benches: bench / topology / config / metrics).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MANTI_BENCH_FIGUREMAIN_H
 #define MANTI_BENCH_FIGUREMAIN_H
 
+#include "GCBenchUtils.h"
 #include "sim/Speedup.h"
 
 #include <cstdio>
 
 namespace manti::sim {
 
-inline int runFigure(const char *Title, const char *Caption,
+inline int runFigure(const char *Name, const char *JsonPath,
+                     const char *Title, const char *Caption,
                      const SimMachine &M, AllocPolicyKind Policy,
                      AllocPolicyKind BaselinePolicy,
                      const std::vector<unsigned> &Threads) {
@@ -40,7 +44,29 @@ inline int runFigure(const char *Title, const char *Caption,
       std::printf(" %-22.4f", S.Seconds[I]);
     std::printf("\n");
   }
-  return 0;
+
+  benchutil::JsonReport Json(Name, JsonPath);
+  if (Json.enabled()) {
+    std::string Config = std::string(allocPolicyName(Policy)) + "-vs-" +
+                         allocPolicyName(BaselinePolicy);
+    for (const SpeedupSeries &S : Series)
+      for (std::size_t I = 0; I < S.Threads.size(); ++I)
+        Json.addRow(M.Topo.name(), Config + "/" + S.Benchmark,
+                    {{"threads", static_cast<double>(S.Threads[I])},
+                     {"speedup", S.Speedup[I]},
+                     {"seconds", S.Seconds[I]}});
+  }
+  return Json.write() ? 0 : 1;
+}
+
+/// argv-aware face: parses `--json <path>` and delegates.
+inline int runFigure(int argc, char **argv, const char *Name,
+                     const char *Title, const char *Caption,
+                     const SimMachine &M, AllocPolicyKind Policy,
+                     AllocPolicyKind BaselinePolicy,
+                     const std::vector<unsigned> &Threads) {
+  return runFigure(Name, benchutil::jsonPathFromArgs(argc, argv), Title,
+                   Caption, M, Policy, BaselinePolicy, Threads);
 }
 
 } // namespace manti::sim

@@ -13,10 +13,114 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace manti::benchutil {
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results (--json <path>)
+//===----------------------------------------------------------------------===//
+
+/// Returns the path following a `--json` argument, or nullptr when the
+/// flag is absent. (Shared by every bench that also prints its human
+/// table; `--quick` parsing stays per-bench.)
+inline const char *jsonPathFromArgs(int argc, char **argv) {
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::strcmp(argv[I], "--json") == 0)
+      return argv[I + 1];
+  return nullptr;
+}
+
+/// Collects one JSON object per printed table row and writes them as an
+/// array, one row per line:
+///
+///   [{"bench": "...", "topology": "...", "config": "...",
+///     "metrics": {"seconds": 1.25, ...}},
+///    ...]
+///
+/// The schema is deliberately flat -- CI uploads the file as a
+/// BENCH_<name>.json artifact, and trajectory tooling needs only
+/// (bench, topology, config) as the series key and metrics as numbers.
+/// Metric values are finite doubles; names are plain identifiers, so
+/// escaping only has to cover the free-form config strings.
+class JsonReport {
+public:
+  /// \p Bench names the binary's series (e.g. "ablation_rebalance");
+  /// \p Path may be nullptr (every add/write becomes a no-op).
+  JsonReport(std::string Bench, const char *Path)
+      : Bench(std::move(Bench)), Path(Path ? Path : "") {}
+
+  bool enabled() const { return !Path.empty(); }
+
+  void addRow(const std::string &Topology, const std::string &Config,
+              std::vector<std::pair<std::string, double>> Metrics) {
+    if (!enabled())
+      return;
+    std::string Row = "{\"bench\": ";
+    appendString(Row, Bench);
+    Row += ", \"topology\": ";
+    appendString(Row, Topology);
+    Row += ", \"config\": ";
+    appendString(Row, Config);
+    Row += ", \"metrics\": {";
+    bool First = true;
+    for (const auto &[Name, V] : Metrics) {
+      if (!First)
+        Row += ", ";
+      First = false;
+      appendString(Row, Name);
+      char Buf[48];
+      std::snprintf(Buf, sizeof(Buf), ": %.6g", V);
+      Row += Buf;
+    }
+    Row += "}}";
+    Rows.push_back(std::move(Row));
+  }
+
+  /// Writes the collected rows to the path given at construction.
+  /// \returns false (after a note on stderr) when the file cannot be
+  /// written; callers treat that as a bench failure so CI artifacts
+  /// cannot silently go missing.
+  bool write() const {
+    if (!enabled())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write --json file %s\n",
+                   Path.c_str());
+      return false;
+    }
+    std::fputs("[\n", F);
+    for (std::size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "  %s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fputs("]\n", F);
+    std::fclose(F);
+    std::printf("\nwrote %zu JSON row(s) to %s\n", Rows.size(),
+                Path.c_str());
+    return true;
+  }
+
+private:
+  static void appendString(std::string &Out, const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+  }
+
+  std::string Bench;
+  std::string Path;
+  std::vector<std::string> Rows;
+};
 
 /// Runs \p Body once per vproc, each on its own thread, then drains:
 /// every thread keeps hitting safe points until all are done and no

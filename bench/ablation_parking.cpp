@@ -28,6 +28,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "GCBenchUtils.h"
 #include "gc/Handles.h"
 #include "runtime/Channel.h"
 #include "runtime/Parallel.h"
@@ -192,9 +193,19 @@ RunResult runSkewedProducer(const Topology &Topo, unsigned NumVProcs,
   return R;
 }
 
-void printRow(const char *Machine, const char *Policy, const char *Workload,
-              int Ops, const RunResult &R) {
+void printRow(benchutil::JsonReport &Json, const char *Machine,
+              const char *Policy, const char *Workload, int Ops,
+              const RunResult &R) {
   const SchedStats &S = R.Sched;
+  Json.addRow(Machine, std::string(Policy) + "/" + Workload,
+              {{"ops", static_cast<double>(Ops)},
+               {"seconds", R.Seconds},
+               {"us_per_op", R.MicrosPerOp},
+               {"parks", static_cast<double>(S.Parks)},
+               {"ring_wakeups", static_cast<double>(S.RingWakeups)},
+               {"wake_us", S.meanRingWakeupMicros()},
+               {"rings_sent", static_cast<double>(S.RingsSent)},
+               {"rings_wasted", static_cast<double>(S.RingsWasted)}});
   std::printf("%-10s %-10s %-10s %8d %9.3f %9.2f %8llu %9llu %9.1f %8llu "
               "%8llu\n",
               Machine, Policy, Workload, Ops, R.Seconds, R.MicrosPerOp,
@@ -212,6 +223,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I)
     if (std::strcmp(argv[I], "--quick") == 0)
       Quick = true;
+  benchutil::JsonReport Json("ablation_parking",
+                             benchutil::jsonPathFromArgs(argc, argv));
 
   // Modest default counts: the ping-pong spins think-time continuously,
   // and on a CPU-quota-limited container a long sustained run gets
@@ -268,11 +281,11 @@ int main(int argc, char **argv) {
   for (const MachineDef &M : Machines) {
     for (bool Doorbells : {true, false}) {
       const char *Policy = Doorbells ? "doorbell" : "ladder";
-      printRow(M.Name, Policy, "ping-pong", Rounds, BestOf([&] {
+      printRow(Json, M.Name, Policy, "ping-pong", Rounds, BestOf([&] {
                  return runPingPong(M.Topo, M.PingVProcs, Doorbells,
                                     Rounds);
                }));
-      printRow(M.Name, Policy, "skewed", Bursts * TasksPerBurst,
+      printRow(Json, M.Name, Policy, "skewed", Bursts * TasksPerBurst,
                BestOf([&] {
                  return runSkewedProducer(M.Topo, M.SkewVProcs, Doorbells,
                                           Bursts, TasksPerBurst);
@@ -291,5 +304,5 @@ int main(int argc, char **argv) {
       "host the spawner can drain small bursts alone, so waking workers\n"
       "there mostly measures ring accounting, not pickup speedup --\n"
       "dedicated cores are where burst pickup gains show.\n");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -26,15 +26,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 using namespace manti;
 
 namespace {
 
-constexpr int LeavesBase = 320; ///< shortest producer's leaf count
-constexpr int EnvLen = 24;      ///< ints per task environment
-constexpr int LeafWork = 300;   ///< env traversals per leaf
+int LeavesBase = 320;      ///< shortest producer's leaf count (--quick: 96)
+constexpr int EnvLen = 24; ///< ints per task environment
+int LeafWork = 300;        ///< env traversals per leaf (--quick: 80)
 
 /// Producer I queues LeavesBase * (1|3|5) leaves: the imbalance that
 /// keeps short-producer vprocs stealing while their peers still produce.
@@ -89,6 +90,12 @@ RunResult runTree(const Topology &Topo, unsigned NumVProcs,
   Cfg.PinThreads = false;
   Cfg.LocalStealFirst = LocalStealFirst;
   Cfg.StealBatch = StealBatch;
+  // This ablation isolates *victim selection*: the newer rebalance
+  // mechanisms are pinned to their baselines so the batch column keeps
+  // meaning "per-handshake cap" and no task migrates outside the
+  // handshake under test (bench_ablation_rebalance sweeps those knobs).
+  Cfg.StealHalf = false;
+  Cfg.ShedThreshold = 0;
   Runtime RT(Cfg, Topo);
 
   int64_t TotalTasks = 0;
@@ -128,9 +135,19 @@ RunResult runTree(const Topology &Topo, unsigned NumVProcs,
   return R;
 }
 
-void printRow(const char *Machine, const char *Policy, unsigned Batch,
-              const RunResult &R) {
+void printRow(benchutil::JsonReport &Json, const char *Machine,
+              const char *Policy, unsigned Batch, const RunResult &R) {
   const SchedStats &S = R.Sched;
+  Json.addRow(Machine,
+              std::string(Policy) + "/batch" + std::to_string(Batch),
+              {{"tasks_stolen", static_cast<double>(S.TasksStolen)},
+               {"steal_batches", static_cast<double>(S.StealBatches)},
+               {"mean_batch", S.meanStealBatch()},
+               {"node_local_pct", 100.0 * S.nodeLocalFraction()},
+               {"failed_rounds", static_cast<double>(S.FailedStealRounds)},
+               {"parks", static_cast<double>(S.Parks)},
+               {"park_ms", static_cast<double>(S.ParkNanos) / 1e6},
+               {"remote_traffic_pct", 100.0 * R.RemoteTrafficFraction}});
   std::printf(
       "%-10s %-14s %5u  %7llu %7llu %9.2f %11.1f%% %8llu %7llu %9.1f %9.1f%%\n",
       Machine, Policy, Batch,
@@ -145,9 +162,22 @@ void printRow(const char *Machine, const char *Policy, unsigned Batch,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+  if (Quick) {
+    // CI smoke sizing: same sweep, counts small enough for a shared
+    // container; the locality counters stay meaningful.
+    LeavesBase = 96;
+    LeafWork = 80;
+  }
+  benchutil::JsonReport Json("ablation_steal_locality",
+                             benchutil::jsonPathFromArgs(argc, argv));
   std::printf("Ablation: work-stealing victim selection "
-              "(proximity tiers vs uniform-random)\n");
+              "(proximity tiers vs uniform-random)%s\n",
+              Quick ? " [--quick]" : "");
   std::printf("Workload: one producer per vproc (%d/%d/%d-leaf mix), "
               "%d-int environments; lazy promotion\n\n",
               leavesFor(0), leavesFor(1), leavesFor(2), EnvLen);
@@ -166,13 +196,14 @@ int main() {
   // The headline comparison of the two policies, plus a batch sweep on
   // the AMD machine (24 vprocs = 3 per node; 16 on Intel = 4 per node).
   for (bool Local : {true, false})
-    printRow("amd48", Local ? "proximity" : "uniform", 4,
+    printRow(Json, "amd48", Local ? "proximity" : "uniform", 4,
              runTree(Amd, 24, Local, 4));
   for (bool Local : {true, false})
-    printRow("intel32", Local ? "proximity" : "uniform", 4,
+    printRow(Json, "intel32", Local ? "proximity" : "uniform", 4,
              runTree(Intel, 16, Local, 4));
   for (unsigned Batch : {1u, 8u})
-    printRow("amd48", "proximity", Batch, runTree(Amd, 24, true, Batch));
+    printRow(Json, "amd48", "proximity", Batch,
+             runTree(Amd, 24, true, Batch));
 
   std::printf(
       "\nWith proximity tiers (and the remote-steal throttle), a thief\n"
@@ -184,5 +215,5 @@ int main() {
       "~1/num-nodes node-local): most steals ship their environment\n"
       "across a link, which the traffic ledger's (victim node -> thief\n"
       "node) entries record.\n");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -10,8 +10,9 @@
 using namespace manti;
 using namespace manti::sim;
 
-int main() {
+int main(int argc, char **argv) {
   return runFigure(
+      argc, argv, "fig4_intel_speedup",
       "Figure 4: speedups on the 32-core Intel Xeon X7560 machine",
       "(local page allocation; baseline = 1-thread local run)",
       SimMachine::intel32(), AllocPolicyKind::Local, AllocPolicyKind::Local,

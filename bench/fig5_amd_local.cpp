@@ -11,8 +11,9 @@
 using namespace manti;
 using namespace manti::sim;
 
-int main() {
+int main(int argc, char **argv) {
   return runFigure(
+      argc, argv, "fig5_amd_local",
       "Figure 5: speedups on the 48-core AMD Opteron 6172 machine",
       "(local page allocation -- Manticore's default; baseline = 1-thread "
       "local run)",

@@ -12,8 +12,9 @@
 using namespace manti;
 using namespace manti::sim;
 
-int main() {
+int main(int argc, char **argv) {
   return runFigure(
+      argc, argv, "fig6_amd_interleaved",
       "Figure 6: speedups on the 48-core AMD machine, interleaved "
       "allocation",
       "(pages balanced across nodes; baseline = 1-thread LOCAL-policy run, "

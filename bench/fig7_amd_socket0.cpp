@@ -13,8 +13,9 @@
 using namespace manti;
 using namespace manti::sim;
 
-int main() {
+int main(int argc, char **argv) {
   return runFigure(
+      argc, argv, "fig7_amd_socket0",
       "Figure 7: speedups on the 48-core AMD machine, socket-zero "
       "allocation",
       "(every page on node 0; baseline = 1-thread LOCAL-policy run, as in "

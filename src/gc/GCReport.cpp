@@ -125,6 +125,21 @@ std::string manti::gcReportString(GCWorld &World, const SchedStats &Sched) {
           "  doorbell: %" PRIu64 " rings sent, %" PRIu64
           " wasted (no waiter), %" PRIu64 " affinity-matched handoffs\n",
           Sched.RingsSent, Sched.RingsWasted, Sched.AffinityHandoffs);
+  appendf(Out,
+          "  steal-half: %" PRIu64 " chunks over %" PRIu64
+          " handshakes (mean %.1f chunks/handshake)\n",
+          Sched.StealChunks, Sched.StealBatches, Sched.meanStealChunks());
+  appendf(Out,
+          "  rebalance: %" PRIu64 " tasks shed in %" PRIu64
+          " batches (%" PRIu64 " target misses), %" PRIu64
+          " claimed in %" PRIu64 " pickups, ",
+          Sched.TasksShed, Sched.ShedBatches, Sched.ShedTargetMisses,
+          Sched.ShedTasksClaimed, Sched.ShedClaims);
+  appendBytes(Out, Sched.ShedEnvBytes);
+  appendf(Out, " shed-env bytes\n");
+  appendf(Out,
+          "  patience: %" PRIu64 " adaptive raises, %" PRIu64 " drops\n",
+          Sched.PatienceRaises, Sched.PatienceDrops);
   return Out;
 }
 

@@ -87,6 +87,12 @@ void Runtime::workerLoop(unsigned Id) {
         Sched->noteProgress(VP);
         continue;
       }
+      // Rebalanced work parked in this node's shed bay is nearer than
+      // anything a steal could fetch: claim it before probing victims.
+      if (Sched->claimShedAndRun(VP)) {
+        Sched->noteProgress(VP);
+        continue;
+      }
       if (VP.stealAndRun()) {
         Sched->noteProgress(VP);
         continue;
@@ -183,7 +189,13 @@ void Runtime::enumerateVProcRootsThunk(unsigned VProcId, RootSlotVisitor V,
 void Runtime::enumerateGlobalRootsThunk(RootSlotVisitor V, void *VisitorCtx,
                                         void *EnumCtx) {
   Runtime *RT = static_cast<Runtime *>(EnumCtx);
-  std::lock_guard<SpinLock> Guard(RT->ChannelLock);
-  for (Channel *C : RT->Channels)
-    C->enumerateRoots(V, VisitorCtx);
+  {
+    std::lock_guard<SpinLock> Guard(RT->ChannelLock);
+    for (Channel *C : RT->Channels)
+      C->enumerateRoots(V, VisitorCtx);
+  }
+  // Shed-bay residents: published rebalance batches whose environments
+  // live in the global heap (promoted before publication) but are
+  // reachable from no queue until a claimer picks them up.
+  RT->Lot->forEachShedRoot([&](Word *Slot) { V(Slot, VisitorCtx); });
 }

@@ -41,6 +41,12 @@ constexpr unsigned BlockSpinRounds = 48;
 /// local vprocs are saturated and there is work to spare).
 constexpr std::size_t RemoteRingDepth = 4;
 
+/// Steal rounds per adaptive-patience window: long enough that one
+/// unlucky probe cannot whipsaw the patience, short enough that a phase
+/// change (a neighborhood going dry) is answered within a few dozen
+/// rounds.
+constexpr unsigned PatienceWindow = 32;
+
 } // namespace
 
 Scheduler::Scheduler(Runtime &RT)
@@ -49,9 +55,25 @@ Scheduler::Scheduler(Runtime &RT)
                             StealRequest::MaxBatch)),
       LocalStealFirst(RT.config().LocalStealFirst),
       UseDoorbells(RT.config().UseDoorbells),
-      RemotePatience(RT.config().RemoteStealPatience) {
+      StealHalf(RT.config().StealHalf),
+      RemotePatience(RT.config().RemoteStealPatience),
+      // Patience 0 means "no remote throttle at all"; there is nothing
+      // for the adaptive controller to scale, so it stays off.
+      Adaptive(RT.config().AdaptivePatience &&
+               RT.config().RemoteStealPatience != 0),
+      PatienceMin(std::max(1u, RT.config().RemoteStealPatienceMin)),
+      // Clamp against the already-sanitized lower bound (PatienceMin is
+      // initialized first), so Min=Max=0 cannot produce a zero ceiling
+      // that a patience raise would store and tierLimit divide by.
+      PatienceMax(std::max(PatienceMin, RT.config().RemoteStealPatienceMax)),
+      ShedThreshold(RT.config().ShedThreshold) {
   unsigned N = RT.numVProcs();
   Backoff.resize(N);
+  // Seed the adaptive patience from the fixed value (deliberately
+  // unclamped: the bounds govern where adaptation may *move* it, not
+  // where an explicit configuration may start it).
+  for (BackoffState &B : Backoff)
+    B.Patience = RemotePatience;
   Proximity.resize(N);
 
   // Group the other vprocs by the node-distance tiers the topology
@@ -71,6 +93,12 @@ Scheduler::Scheduler(Runtime &RT)
     }
   }
 
+  // Load-board aggregation lists: which vprocs' depth counters make up
+  // each node's estimate.
+  NodeVProcs.resize(Topo.numNodes());
+  for (unsigned V = 0; V < N; ++V)
+    NodeVProcs[RT.vproc(V).node()].push_back(V);
+
   // Ring-escalation order: from each vproc-hosting node, the *other*
   // nodes that host vprocs, nearest first.
   std::vector<bool> HasVProc(Topo.numNodes(), false);
@@ -88,8 +116,36 @@ Scheduler::Scheduler(Runtime &RT)
 std::size_t Scheduler::tierLimit(const VProc &Thief) const {
   if (RemotePatience == 0)
     return Proximity[Thief.id()].size();
-  return 1 + static_cast<std::size_t>(Backoff[Thief.id()].FailedRounds /
-                                      RemotePatience);
+  const BackoffState &B = Backoff[Thief.id()];
+  unsigned Patience = Adaptive ? B.Patience : RemotePatience;
+  return 1 + static_cast<std::size_t>(B.FailedRounds / Patience);
+}
+
+void Scheduler::notePatienceSample(VProc &VP, bool Success) {
+  if (!Adaptive)
+    return;
+  BackoffState &B = Backoff[VP.id()];
+  ++B.WindowRounds;
+  if (Success)
+    ++B.WindowHits;
+  if (B.WindowRounds < PatienceWindow)
+    return;
+  // Multiplicative window update: a nearly-dry window (< 25% hits)
+  // halves the patience so farther tiers unlock sooner; a reliably fed
+  // window (>= 75%) doubles it so this thief keeps feeding from its own
+  // neighborhood. The dead band in between leaves the value alone.
+  unsigned Old = B.Patience;
+  if (B.WindowHits * 4 < B.WindowRounds)
+    B.Patience = std::max(PatienceMin, B.Patience / 2);
+  else if (B.WindowHits * 4 >= B.WindowRounds * 3)
+    B.Patience = static_cast<unsigned>(std::min<uint64_t>(
+        PatienceMax, static_cast<uint64_t>(B.Patience) * 2));
+  if (B.Patience < Old)
+    ++VP.SStats.PatienceDrops;
+  else if (B.Patience > Old)
+    ++VP.SStats.PatienceRaises;
+  B.WindowRounds = 0;
+  B.WindowHits = 0;
 }
 
 template <typename TryFnT>
@@ -137,10 +193,12 @@ bool Scheduler::stealAndRun(VProc &Thief) {
     VProc *Victim = pickVictim(Thief);
     if (Victim && attemptSteal(Thief, *Victim)) {
       B.FailedRounds = 0;
+      notePatienceSample(Thief, true);
       return true;
     }
     ++B.FailedRounds;
     ++Thief.SStats.FailedStealRounds;
+    notePatienceSample(Thief, false);
     return false;
   }
 
@@ -156,10 +214,12 @@ bool Scheduler::stealAndRun(VProc &Thief) {
         return attemptSteal(Thief, Cand);
       })) {
     B.FailedRounds = 0;
+    notePatienceSample(Thief, true);
     return true;
   }
   ++B.FailedRounds;
   ++Thief.SStats.FailedStealRounds;
+  notePatienceSample(Thief, false);
   return false;
 }
 
@@ -182,39 +242,83 @@ bool Scheduler::attemptSteal(VProc &Thief, VProc &Victim) {
   ringNode(Thief, Victim.node());
 
   // Wait for the victim's answer; keep answering our own mailbox and
-  // joining pending collections so nothing deadlocks.
+  // joining pending collections so nothing deadlocks. With steal-half a
+  // single handshake delivers several mailbox chunks: each Filled chunk
+  // is consumed and acknowledged with Consumed (step 4 in VProc.h), and
+  // the loop keeps spinning for the next one until a chunk arrives with
+  // More == false.
+  unsigned Total = 0, Chunks = 0;
+  // Finishing stats, shared by the normal final chunk and the empty
+  // terminator of a truncated transfer.
+  auto FinishStats = [&] {
+    Thief.SStats.TasksStolen += Total;
+    ++Thief.SStats.StealBatches;
+    Thief.SStats.StealChunks += Chunks;
+    if (Victim.node() == Thief.node())
+      ++Thief.SStats.NodeLocalBatches;
+    else
+      ++Thief.SStats.CrossNodeBatches;
+    // Finishing a multi-task handshake leaves fresh work on this node's
+    // queue: ring it so parked peers help with the batch.
+    if (Total > 1)
+      ringNode(Thief, Thief.node());
+    MANTI_DEBUG("sched",
+                "vp%u stole %u task(s) in %u chunk(s) from vp%u "
+                "(%s-node)",
+                Thief.id(), Total, Chunks, Victim.id(),
+                Victim.node() == Thief.node() ? "same" : "cross");
+  };
   for (;;) {
     int S = Req.State.load(std::memory_order_acquire);
     if (S == StealRequest::Filled) {
       // The acquire above pairs with the victim's release store of
-      // Filled: the batch slots and Count are visible (step 2).
+      // Filled: the batch slots, Count, and More are visible (step 2).
       unsigned Count = Req.Count;
-      MANTI_CHECK(Count >= 1 && Count <= StealRequest::MaxBatch,
+      bool More = Req.More;
+      MANTI_CHECK(Count <= StealRequest::MaxBatch &&
+                      (Count >= 1 || (!More && Total >= 1)),
                   "steal batch out of range");
+      if (Count == 0) {
+        // Empty terminator: the victim's queue drained between chunks.
+        // Everything we netted is already on our own queue; run from
+        // there (it may have been re-stolen meanwhile, in which case
+        // this round simply reports no task run).
+        Req.State.store(StealRequest::Idle, std::memory_order_release);
+        FinishStats();
+        return Thief.runOneLocal();
+      }
+      Total += Count;
+      ++Chunks;
+      if (More) {
+        // Mid-transfer chunk: everything goes on the local queue (the
+        // queue is scanned as roots, and this loop takes safe points
+        // while waiting for the next chunk -- a task held in a local
+        // here would go stale under a global collection). The release
+        // store pairs with the victim's acquire, ordering our
+        // consumption before its next chunk's writes. Straight-line
+        // from the Filled load to here -- no safe point with an
+        // unconsumed chunk in hand.
+        for (unsigned I = 0; I < Count; ++I)
+          Thief.enqueueStolen(Req.Stolen[I]);
+        for (unsigned I = 0; I < Count; ++I)
+          Req.Stolen[I] = Task();
+        Req.Count = 0;
+        Req.State.store(StealRequest::Consumed,
+                        std::memory_order_release);
+        continue;
+      }
+      // Final (or only) chunk: run its oldest task directly -- no safe
+      // point between here and runTask's rooting -- and queue the rest
+      // (oldest first, so the local LIFO end still prefers the newest
+      // work).
       Task First = Req.Stolen[0];
-      // Queue the rest of the batch locally (oldest first, so the local
-      // LIFO end still prefers the newest work). The queue is scanned as
-      // roots, so the environments stay live.
       for (unsigned I = 1; I < Count; ++I)
         Thief.enqueueStolen(Req.Stolen[I]);
       for (unsigned I = 0; I < Count; ++I)
         Req.Stolen[I] = Task();
       Req.Count = 0;
       Req.State.store(StealRequest::Idle, std::memory_order_release);
-
-      Thief.SStats.TasksStolen += Count;
-      ++Thief.SStats.StealBatches;
-      if (Victim.node() == Thief.node())
-        ++Thief.SStats.NodeLocalBatches;
-      else
-        ++Thief.SStats.CrossNodeBatches;
-      // Finishing a multi-task handshake leaves fresh work on this
-      // node's queue: ring it so parked peers help with the batch.
-      if (Count > 1)
-        ringNode(Thief, Thief.node());
-      MANTI_DEBUG("sched", "vp%u stole %u task(s) from vp%u (%s-node)",
-                  Thief.id(), Count, Victim.id(),
-                  Victim.node() == Thief.node() ? "same" : "cross");
+      FinishStats();
       Thief.runTask(First);
       return true;
     }
@@ -230,6 +334,11 @@ bool Scheduler::attemptSteal(VProc &Thief, VProc &Victim) {
 }
 
 bool Scheduler::serviceSteal(VProc &Victim) {
+  // An in-flight chunked transfer always goes first: the thief is
+  // spinning for the next chunk, and nothing else may reuse the request
+  // slots until it arrives.
+  if (Victim.ActiveSteal)
+    return continueSteal(Victim);
   StealRequest *Req = Victim.Mailbox.load(std::memory_order_acquire);
   if (!Req)
     return false;
@@ -239,45 +348,224 @@ bool Scheduler::serviceSteal(VProc &Victim) {
     Req->State.store(StealRequest::Failed, std::memory_order_release);
     return true;
   }
-  // Steal the oldest ceil(k/2) tasks (capped): they are the largest
-  // units of pending work, and handing over several at once amortizes
-  // the handshake and the promotion pauses. Within that budget, tasks
-  // hinted at the thief's node go first (popForSteal) so hinted work
-  // chases its data.
-  unsigned Take = static_cast<unsigned>(
-      std::min<std::size_t>((K + 1) / 2, StealBatch));
+  // Steal the oldest ceil(k/2) tasks: they are the largest units of
+  // pending work, and handing over several at once amortizes the
+  // handshake and the promotion pauses. With steal-half the whole
+  // budget moves through the one handshake in StealBatch-sized chunks;
+  // the fixed-batch baseline caps the budget at one chunk. The mailbox
+  // is cleared up front (release-published before the first Filled):
+  // during a long transfer other thieves may post fresh requests, which
+  // this vproc answers once the transfer is done.
+  std::size_t Budget = (K + 1) / 2;
+  if (!StealHalf)
+    Budget = std::min<std::size_t>(Budget, StealBatch);
+  Victim.Mailbox.store(nullptr, std::memory_order_release);
+  ++Victim.SStats.BatchesServiced;
+
+  sendStealChunk(Victim, Req, Budget);
+  if (Budget > 0) {
+    // More chunks promised: park the transfer as a continuation. The
+    // victim NEVER blocks waiting for the thief's Consumed ack -- in a
+    // ring of mutual steals, every party blocked in a victim-side wait
+    // would be waiting on a thief that is itself blocked in its own
+    // victim-side wait, a permanent cycle. Instead the next chunk goes
+    // out from a later poll (and the idle ladder refuses to park while
+    // a transfer is open, so the ack turnaround stays tight).
+    Victim.ActiveSteal = Req;
+    Victim.ActiveStealBudget = Budget;
+  }
+  return true;
+}
+
+bool Scheduler::continueSteal(VProc &Victim) {
+  StealRequest *Req = Victim.ActiveSteal;
+  // The acquire pairs with the thief's Consumed release store: its
+  // reads of the previous chunk happen-before our reuse of the slots.
+  if (Req->State.load(std::memory_order_acquire) != StealRequest::Consumed)
+    return false; // thief has not consumed the last chunk yet
+  std::size_t Budget = Victim.ActiveStealBudget;
+  sendStealChunk(Victim, Req, Budget);
+  Victim.ActiveStealBudget = Budget;
+  if (Budget == 0)
+    Victim.ActiveSteal = nullptr;
+  return true;
+}
+
+void Scheduler::sendStealChunk(VProc &Victim, StealRequest *Req,
+                               std::size_t &Budget) {
+  // The victim may have run -- or lost to other thieves -- part of its
+  // queue since the budget was set: re-bound by what is actually there.
+  unsigned Take = static_cast<unsigned>(std::min<std::size_t>(
+      std::min<std::size_t>(Budget, StealBatch), Victim.ReadyQ.size()));
+  if (Take == 0) {
+    // Queue drained mid-transfer: close the handshake with an empty
+    // terminator chunk (the first chunk of a handshake is never empty,
+    // so the thief always nets at least one task).
+    Req->Count = 0;
+    Req->More = false;
+    Budget = 0;
+    Req->State.store(StealRequest::Filled, std::memory_order_release);
+    return;
+  }
   uint64_t PromotedBefore = Victim.Heap.Stats.PromoteBytes;
   // Tasks staged in Req->Stolen are rooted by nobody until the thief
   // sees Filled; this is safe because nothing between popForSteal() and
   // the Filled store below can collect -- promote() copies and at most
   // *requests* a global GC (which only runs at safe points, and the
-  // victim takes none inside this loop).
+  // victim takes none inside this function). Within the budget, tasks
+  // hinted at the thief's node go first (popForSteal) so hinted work
+  // chases its data.
   unsigned AffinityMatches = 0;
   Take = Victim.popForSteal(Req->ThiefNode, Take, Req->Stolen,
                             &AffinityMatches);
   for (unsigned I = 0; I < Take; ++I) {
     if (RT.lazyPromotion()) {
       // "a lazy promotion scheme for work stealing": only now -- when
-      // the task provably leaves this vproc -- does its environment move
-      // to the global heap, and only this vproc can legally copy it out
-      // of its own local heap.
+      // the task provably leaves this vproc -- does its environment
+      // move to the global heap, and only this vproc can legally copy
+      // it out of its own local heap.
       Req->Stolen[I].Env = Victim.Heap.promote(Req->Stolen[I].Env);
     }
   }
   uint64_t EnvBytes = Victim.Heap.Stats.PromoteBytes - PromotedBefore;
+  Budget -= Take;
+  // Truncate the transfer when a global collection goes pending: every
+  // chunk the victim still owes is one more spin-wait the thief must
+  // clear before it can sit at the collection's barrier for long.
+  bool More = Budget > 0 && !RT.world().globalGCPending();
+  if (!More)
+    Budget = 0;
   Req->Count = Take;
+  Req->More = More;
 
   Victim.SStats.TasksServiced += Take;
-  ++Victim.SStats.BatchesServiced;
   Victim.SStats.StolenEnvBytes += EnvBytes;
   Victim.SStats.AffinityHandoffs += AffinityMatches;
   if (EnvBytes > 0)
     RT.world().traffic().record(Victim.node(), Req->ThiefNode, EnvBytes);
 
-  // Handshake step 2: plain writes above, then the release pair.
-  Victim.Mailbox.store(nullptr, std::memory_order_release);
+  // Handshake step 2: plain writes above, then the release store.
   Req->State.store(StealRequest::Filled, std::memory_order_release);
+}
+
+std::size_t Scheduler::nodeDepth(NodeId Node) const {
+  std::size_t Sum = 0;
+  for (unsigned V : NodeVProcs[Node])
+    Sum += RT.vproc(V).queueDepth();
+  return Sum;
+}
+
+NodeId Scheduler::pickShedTarget(VProc &VP) {
+  // A shed must make the imbalance better, not just move it: the target
+  // must have an *idle-ladder* parker (somebody there is idle now AND
+  // will claim the bay when rung -- a channel-blocked parker cannot run
+  // arbitrary tasks, so it does not count), and its total load -- board
+  // depth plus whatever already sits in its bay unclaimed -- must be
+  // well below ours.
+  std::size_t OwnDepth = VP.queueDepth();
+  NodeId Best = NoShedTarget;
+  std::size_t BestLoad = 0;
+  for (NodeId N : NodeOrder[VP.node()]) {
+    if (Lot.idleParkedOn(N) == 0)
+      continue;
+    std::size_t Load = nodeDepth(N) + Lot.shedDepth(N);
+    if (Load * 2 >= OwnDepth)
+      continue;
+    if (Best == NoShedTarget || Load < BestLoad) {
+      Best = N;
+      BestLoad = Load;
+    }
+  }
+  return Best;
+}
+
+bool Scheduler::maybeShed(VProc &VP) {
+  if (ShedThreshold == 0 || VP.queueDepth() < ShedThreshold)
+    return false;
+  NodeId Target = pickShedTarget(VP);
+  if (Target == NoShedTarget) {
+    ++VP.SStats.ShedTargetMisses;
+    return false;
+  }
+  unsigned Want = static_cast<unsigned>(std::min<std::size_t>(
+      (VP.queueDepth() + 1) / 2, MaxShedBatch));
+  Task Batch[MaxShedBatch];
+  unsigned Got = VP.popForShed(Target, Want, Batch);
+  if (Got == 0)
+    return false;
+  uint64_t PromotedBefore = VP.Heap.Stats.PromoteBytes;
+  for (unsigned I = 0; I < Got; ++I) {
+    if (RT.lazyPromotion()) {
+      // Same rule as the steal handshake: the tasks provably leave this
+      // vproc, so their environments leave its local heap now, copied
+      // out by the only thread allowed to (the owner). No safe point
+      // between the pop above and publishShed below, so the staged
+      // batch cannot be collected out from under us.
+      Batch[I].Env = VP.Heap.promote(Batch[I].Env);
+    }
+  }
+  uint64_t EnvBytes = VP.Heap.Stats.PromoteBytes - PromotedBefore;
+
+  // Push-side handshake: publish the batch in the target node's bay,
+  // *then* ring its doorbell -- the bay lock publishes the data, the
+  // ring only cuts a parked claimer's wait short (and the doorbell
+  // protocol's fence pairing plus the park-side bay re-check make the
+  // ring un-losable, same as every other ring site).
+  Lot.publishShed(Target, Batch, Got);
+  ringNode(VP, Target);
+
+  VP.SStats.TasksShed += Got;
+  ++VP.SStats.ShedBatches;
+  VP.SStats.ShedEnvBytes += EnvBytes;
+  if (EnvBytes > 0)
+    RT.world().traffic().record(VP.node(), Target, EnvBytes);
+  MANTI_DEBUG("sched", "vp%u shed %u task(s) to node %u", VP.id(), Got,
+              Target);
   return true;
+}
+
+bool Scheduler::claimShedFrom(VProc &VP, NodeId Node) {
+  if (Lot.shedDepth(Node) == 0)
+    return false;
+  Task Batch[StealRequest::MaxBatch];
+  unsigned Got = Lot.claimShed(Node, Batch, StealRequest::MaxBatch);
+  if (Got == 0)
+    return false;
+  // Queue the tail before running the head; no safe point between the
+  // claim and these enqueues (the batch is unrooted until it lands in
+  // the queue scan / runTask's scope).
+  for (unsigned I = 1; I < Got; ++I)
+    VP.enqueueStolen(Batch[I]);
+  VP.SStats.ShedTasksClaimed += Got;
+  ++VP.SStats.ShedClaims;
+  // Leftover backlog belongs to the bay's node; a multi-task claim is
+  // fresh work on this one. Ring so parked peers join in.
+  if (Lot.shedDepth(Node) > 0)
+    ringNode(VP, Node);
+  if (Got > 1)
+    ringNode(VP, VP.node());
+  MANTI_DEBUG("sched", "vp%u claimed %u shed task(s) from node %u",
+              VP.id(), Got, Node);
+  VP.runTask(Batch[0]);
+  return true;
+}
+
+bool Scheduler::claimShedAndRun(VProc &VP) {
+  if (claimShedFrom(VP, VP.node()))
+    return true;
+  // Bay work conservation: a batch shed toward a node whose vprocs all
+  // went busy (or blocked in channels) must not strand. Remote bays
+  // open up on the same terms as remote victims -- after one patience
+  // of empty-handed rounds -- so the bay's own node still gets first
+  // claim on its batches.
+  unsigned Patience =
+      Adaptive ? Backoff[VP.id()].Patience : RemotePatience;
+  if (Patience != 0 && Backoff[VP.id()].FailedRounds < Patience)
+    return false;
+  for (NodeId N : NodeOrder[VP.node()])
+    if (claimShedFrom(VP, N))
+      return true;
+  return false;
 }
 
 unsigned Scheduler::parkMicrosFor(unsigned Step) {
@@ -304,7 +592,9 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
   // condition, then wait. Any ring that lands after the snapshot --
   // including the global-GC broadcast -- makes the wait return
   // immediately, so the conditions checked here can never be missed.
-  ParkLot::Token T = Lot.prepare(VP.node());
+  // Only idle-ladder parks (Pred == nullptr) register as *claimable*
+  // waiters: shed targeting must not count a channel-blocked parker.
+  ParkLot::Token T = Lot.prepare(VP.node(), /*Claimable=*/Pred == nullptr);
   // Fence pairing with tryRing: in the seq_cst fence order, either this
   // fence precedes the ringer's (so the ringer's waiter-count load sees
   // prepare's increment and rings) or the ringer's precedes this one
@@ -312,10 +602,18 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
   // Either way a condition set concurrently with this park cannot be
   // missed, which is what lets blockOn use long ring-driven parks.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // The shed-bay check applies only to idle-ladder parks (Pred ==
+  // nullptr) while a run is live: a channel-blocked vproc cannot run
+  // arbitrary tasks, so waking it for a bay batch would just burn its
+  // backstop, and the between-runs drain loops never claim (a leftover
+  // fire-and-forget batch waits for the next run, like leftover queue
+  // tasks do) so keeping them awake for one would spin them.
   if ((Pred && Pred(PredCtx)) ||
+      (!Pred && RT.schedulerActive() &&
+       Lot.shedDepth(VP.node()) != 0) ||
       VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
-      RT.world().globalGCPending()) {
-    Lot.cancel(VP.node());
+      VP.ActiveSteal != nullptr || RT.world().globalGCPending()) {
+    Lot.cancel(VP.node(), T);
     std::this_thread::yield();
     return;
   }
@@ -345,9 +643,10 @@ void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
     return; // spin rung: retry immediately, the caller's poll is the spin
   if (R <= SpinRounds + YieldRounds ||
       VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
-      RT.world().globalGCPending()) {
-    // Yield rung -- also taken instead of parking whenever a thief or a
-    // pending collection needs a prompt answer.
+      VP.ActiveSteal != nullptr || RT.world().globalGCPending()) {
+    // Yield rung -- also taken instead of parking whenever a thief, an
+    // in-flight chunked transfer, or a pending collection needs a
+    // prompt answer.
     std::this_thread::yield();
     return;
   }

@@ -25,9 +25,36 @@
 ///     victim of the ablation baseline.
 ///
 ///   * Steals are *batched*: the victim hands over the oldest ceil(k/2)
-///     tasks (capped by RuntimeConfig::StealBatch) and promotes all of
-///     their environments in one handshake, so one mailbox round trip
-///     amortizes several promotions.
+///     tasks and promotes all of their environments in one handshake, so
+///     one mailbox round trip amortizes several promotions. Under
+///     RuntimeConfig::StealHalf (the default) the ceil(k/2) transfer is
+///     unbounded -- the handshake moves it in mailbox-sized chunks
+///     (StealBatch tasks each), so one handshake can drain half of an
+///     arbitrarily deep queue; StealHalf=false restores the fixed
+///     per-handshake StealBatch cap as the ablation baseline.
+///
+///   * Load balancing is *two-sided*. Stealing is the pull side; the
+///     push side is victim-initiated shedding: a vproc whose queue depth
+///     crosses RuntimeConfig::ShedThreshold at spawn time consults the
+///     *load board* (per-node depth estimates aggregated from the
+///     vprocs' atomic queue-depth counters), picks the most-starved node
+///     that has parked vprocs, promotes a batch of up to ceil(depth/2)
+///     tasks (affinity-respecting: a task hinted at the local node is
+///     never shed while an un-hinted one exists), publishes it in the
+///     target node's ParkLot shed bay, and rings that node's doorbell.
+///     A woken (or otherwise idle) vproc claims the batch from its own
+///     node's bay before it tries to steal. ShedThreshold=0 disables the
+///     push side entirely (the ablation baseline): a skewed producer
+///     then rebalances only at remote-steal patience, exactly the gap
+///     shedding closes.
+///
+///   * The remote-steal patience itself is *adaptive* (default;
+///     RuntimeConfig::AdaptivePatience=false restores the fixed
+///     threshold): each thief keeps a per-vproc patience value, seeded
+///     from RemoteStealPatience, and over windows of steal rounds halves
+///     it when almost every round comes back empty (reach farther,
+///     sooner) or doubles it when steals are reliably succeeding (stay
+///     near home), clamped to [RemoteStealPatienceMin, Max].
 ///
 ///   * Idle vprocs descend a spin -> yield -> park ladder instead of
 ///     hammering victim mailboxes. The park rung is a *doorbell wait* in
@@ -82,12 +109,29 @@ public:
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
 
-  /// Effective batch cap (config clamped to [1, StealRequest::MaxBatch]).
+  /// Effective chunk size (config clamped to [1, StealRequest::MaxBatch]);
+  /// with StealHalf off it is also the whole-handshake cap.
   unsigned stealBatchLimit() const { return StealBatch; }
   bool localStealFirst() const { return LocalStealFirst; }
   /// True when blocking sites use ParkLot doorbells (false = the blind
   /// bounded-sleep ablation baseline).
   bool doorbells() const { return UseDoorbells; }
+  /// True when one handshake may move ceil(k/2) tasks in chunks (false =
+  /// the fixed per-handshake StealBatch cap, the ablation baseline).
+  bool stealHalf() const { return StealHalf; }
+  /// Queue depth at which a spawning vproc tries to shed (0 = the push
+  /// side is disabled, the ablation baseline).
+  unsigned shedThreshold() const { return ShedThreshold; }
+  /// True when the remote-steal patience adapts to the observed steal
+  /// success rate.
+  bool adaptivePatience() const { return Adaptive; }
+  /// \p VProcId's current remote-steal patience (the fixed config value
+  /// unless AdaptivePatience moved it). Like the rest of the backoff
+  /// state this is owner-thread data: call it from the thread driving
+  /// that vproc (tests) or while the vprocs are quiescent.
+  unsigned patienceOf(unsigned VProcId) const {
+    return Adaptive ? Backoff[VProcId].Patience : RemotePatience;
+  }
 
   /// \p Thief's victim probe order: tiers of vproc ids, tier 0 holding
   /// the same-node vprocs, later tiers sorted by increasing node
@@ -110,10 +154,15 @@ public:
   /// locally). \returns true if a task was executed.
   bool stealAndRun(VProc &Thief);
 
-  /// Victim side: answers \p Victim's pending steal request, if any,
-  /// popping and promoting a batch. Runs on the victim's own thread (a
-  /// local heap may only be copied from by its owner). \returns true if
-  /// a request was serviced (successfully or not).
+  /// Victim side: continues an in-flight chunked transfer (sending the
+  /// next chunk once the thief has acked the last) or answers \p
+  /// Victim's pending steal request, popping and promoting a batch --
+  /// the first chunk of up to ceil(k/2) tasks under steal-half, with
+  /// the rest parked as an ActiveSteal continuation for later polls
+  /// (the victim never blocks mid-transfer). Runs on the victim's own
+  /// thread (a local heap may only be copied from by its owner).
+  /// \returns true if progress was made (a chunk sent, or a request
+  /// answered -- successfully or not).
   bool serviceSteal(VProc &Victim);
 
   /// One step of the idle ladder for \p VP: spin, then yield, then park
@@ -153,6 +202,49 @@ public:
   /// ladder-baseline mode.
   void ringNode(VProc &Ringer, NodeId Node);
 
+  //===--------------------------------------------------------------------===//
+  // Load board and victim-initiated shedding
+  //===--------------------------------------------------------------------===//
+
+  /// Returned by pickShedTarget when no node qualifies.
+  static constexpr NodeId NoShedTarget = ~0u;
+
+  /// Load-board read: the summed queue-depth estimate of \p Node's
+  /// vprocs (each vproc's atomic depth counter, so this is safe from any
+  /// thread while the Runtime is alive -- see VProc::queueDepth for the
+  /// teardown protocol). A racy snapshot by construction; shed targeting
+  /// treats it as a heuristic.
+  std::size_t nodeDepth(NodeId Node) const;
+
+  /// Picks the node a shed from \p VP would target: among the *other*
+  /// vproc-hosting nodes that currently have parked vprocs, the one with
+  /// the smallest load (board depth + bay backlog), nearest first on
+  /// ties, and only if that load is genuinely starved relative to \p
+  /// VP's own queue (less than half of it). \returns NoShedTarget when
+  /// no node qualifies. Exposed for tests; maybeShed uses it.
+  NodeId pickShedTarget(VProc &VP);
+
+  /// Victim-initiated shedding, called by VProc::spawn after every push:
+  /// when \p VP's queue depth has reached ShedThreshold and a starved
+  /// parked node exists, pops up to min(ceil(depth/2), MaxShedBatch)
+  /// tasks (affinity-respecting, see VProc::popForShed), promotes their
+  /// environments, publishes them in the target's shed bay, and rings
+  /// the target's doorbell -- publish before ring, like every other ring
+  /// site. \returns true when a batch was shed.
+  bool maybeShed(VProc &VP);
+
+  /// Claim side: pops a batch from \p VP's own node's shed bay, queues
+  /// the tail locally, re-rings when backlog remains, and runs the
+  /// first task. Work conservation across bays: when the own bay is
+  /// empty and \p VP's failed steal rounds have already unlocked remote
+  /// stealing (one patience), unclaimed *remote* bays are claimed too,
+  /// nearest first, so a batch shed toward a node whose vprocs all went
+  /// busy or blocked can never strand. Called from the idle paths
+  /// (worker loop, joinWait) ahead of stealing; never from
+  /// blocked-channel waits, which must not run arbitrary tasks.
+  /// \returns true if a task was executed.
+  bool claimShedAndRun(VProc &VP);
+
   /// The doorbells (exposed so Runtime can broadcast run-epoch and
   /// termination turnovers).
   ParkLot &parkLot() { return Lot; }
@@ -164,6 +256,22 @@ private:
   /// Posts Thief's request on Victim's mailbox and waits for the answer.
   /// \returns true if a batch arrived and its first task was run.
   bool attemptSteal(VProc &Thief, VProc &Victim);
+
+  /// Sends the next chunk of \p Victim's ActiveSteal transfer if the
+  /// thief has acked the previous one. \returns true when a chunk went
+  /// out.
+  bool continueSteal(VProc &Victim);
+
+  /// Pops, promotes, and publishes one mailbox chunk of at most
+  /// min(\p Budget, StealBatch, queue depth) tasks on \p Req,
+  /// decrementing \p Budget (forced to 0 -- with an empty terminator
+  /// chunk if needed -- when the transfer must end).
+  void sendStealChunk(VProc &Victim, StealRequest *Req,
+                      std::size_t &Budget);
+
+  /// Claims from node \p Node's bay on \p VP's behalf (\p VP runs the
+  /// first task). \returns true if a task was executed.
+  bool claimShedFrom(VProc &VP, NodeId Node);
 
   /// Highest proximity tier (exclusive) the thief may currently probe:
   /// tier k unlocks after k * RemotePatience consecutive failed rounds.
@@ -192,12 +300,20 @@ private:
   /// parked there. \returns true when a waiter was present.
   bool tryRing(VProc &Ringer, NodeId Node);
 
+  /// One adaptive-patience sample (owner thread): account the round,
+  /// and at each window boundary halve or double the patience from the
+  /// window's steal success rate, clamped to [PatienceMin, PatienceMax].
+  void notePatienceSample(VProc &VP, bool Success);
+
   /// Each vproc's owner thread updates its own entry every idle round;
   /// pad to a cache line so idle vprocs on different nodes don't
   /// ping-pong a shared line (the very traffic this scheduler avoids).
   struct alignas(CacheLineSize) BackoffState {
     unsigned IdleRounds = 0;   ///< ladder position (spin/yield/park)
     unsigned FailedRounds = 0; ///< consecutive empty rounds (tier unlock)
+    unsigned Patience = 0;     ///< adaptive remote-steal patience
+    unsigned WindowRounds = 0; ///< steal rounds in the current window
+    unsigned WindowHits = 0;   ///< ... that brought work home
   };
 
   Runtime &RT;
@@ -205,12 +321,20 @@ private:
   unsigned StealBatch;
   bool LocalStealFirst;
   bool UseDoorbells;
+  bool StealHalf;
   unsigned RemotePatience;
+  bool Adaptive;
+  unsigned PatienceMin;
+  unsigned PatienceMax;
+  unsigned ShedThreshold;
   /// Proximity[v][tier] = vproc ids at that distance from vproc v.
   std::vector<std::vector<std::vector<unsigned>>> Proximity;
   /// NodeOrder[n] = the other nodes hosting vprocs, nearest first (ring
   /// escalation order).
   std::vector<std::vector<NodeId>> NodeOrder;
+  /// NodeVProcs[n] = the vproc ids hosted on node n (the load board's
+  /// aggregation lists).
+  std::vector<std::vector<unsigned>> NodeVProcs;
   /// Owner-thread-only ladder state, indexed by vproc id.
   std::vector<BackoffState> Backoff;
 };

@@ -55,9 +55,12 @@ struct Task {
   /// Optional hint: the NUMA node holding the data this task will
   /// traverse. Victim selection hands hinted tasks to thieves on that
   /// node first (a soft preference -- work conservation always wins),
-  /// and spawn rings the hinted node's doorbell so its parked vprocs
-  /// come and claim the task. NoAffinity leaves both decisions to the
-  /// default locality policy.
+  /// spawn rings the hinted node's doorbell so its parked vprocs come
+  /// and claim the task, and the hint rides along through every
+  /// migration: a shed batch prefers tasks hinted at its target and a
+  /// task hinted at its current node is never shed away while an
+  /// un-hinted one could go instead (VProc::popForShed). NoAffinity
+  /// leaves all of these decisions to the default locality policy.
   NodeId Affinity = NoAffinity;
 };
 
