@@ -59,14 +59,26 @@ inline int runFigure(const char *Name, const char *JsonPath,
   return Json.write() ? 0 : 1;
 }
 
-/// argv-aware face: parses `--json <path>` and delegates.
+/// argv-aware face: the unified bench driver command line. --quick
+/// trims the thread sweep to its endpoints; --topology skips the binary
+/// entirely when its simulated machine does not match.
 inline int runFigure(int argc, char **argv, const char *Name,
                      const char *Title, const char *Caption,
                      const SimMachine &M, AllocPolicyKind Policy,
                      AllocPolicyKind BaselinePolicy,
                      const std::vector<unsigned> &Threads) {
-  return runFigure(Name, benchutil::jsonPathFromArgs(argc, argv), Title,
-                   Caption, M, Policy, BaselinePolicy, Threads);
+  benchutil::BenchOptions Opts =
+      benchutil::BenchOptions::parse(argc, argv, Name, Title);
+  if (!Opts.runsTopology(M.Topo.name())) {
+    std::printf("%s: topology %s filtered out by --topology %s\n", Name,
+                M.Topo.name().c_str(), Opts.TopologyName);
+    return 0;
+  }
+  std::vector<unsigned> Sweep = Threads;
+  if (Opts.Quick && Sweep.size() > 2)
+    Sweep = {Sweep.front(), Sweep.back()};
+  return runFigure(Name, Opts.JsonPath, Title, Caption, M, Policy,
+                   BaselinePolicy, Sweep);
 }
 
 } // namespace manti::sim

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -23,18 +24,75 @@
 namespace manti::benchutil {
 
 //===----------------------------------------------------------------------===//
-// Machine-readable results (--json <path>)
+// Command line (--quick / --json / --topology / --help)
 //===----------------------------------------------------------------------===//
 
-/// Returns the path following a `--json` argument, or nullptr when the
-/// flag is absent. (Shared by every bench that also prints its human
-/// table; `--quick` parsing stays per-bench.)
-inline const char *jsonPathFromArgs(int argc, char **argv) {
-  for (int I = 1; I + 1 < argc; ++I)
-    if (std::strcmp(argv[I], "--json") == 0)
-      return argv[I + 1];
-  return nullptr;
-}
+/// The one bench-driver command line, shared by every bench and figure
+/// binary (no per-bench argv scanning):
+///
+///   --quick            scaled-down workload for CI smoke lanes
+///   --json <path>      also write machine-readable rows (JsonReport)
+///   --topology <name>  run only the machine whose Topology::name()
+///                      matches (e.g. "amd48", "intel32"); default all
+///   --help             usage text, exit 0
+///
+/// Unknown arguments print the usage text to stderr and exit 2, so a
+/// typo'd flag can never silently run the full sweep.
+struct BenchOptions {
+  bool Quick = false;
+  const char *JsonPath = nullptr;
+  const char *TopologyName = nullptr;
+
+  static BenchOptions parse(int argc, char **argv, const char *Bench,
+                            const char *Description) {
+    BenchOptions Opts;
+    for (int I = 1; I < argc; ++I) {
+      const char *Arg = argv[I];
+      if (std::strcmp(Arg, "--quick") == 0) {
+        Opts.Quick = true;
+      } else if (std::strcmp(Arg, "--json") == 0 && I + 1 < argc) {
+        Opts.JsonPath = argv[++I];
+      } else if (std::strcmp(Arg, "--topology") == 0 && I + 1 < argc) {
+        Opts.TopologyName = argv[++I];
+      } else if (std::strcmp(Arg, "--help") == 0 ||
+                 std::strcmp(Arg, "-h") == 0) {
+        usage(stdout, Bench, Description);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n\n", Bench, Arg);
+        usage(stderr, Bench, Description);
+        std::exit(2);
+      }
+    }
+    return Opts;
+  }
+
+  /// \returns true when \p Name's machine should run under the
+  /// --topology filter (always true without the flag).
+  bool runsTopology(const char *Name) const {
+    return !TopologyName || std::strcmp(TopologyName, Name) == 0;
+  }
+  bool runsTopology(const std::string &Name) const {
+    return runsTopology(Name.c_str());
+  }
+
+private:
+  static void usage(std::FILE *Out, const char *Bench,
+                    const char *Description) {
+    std::fprintf(Out,
+                 "usage: %s [--quick] [--json <path>] [--topology <name>]\n"
+                 "\n%s\n\n"
+                 "  --quick            scaled-down workload (CI smoke)\n"
+                 "  --json <path>      also write machine-readable rows\n"
+                 "  --topology <name>  run only that machine (e.g. amd48)\n"
+                 "  --help             this text\n",
+                 Bench, Description);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results (--json <path>)
+//===----------------------------------------------------------------------===//
 
 /// Collects one JSON object per printed table row and writes them as an
 /// array, one row per line:

@@ -23,6 +23,8 @@ using namespace manti::benchutil;
 
 namespace {
 
+int Rounds = 500; // --quick shrinks the churn, counters stay meaningful
+
 struct AblationResult {
   uint64_t NodeLocalReuses = 0;
   uint64_t CrossNodeSteals = 0;
@@ -45,7 +47,7 @@ AblationResult runChurn(bool PreserveAffinity) {
   runOnWorldThreads(World, [](VProcHeap &H) {
     RootScope Scope(H);
     Ref<> Keep = Scope.root(Value::nil());
-    for (int Round = 0; Round < 500; ++Round) {
+    for (int Round = 0; Round < Rounds; ++Round) {
       {
         RootScope Inner(H);
         Ref<> Junk = Inner.root(makeIntListB(H, 300));
@@ -82,9 +84,17 @@ AblationResult runChurn(bool PreserveAffinity) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = BenchOptions::parse(
+      argc, argv, "ablation_chunk_affinity",
+      "Global-heap chunk reuse with and without node affinity "
+      "(locality counters are the observable).");
+  if (Opts.Quick)
+    Rounds = 120;
+  JsonReport Json("ablation_chunk_affinity", Opts.JsonPath);
   std::printf("Ablation: global-heap chunk reuse with and without node "
-              "affinity\n");
+              "affinity%s\n",
+              Opts.Quick ? " [--quick]" : "");
   std::printf("(4 vprocs on a 4-node machine, local allocation policy; "
               "identical churn)\n\n");
   std::printf("%-22s %-18s %-18s %-16s %-16s %-10s\n", "configuration",
@@ -92,6 +102,12 @@ int main() {
               "remote traffic", "global GCs");
   for (bool Affinity : {true, false}) {
     AblationResult R = runChurn(Affinity);
+    Json.addRow("uniform", Affinity ? "affinity-preserved" : "affinity-ignored",
+                {{"node_local_reuses", static_cast<double>(R.NodeLocalReuses)},
+                 {"cross_node_steals", static_cast<double>(R.CrossNodeSteals)},
+                 {"fresh_mappings", static_cast<double>(R.FreshMappings)},
+                 {"remote_traffic_pct", 100.0 * R.RemoteTrafficFraction},
+                 {"global_gcs", static_cast<double>(R.GlobalGCs)}});
     char Remote[16];
     std::snprintf(Remote, sizeof(Remote), "%.1f%%",
                   R.RemoteTrafficFraction * 100.0);
@@ -108,5 +124,5 @@ int main() {
               "ignored, vprocs routinely receive remote-homed chunks and "
               "every\nsubsequent major collection copies across the "
               "interconnect.\n");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

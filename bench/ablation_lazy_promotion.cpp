@@ -33,6 +33,7 @@ struct Load {
 };
 
 std::atomic<int> Remaining;
+int TaskCount = 400; // --quick shrinks the spawn volume
 
 void taskBody(Runtime &, VProc &VP, Task T) {
   // Touch the environment so the promotion is not dead weight.
@@ -56,13 +57,13 @@ Load runLoad(bool Lazy, bool ForceSteals) {
 
   static bool StaticForceSteals;
   StaticForceSteals = ForceSteals;
-  Remaining = 400;
+  Remaining = TaskCount;
 
   auto Start = std::chrono::steady_clock::now();
   RT.run(
       [](Runtime &, VProc &VP, void *) {
         RootScope Scope(VP.heap());
-        for (int I = 0; I < 400; ++I) {
+        for (int I = 0; I < TaskCount; ++I) {
           Ref<> Env = Scope.root(makeIntListB(VP.heap(), 50));
           VP.spawn({taskBody, nullptr, Env, 0, 0});
           // In the force-steal configuration the spawner never runs its
@@ -94,10 +95,19 @@ Load runLoad(bool Lazy, bool ForceSteals) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = BenchOptions::parse(
+      argc, argv, "ablation_lazy_promotion",
+      "Lazy vs eager promotion of stolen-task environments: eager pays "
+      "per spawn, lazy per migration.");
+  if (Opts.Quick)
+    TaskCount = 150;
+  JsonReport Json("ablation_lazy_promotion", Opts.JsonPath);
   std::printf("Ablation: lazy vs eager promotion of stolen-task "
-              "environments\n");
-  std::printf("(400 tasks, each closing over a 50-cell list; 4 vprocs)\n\n");
+              "environments%s\n",
+              Opts.Quick ? " [--quick]" : "");
+  std::printf("(%d tasks, each closing over a 50-cell list; 4 vprocs)\n\n",
+              TaskCount);
   std::printf("%-32s %-9s %-9s %-10s %-14s\n", "configuration", "spawns",
               "steals", "promotions", "promoted bytes");
   struct Config {
@@ -111,6 +121,12 @@ int main() {
   };
   for (const Config &C : Configs) {
     Load L = runLoad(C.Lazy, C.ForceSteals);
+    Json.addRow("uniform", C.Name,
+                {{"spawns", static_cast<double>(L.Spawns)},
+                 {"steals", static_cast<double>(L.Steals)},
+                 {"promotions", static_cast<double>(L.PromoteCalls)},
+                 {"promoted_bytes", static_cast<double>(L.PromoteBytes)},
+                 {"seconds", L.Seconds}});
     std::printf("%-32s %-9llu %-9llu %-10llu %-14llu\n", C.Name,
                 static_cast<unsigned long long>(L.Spawns),
                 static_cast<unsigned long long>(L.Steals),
@@ -123,5 +139,5 @@ int main() {
               "migrate), lazy promotion moves a fraction of the\nbytes "
               "eager promotion moves -- the paper's motivation for the "
               "scheme.\n");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -219,12 +219,12 @@ void printRow(benchutil::JsonReport &Json, const char *Machine,
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Quick = false;
-  for (int I = 1; I < argc; ++I)
-    if (std::strcmp(argv[I], "--quick") == 0)
-      Quick = true;
-  benchutil::JsonReport Json("ablation_parking",
-                             benchutil::jsonPathFromArgs(argc, argv));
+  benchutil::BenchOptions Opts = benchutil::BenchOptions::parse(
+      argc, argv, "ablation_parking",
+      "Parking policy ablation: ParkLot doorbells vs the blind "
+      "bounded-sleep ladder.");
+  const bool Quick = Opts.Quick;
+  benchutil::JsonReport Json("ablation_parking", Opts.JsonPath);
 
   // Modest default counts: the ping-pong spins think-time continuously,
   // and on a CPU-quota-limited container a long sustained run gets
@@ -279,6 +279,8 @@ int main(int argc, char **argv) {
   };
 
   for (const MachineDef &M : Machines) {
+    if (!Opts.runsTopology(M.Name))
+      continue;
     for (bool Doorbells : {true, false}) {
       const char *Policy = Doorbells ? "doorbell" : "ladder";
       printRow(Json, M.Name, Policy, "ping-pong", Rounds, BestOf([&] {

@@ -22,6 +22,8 @@ using namespace manti::benchutil;
 
 namespace {
 
+int Rounds = 60; // --quick shrinks the churn
+
 struct PolicyStats {
   double RemoteFraction = 0;
   uint64_t Node0InBytes = 0;
@@ -41,7 +43,7 @@ PolicyStats runChurn(AllocPolicyKind Policy) {
   runOnWorldThreads(World, [](VProcHeap &H) {
     RootScope Scope(H);
     Ref<> Keep = Scope.root(Value::nil());
-    for (int Round = 0; Round < 60; ++Round) {
+    for (int Round = 0; Round < Rounds; ++Round) {
       {
         RootScope Inner(H);
         Ref<> Junk = Inner.root(makeIntListB(H, 400));
@@ -68,9 +70,17 @@ PolicyStats runChurn(AllocPolicyKind Policy) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = BenchOptions::parse(
+      argc, argv, "ablation_policies_traffic",
+      "GC memory traffic under the three page-allocation policies "
+      "(Section 4.3), observed on the real collector.");
+  if (Opts.Quick)
+    Rounds = 20;
+  JsonReport Json("ablation_policies_traffic", Opts.JsonPath);
   std::printf("Ablation: GC memory traffic under the three page-allocation "
-              "policies\n");
+              "policies%s\n",
+              Opts.Quick ? " [--quick]" : "");
   std::printf("(real collector, 4 vprocs on 4 nodes, identical churn; "
               "Section 4.3)\n\n");
   std::printf("%-14s %-16s %-14s %-40s\n", "policy", "remote traffic",
@@ -79,6 +89,13 @@ int main() {
        {AllocPolicyKind::Local, AllocPolicyKind::Interleaved,
         AllocPolicyKind::SingleNode}) {
     PolicyStats S = runChurn(Policy);
+    Json.addRow("uniform", allocPolicyName(Policy),
+                {{"remote_traffic_pct", 100.0 * S.RemoteFraction},
+                 {"total_bytes", static_cast<double>(S.TotalBytes)},
+                 {"into_node0_bytes", static_cast<double>(S.PerNodeIn[0])},
+                 {"into_node1_bytes", static_cast<double>(S.PerNodeIn[1])},
+                 {"into_node2_bytes", static_cast<double>(S.PerNodeIn[2])},
+                 {"into_node3_bytes", static_cast<double>(S.PerNodeIn[3])}});
     double Node0Share =
         S.TotalBytes ? 100.0 * static_cast<double>(S.Node0InBytes) /
                            static_cast<double>(S.TotalBytes)
@@ -93,5 +110,5 @@ int main() {
               "interleaved spreads it\n(but most of it becomes remote); "
               "single-node funnels every byte through\nnode 0 -- the "
               "saturation behind Figure 7.\n");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -256,10 +256,11 @@ void printRow(benchutil::JsonReport &Json, const char *Machine,
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Quick = false;
-  for (int I = 1; I < argc; ++I)
-    if (std::strcmp(argv[I], "--quick") == 0)
-      Quick = true;
+  benchutil::BenchOptions Opts = benchutil::BenchOptions::parse(
+      argc, argv, "ablation_rebalance",
+      "Adaptive load-balancing ablation: victim-initiated shedding x "
+      "steal-half x adaptive patience.");
+  const bool Quick = Opts.Quick;
   if (Quick) {
     Bursts = 8;
     TasksPerBurst = 96;
@@ -267,8 +268,7 @@ int main(int argc, char **argv) {
     PerBlock = 24;
     Phases = 2;
   }
-  benchutil::JsonReport Json("ablation_rebalance",
-                             benchutil::jsonPathFromArgs(argc, argv));
+  benchutil::JsonReport Json("ablation_rebalance", Opts.JsonPath);
 
   std::printf("Ablation: adaptive load balancing (victim-initiated "
               "shedding x steal-half x adaptive patience)%s\n",
@@ -323,6 +323,8 @@ int main(int argc, char **argv) {
   double ShedParkMs[2] = {0, 0}, NoShedParkMs[2] = {0, 0};
   for (int M = 0; M < 2; ++M) {
     const MachineDef &Mach = Machines[M];
+    if (!Opts.runsTopology(Mach.Name))
+      continue;
     for (const Combo &C : Combos) {
       RunResult R =
           MedianOf([&] { return runSkewed(Mach.Topo, Mach.VProcs, C); });

@@ -163,18 +163,18 @@ void printRow(benchutil::JsonReport &Json, const char *Machine,
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Quick = false;
-  for (int I = 1; I < argc; ++I)
-    if (std::strcmp(argv[I], "--quick") == 0)
-      Quick = true;
+  benchutil::BenchOptions Opts = benchutil::BenchOptions::parse(
+      argc, argv, "ablation_steal_locality",
+      "Work-stealing victim-selection ablation: proximity tiers vs "
+      "uniform-random.");
+  const bool Quick = Opts.Quick;
   if (Quick) {
     // CI smoke sizing: same sweep, counts small enough for a shared
     // container; the locality counters stay meaningful.
     LeavesBase = 96;
     LeafWork = 80;
   }
-  benchutil::JsonReport Json("ablation_steal_locality",
-                             benchutil::jsonPathFromArgs(argc, argv));
+  benchutil::JsonReport Json("ablation_steal_locality", Opts.JsonPath);
   std::printf("Ablation: work-stealing victim selection "
               "(proximity tiers vs uniform-random)%s\n",
               Quick ? " [--quick]" : "");
@@ -195,15 +195,18 @@ int main(int argc, char **argv) {
 
   // The headline comparison of the two policies, plus a batch sweep on
   // the AMD machine (24 vprocs = 3 per node; 16 on Intel = 4 per node).
-  for (bool Local : {true, false})
-    printRow(Json, "amd48", Local ? "proximity" : "uniform", 4,
-             runTree(Amd, 24, Local, 4));
-  for (bool Local : {true, false})
-    printRow(Json, "intel32", Local ? "proximity" : "uniform", 4,
-             runTree(Intel, 16, Local, 4));
-  for (unsigned Batch : {1u, 8u})
-    printRow(Json, "amd48", "proximity", Batch,
-             runTree(Amd, 24, true, Batch));
+  if (Opts.runsTopology("amd48"))
+    for (bool Local : {true, false})
+      printRow(Json, "amd48", Local ? "proximity" : "uniform", 4,
+               runTree(Amd, 24, Local, 4));
+  if (Opts.runsTopology("intel32"))
+    for (bool Local : {true, false})
+      printRow(Json, "intel32", Local ? "proximity" : "uniform", 4,
+               runTree(Intel, 16, Local, 4));
+  if (Opts.runsTopology("amd48"))
+    for (unsigned Batch : {1u, 8u})
+      printRow(Json, "amd48", "proximity", Batch,
+               runTree(Amd, 24, true, Batch));
 
   std::printf(
       "\nWith proximity tiers (and the remote-steal throttle), a thief\n"

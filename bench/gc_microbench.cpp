@@ -14,7 +14,7 @@
 // internal API deliberately.
 #define MANTI_GC_INTERNAL 1
 
-#include "gc/Heap.h"
+#include "gc/HeapInternal.h"
 #include "gc/HeapVerifier.h"
 #include "numa/Topology.h"
 
@@ -149,7 +149,7 @@ static void BM_MixedObjectScan(benchmark::State &State) {
     for (int64_t I = 0; I < Chain; ++I) {
       Word Fields[4] = {Root.bits(), Root.bits(), 7, 9};
       Value *Slots[2] = {&Root, &Root};
-      Root = H.allocMixedRooted(Id, Fields, Slots);
+      Root = gcinternal::allocMixedRooted(H, Id, Fields, Slots);
     }
     H.minorGC();
     benchmark::DoNotOptimize(Root);

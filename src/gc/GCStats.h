@@ -52,6 +52,20 @@ struct GCStats {
   uint64_t ChunkCrossNodeSteals = 0;
   uint64_t ChunkFreshRegistrations = 0;
 
+  /// Longest single mutator pause of any collector phase -- the number a
+  /// serving workload's tail latency is bounded below by, reported
+  /// alongside the request percentiles (bench/serving_kv.cpp).
+  uint64_t maxPauseNanos() const {
+    uint64_t Max = MinorPause.maxNanos();
+    if (MajorPause.maxNanos() > Max)
+      Max = MajorPause.maxNanos();
+    if (PromotePause.maxNanos() > Max)
+      Max = PromotePause.maxNanos();
+    if (GlobalPause.maxNanos() > Max)
+      Max = GlobalPause.maxNanos();
+    return Max;
+  }
+
   /// Merges another vproc's stats into this one (for reporting).
   void merge(const GCStats &O) {
     MinorPause.merge(O.MinorPause);

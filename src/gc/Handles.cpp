@@ -10,6 +10,8 @@
 
 #include "gc/Handles.h"
 
+#include "gc/HeapInternal.h"
+
 using namespace manti;
 
 Value manti::detail::allocMixedViaSlots(VProcHeap &H, uint16_t Id,
@@ -22,7 +24,7 @@ Value manti::detail::allocMixedViaSlots(VProcHeap &H, uint16_t Id,
   std::size_t Mark = H.ShadowStack.size();
   for (unsigned I = 0; I < NumSlots; ++I)
     H.ShadowStack.push_back(PtrFieldSlots[I]);
-  Value V = H.allocMixedRooted(Id, RawFields, PtrFieldSlots);
+  Value V = gcinternal::allocMixedRooted(H, Id, RawFields, PtrFieldSlots);
   H.ShadowStack.resize(Mark);
   return V;
 }

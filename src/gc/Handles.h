@@ -48,9 +48,9 @@
 ///   Ref<ListNode> G = promote(S, N);            // still typed, re-rooted
 /// \endcode
 ///
-/// The raw Value-level allocators on VProcHeap (allocMixed and friends)
-/// are the internal surface beneath this layer; only the collectors and
-/// this file use them (see the deprecation notes in gc/Heap.h).
+/// The raw Value-level allocators (gcinternal::allocMixed and friends,
+/// gc/HeapInternal.h) are the internal surface beneath this layer; only
+/// the collectors and this file's own TU may include that header.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,8 +80,9 @@ namespace detail {
 
 /// Registers \p Slots (rooted Value slots in descriptor offset order) on
 /// the shadow stack for the duration of a mixed allocation, then calls
-/// the internal allocMixedRooted. Lives in Handles.cpp so the deprecated
-/// raw allocator is touched only from the handle layer's own TU.
+/// the internal allocMixedRooted. Lives in Handles.cpp so the raw
+/// allocator (gc/HeapInternal.h) is touched only from the handle
+/// layer's own TU.
 Value allocMixedViaSlots(VProcHeap &H, uint16_t Id, const Word *RawFields,
                          Value *const *PtrFieldSlots, unsigned NumSlots);
 

@@ -7,7 +7,7 @@
 // This TU implements the raw allocation surface the handle layer wraps.
 #define MANTI_GC_INTERNAL 1
 
-#include "gc/Heap.h"
+#include "gc/HeapInternal.h"
 
 #include "gc/CollectorImpl.h"
 #include "support/Assert.h"
@@ -365,17 +365,19 @@ Value VProcHeap::allocVectorFill(std::size_t N, Value Fill) {
   return Value::fromPtr(Obj);
 }
 
-Value VProcHeap::allocMixed(uint16_t Id, const Word *Fields) {
-  const ObjectDescriptor &Desc = World.Descs.lookup(Id);
-  Word *Obj = allocLocalObject(Id, Desc.sizeWords());
+Value gcinternal::HeapAccess::allocMixed(VProcHeap &H, uint16_t Id,
+                                         const Word *Fields) {
+  const ObjectDescriptor &Desc = H.World.descriptors().lookup(Id);
+  Word *Obj = H.allocLocalObject(Id, Desc.sizeWords());
   std::memcpy(Obj, Fields, Desc.sizeWords() * sizeof(Word));
   return Value::fromPtr(Obj);
 }
 
-Value VProcHeap::allocMixedRooted(uint16_t Id, const Word *RawFields,
-                                  Value *const *PtrFieldSlots) {
-  const ObjectDescriptor &Desc = World.Descs.lookup(Id);
-  Word *Obj = allocLocalObject(Id, Desc.sizeWords());
+Value gcinternal::HeapAccess::allocMixedRooted(VProcHeap &H, uint16_t Id,
+                                               const Word *RawFields,
+                                               Value *const *PtrFieldSlots) {
+  const ObjectDescriptor &Desc = H.World.descriptors().lookup(Id);
+  Word *Obj = H.allocLocalObject(Id, Desc.sizeWords());
   std::memcpy(Obj, RawFields, Desc.sizeWords() * sizeof(Word));
   // The allocation may have collected; the rooted slots hold the current
   // addresses.

@@ -25,8 +25,9 @@
 /// global collector zeroing allocation limits.
 ///
 /// Rooting discipline: any Value live across an allocation must be
-/// registered in the shadow stack (RootScope in Handles.h; the legacy
-/// GcFrame below is the internal/deprecated face of the same stack).
+/// registered in the shadow stack (RootScope in Handles.h; the
+/// collector-internal GcFrame in gc/HeapInternal.h is the raw face of
+/// the same stack).
 /// Allocation functions that take source Values receive *pointers to
 /// rooted slots* so the sources survive a collection triggered by the
 /// allocation itself.
@@ -55,28 +56,23 @@
 
 #include <atomic>
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
-
-/// The raw Value-level allocation surface (allocMixed, allocMixedRooted,
-/// GcFrame) is internal: only the collectors, the handle layer, and
-/// collector tests may use it. Such translation units define
-/// MANTI_GC_INTERNAL before including this header; everywhere else the
-/// surface is marked deprecated so new mutator code lands on Handles.h.
-#if defined(MANTI_GC_INTERNAL)
-#define MANTI_INTERNAL_GC_API
-#else
-#define MANTI_INTERNAL_GC_API                                                  \
-  [[deprecated("internal GC surface; use gc/Handles.h (RootScope / Ref<T> / " \
-               "alloc<T>) instead")]]
-#endif
 
 namespace manti {
 
 class GCWorld;
 class VProcHeap;
+
+namespace gcinternal {
+/// Gateway for the raw Value-level allocation surface (allocMixed,
+/// allocMixedRooted, GcFrame). Lives in gc/HeapInternal.h, which only
+/// MANTI_GC_INTERNAL translation units (collectors, the handle layer,
+/// collector tests, gc_microbench) may include; everything else
+/// programs against gc/Handles.h.
+struct HeapAccess;
+} // namespace gcinternal
 
 /// Opaque per-world state of the parallel global collector (GlobalGC.cpp).
 class GlobalCollection;
@@ -178,26 +174,9 @@ public:
   /// Allocates a vector of \p N copies of a non-pointer \p Fill value.
   Value allocVectorFill(std::size_t N, Value Fill);
 
-  /// Allocates a mixed-type object of registered type \p Id. \p Fields
-  /// supplies the object's SizeWords initial words verbatim. CAUTION:
-  /// the allocation may collect, moving any objects \p Fields points at;
-  /// only use this when the pointer fields are nil/ints or when no
-  /// collection can intervene.
-  /// Migration: use alloc<T>(RootScope&, ...) from gc/Handles.h, which
-  /// roots its pointer arguments automatically.
-  MANTI_INTERNAL_GC_API
-  Value allocMixed(uint16_t Id, const Word *Fields);
-
-  /// Collection-safe mixed allocation: \p RawFields supplies every word,
-  /// then each descriptor pointer field is overwritten by re-reading the
-  /// corresponding entry of \p PtrFieldSlots (rooted Value slots, in
-  /// descriptor offset order) *after* the allocation, so a collection
-  /// triggered by the allocation cannot leave stale pointers behind.
-  /// Migration: use alloc<T>(RootScope&, ...) from gc/Handles.h, which
-  /// performs exactly this dance from a typed field spec.
-  MANTI_INTERNAL_GC_API
-  Value allocMixedRooted(uint16_t Id, const Word *RawFields,
-                         Value *const *PtrFieldSlots);
+  // Mixed-type (typed, pointer-bearing) allocation is reached through
+  // gc/Handles.h (alloc<T>(RootScope&, ...)); the raw word-level entry
+  // points live behind gcinternal::HeapAccess in gc/HeapInternal.h.
 
   /// Allocates a raw object directly in the global heap (used for large
   /// immutable data shared across vprocs, e.g. benchmark inputs).
@@ -246,7 +225,8 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// The shadow stack: slots whose Values are live across allocations.
-  /// Managed through GcFrame; exposed for the collectors and tests.
+  /// Managed through RootScope (gc/Handles.h) and the internal GcFrame
+  /// (gc/HeapInternal.h); exposed for the collectors and tests.
   std::vector<Value *> ShadowStack;
 
   /// Proxy objects owned by this vproc (see Proxy.h). Entries point at
@@ -276,6 +256,7 @@ public:
 
 private:
   friend class GCWorld;
+  friend struct gcinternal::HeapAccess;
 
   Chunk *acquireChunkCounted();
   Word *allocLocalObject(uint16_t Id, uint64_t LenWords);
@@ -291,67 +272,6 @@ private:
   void *LocalMem;
   LocalHeap Local;
   uint64_t StressTick = 0; ///< StressGCPeriod schedule position
-};
-
-/// Reference-only view of a rooted shadow-stack slot, returned by
-/// GcFrame::root. Binds to `Value &` but refuses to decay into a plain
-/// `Value`: the old `Value Xs = Frame.root(...)` silently copied the
-/// root into an *unregistered* local that a collection would never
-/// update, so that spelling is now a compile error instead of a
-/// latent use-after-move.
-class RootedSlot {
-public:
-  /// Bind as `Value &Xs = Frame.root(...)`.
-  operator Value &() const { return *Slot; }
-  /// `Value Xs = Frame.root(...)` un-roots by copy; deleted.
-  operator Value() const = delete;
-
-private:
-  friend class GcFrame;
-  explicit RootedSlot(Value &Slot) : Slot(&Slot) {}
-  Value *Slot;
-};
-
-/// RAII shadow-stack frame. Internal/legacy surface: collectors and
-/// collector tests only -- everything else uses RootScope (gc/Handles.h),
-/// which owns its slot storage and hands out handles instead of bare
-/// references.
-/// Migration: replace `GcFrame F(H); Value &X = F.root(v);` with
-/// `RootScope S(H); Ref<> X = S.root(v);`.
-/// Usage:
-/// \code
-///   GcFrame Frame(Heap);
-///   Value &Xs = Frame.root(Heap.allocVectorFill(4, Value::fromInt(0)));
-///   ...                      // Xs is updated if a collection moves it
-/// \endcode
-class MANTI_INTERNAL_GC_API GcFrame {
-public:
-  explicit GcFrame(VProcHeap &Heap)
-      : Heap(Heap), Mark(Heap.ShadowStack.size()) {}
-  ~GcFrame() { Heap.ShadowStack.resize(Mark); }
-
-  GcFrame(const GcFrame &) = delete;
-  GcFrame &operator=(const GcFrame &) = delete;
-
-  /// Registers \p Slot (an lvalue that outlives this frame) as a root.
-  RootedSlot root(Value &Slot) {
-    Heap.ShadowStack.push_back(&Slot);
-    return RootedSlot(Slot);
-  }
-
-  /// Copies a temporary into frame-owned stable storage and roots it.
-  /// \returns a reference-only view of the slot (bind it as Value&).
-  RootedSlot root(Value &&Temp) {
-    OwnedSlots.push_back(Temp);
-    Heap.ShadowStack.push_back(&OwnedSlots.back());
-    return RootedSlot(OwnedSlots.back());
-  }
-
-private:
-  VProcHeap &Heap;
-  std::size_t Mark;
-  /// Deque: growth never invalidates addresses of existing elements.
-  std::deque<Value> OwnedSlots;
 };
 
 //===----------------------------------------------------------------------===//

@@ -10,6 +10,8 @@
 
 #include "gc/Proxy.h"
 
+#include "gc/HeapInternal.h"
+
 #include "support/Assert.h"
 
 #include <algorithm>

@@ -14,9 +14,9 @@
 
 using namespace manti;
 
-Channel::Channel(Runtime &RT) : RT(RT) { RT.registerChannel(this); }
+Channel::Channel(Runtime &RT) : RT(RT) { RT.registerGlobalRoots(this); }
 
-Channel::~Channel() { RT.unregisterChannel(this); }
+Channel::~Channel() { RT.unregisterGlobalRoots(this); }
 
 Channel::Waiter *Channel::claimReceiverLocked() {
   for (Waiter *W : Receivers) {
@@ -258,7 +258,7 @@ std::size_t Channel::pendingRecvs() const {
   return Receivers.size();
 }
 
-void Channel::enumerateRoots(RootSlotVisitor Visit, void *Ctx) {
+void Channel::enumerateGlobalRoots(RootSlotVisitor Visit, void *Ctx) {
   std::lock_guard<SpinLock> Guard(Lock);
   for (SendItem *Item : Senders)
     Visit(&Item->Bits, Ctx);

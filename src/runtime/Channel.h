@@ -53,7 +53,7 @@
 
 namespace manti {
 
-class Channel {
+class Channel : public GlobalRootProvider {
 public:
   explicit Channel(Runtime &RT);
   ~Channel();
@@ -124,7 +124,7 @@ public:
 
   /// Global-root enumeration (called by the global collector's leader
   /// while the world is stopped).
-  void enumerateRoots(RootSlotVisitor Visit, void *Ctx);
+  void enumerateGlobalRoots(RootSlotVisitor Visit, void *Ctx) override;
 
 private:
   /// A blocked sender's queue entry (stack-allocated in send()). A

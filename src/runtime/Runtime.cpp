@@ -53,8 +53,9 @@ Runtime::~Runtime() {
   Lot->ringBroadcast(); // wake drain-parked workers to observe the flag
   for (std::thread &W : Workers)
     W.join();
-  MANTI_CHECK(Channels.empty(),
-              "channels must be destroyed before the runtime");
+  MANTI_CHECK(RootProviders.empty(),
+              "global-root providers (channels, stores) must be destroyed "
+              "before the runtime");
 }
 
 void Runtime::pinThread(CoreId Core) {
@@ -162,21 +163,21 @@ SchedStats Runtime::aggregateSchedStats() const {
   return Sched->aggregateStats();
 }
 
-void Runtime::registerChannel(Channel *C) {
-  std::lock_guard<SpinLock> Guard(ChannelLock);
-  Channels.push_back(C);
+void Runtime::registerGlobalRoots(GlobalRootProvider *P) {
+  std::lock_guard<SpinLock> Guard(RootProviderLock);
+  RootProviders.push_back(P);
 }
 
-void Runtime::unregisterChannel(Channel *C) {
-  std::lock_guard<SpinLock> Guard(ChannelLock);
-  for (std::size_t I = Channels.size(); I-- > 0;) {
-    if (Channels[I] == C) {
-      Channels[I] = Channels.back();
-      Channels.pop_back();
+void Runtime::unregisterGlobalRoots(GlobalRootProvider *P) {
+  std::lock_guard<SpinLock> Guard(RootProviderLock);
+  for (std::size_t I = RootProviders.size(); I-- > 0;) {
+    if (RootProviders[I] == P) {
+      RootProviders[I] = RootProviders.back();
+      RootProviders.pop_back();
       return;
     }
   }
-  MANTI_UNREACHABLE("channel was not registered");
+  MANTI_UNREACHABLE("global-root provider was not registered");
 }
 
 void Runtime::enumerateVProcRootsThunk(unsigned VProcId, RootSlotVisitor V,
@@ -190,9 +191,9 @@ void Runtime::enumerateGlobalRootsThunk(RootSlotVisitor V, void *VisitorCtx,
                                         void *EnumCtx) {
   Runtime *RT = static_cast<Runtime *>(EnumCtx);
   {
-    std::lock_guard<SpinLock> Guard(RT->ChannelLock);
-    for (Channel *C : RT->Channels)
-      C->enumerateRoots(V, VisitorCtx);
+    std::lock_guard<SpinLock> Guard(RT->RootProviderLock);
+    for (GlobalRootProvider *P : RT->RootProviders)
+      P->enumerateGlobalRoots(V, VisitorCtx);
   }
   // Shed-bay residents: published rebalance batches whose environments
   // live in the global heap (promoted before publication) but are

@@ -41,6 +41,22 @@ class Channel;
 class ParkLot;
 class Scheduler;
 
+/// Runtime-owned (C++) state that holds global-heap references -- a
+/// channel's parked senders, a KV store's entry table -- implements
+/// this and registers with Runtime::registerGlobalRoots. The global
+/// collector's leader enumerates every provider while the world is
+/// stopped at the GC barriers.
+class GlobalRootProvider {
+public:
+  virtual ~GlobalRootProvider() = default;
+
+  /// Calls \p Visit once per root slot. The visitor may rewrite the
+  /// slot's word (forwarding). Runs with every vproc stopped, so no
+  /// synchronization against mutators is needed.
+  virtual void enumerateGlobalRoots(RootSlotVisitor Visit,
+                                    void *VisitorCtx) = 0;
+};
+
 struct RuntimeConfig {
   GCConfig GC;
   unsigned NumVProcs = 2;
@@ -140,9 +156,10 @@ public:
 
   bool lazyPromotion() const { return Config.LazyPromotion; }
 
-  /// Channel registry (global GC roots live in channels).
-  void registerChannel(Channel *C);
-  void unregisterChannel(Channel *C);
+  /// Global-root provider registry (channels, service-layer stores).
+  /// Providers must unregister before the runtime is destroyed.
+  void registerGlobalRoots(GlobalRootProvider *P);
+  void unregisterGlobalRoots(GlobalRootProvider *P);
 
 private:
   static void enumerateVProcRootsThunk(unsigned VProcId, RootSlotVisitor V,
@@ -164,8 +181,8 @@ private:
   std::atomic<unsigned> Drained{0};
   std::atomic<uint64_t> RunEpoch{0};
 
-  SpinLock ChannelLock;
-  std::vector<Channel *> Channels;
+  SpinLock RootProviderLock;
+  std::vector<GlobalRootProvider *> RootProviders;
 };
 
 } // namespace manti

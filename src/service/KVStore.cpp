@@ -1,0 +1,148 @@
+//===- service/KVStore.cpp -------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/KVStore.h"
+
+#include "support/Assert.h"
+
+using namespace manti;
+
+namespace {
+
+/// splitmix64 finalizer: spreads sequential keys across shards.
+uint64_t mixKey(uint64_t K) {
+  K += 0x9e3779b97f4a7c15ull;
+  K = (K ^ (K >> 30)) * 0xbf58476d1ce4e5b9ull;
+  K = (K ^ (K >> 27)) * 0x94d049bb133111ebull;
+  return K ^ (K >> 31);
+}
+
+uint64_t payloadChecksum(uint64_t Key, uint64_t Version, uint64_t Words) {
+  return mixKey(Key ^ (Version * 0x100000001b3ull) ^ Words);
+}
+
+uint64_t fillWord(uint64_t Key, uint64_t Version, uint64_t I) {
+  return mixKey(Key + Version * 31 + I);
+}
+
+} // namespace
+
+KVStore::KVStore(Runtime &RT, unsigned NumShards) : RT(RT) {
+  MANTI_CHECK(NumShards > 0, "KVStore needs at least one shard");
+  if (!ObjectType<KVEntry>::registeredIn(RT.world()))
+    ObjectType<KVEntry>::registerWith(RT.world());
+  Shards.resize(NumShards);
+  unsigned Nodes = RT.world().topology().numNodes();
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards[I].Home = static_cast<NodeId>(I % Nodes);
+  RT.registerGlobalRoots(this);
+}
+
+KVStore::~KVStore() { RT.unregisterGlobalRoots(this); }
+
+unsigned KVStore::shardOf(uint64_t Key) const {
+  return static_cast<unsigned>(mixKey(Key) % Shards.size());
+}
+
+void KVStore::put(VProc &VP, uint64_t Key, uint32_t ValueBytes) {
+  Shard &Sh = shard(Key);
+  uint64_t Version = Sh.NextVersion++;
+  // Header (key, version, checksum) plus the fill; at least one fill
+  // word so even tiny payloads carry verifiable content.
+  uint64_t Words = 3 + (ValueBytes + 7) / 8;
+
+  VProcHeap &H = VP.heap();
+  RootScope S(H);
+  // The payload is zero-allocated, then initialized in place before it
+  // can escape -- the PML init-time-store discipline (cf. vectorInit).
+  Ref<> Payload = S.root(H.allocRaw(nullptr, Words * 8));
+  {
+    Word *P = static_cast<Word *>(rawData(Payload.value()));
+    P[0] = Key;
+    P[1] = Version;
+    P[2] = payloadChecksum(Key, Version, Words);
+    for (uint64_t I = 3; I < Words; ++I)
+      P[I] = fillWord(Key, Version, I);
+  }
+  Ref<KVEntry> E =
+      alloc<KVEntry>(S, KVEntry{Payload.value(), static_cast<int64_t>(Key),
+                                static_cast<int64_t>(Version)});
+  // Publishing promotes the entry graph (entry + payload) to the global
+  // heap; the nursery copies die at the next minor collection, and the
+  // overwritten predecessor (if any) becomes global-heap garbage.
+  Ref<KVEntry> Published = promote(S, E);
+  Sh.Map[Key] = Entry{Published.value().bits(), Version};
+}
+
+bool KVStore::get(VProc &VP, uint64_t Key) {
+  (void)VP; // reads allocate nothing; the VProc pins the owner discipline
+  Shard &Sh = shard(Key);
+  auto It = Sh.Map.find(Key);
+  if (It == Sh.Map.end()) {
+    Sh.Misses++;
+    return false;
+  }
+  Value E = Value::fromBits(It->second.Bits);
+  Value Payload = ObjectType<KVEntry>::get<&KVEntry::Payload>(E);
+  int64_t EntryKey = ObjectType<KVEntry>::get<&KVEntry::Key>(E);
+  int64_t EntryVer = ObjectType<KVEntry>::get<&KVEntry::Version>(E);
+  bool Ok = !Payload.isNil() &&
+            EntryKey == static_cast<int64_t>(Key) &&
+            EntryVer == static_cast<int64_t>(It->second.Version);
+  if (Ok) {
+    const Word *P = static_cast<const Word *>(rawData(Payload));
+    uint64_t Words = rawSizeBytes(Payload) / 8;
+    Ok = Words >= 3 && P[0] == Key &&
+         P[1] == It->second.Version &&
+         P[2] == payloadChecksum(Key, It->second.Version, Words) &&
+         (Words == 3 ||
+          P[Words - 1] == fillWord(Key, It->second.Version, Words - 1));
+  }
+  if (!Ok)
+    Sh.Corruptions++;
+  return true;
+}
+
+bool KVStore::erase(VProc &VP, uint64_t Key) {
+  (void)VP;
+  Shard &Sh = shard(Key);
+  auto It = Sh.Map.find(Key);
+  if (It == Sh.Map.end()) {
+    Sh.Misses++;
+    return false;
+  }
+  // The entry object (and transitively its payload) is now unreachable
+  // from the store: garbage for the next global collection.
+  Sh.Map.erase(It);
+  return true;
+}
+
+std::size_t KVStore::size() const {
+  std::size_t N = 0;
+  for (const Shard &Sh : Shards)
+    N += Sh.Map.size();
+  return N;
+}
+
+uint64_t KVStore::misses() const {
+  uint64_t N = 0;
+  for (const Shard &Sh : Shards)
+    N += Sh.Misses;
+  return N;
+}
+
+uint64_t KVStore::corruptions() const {
+  uint64_t N = 0;
+  for (const Shard &Sh : Shards)
+    N += Sh.Corruptions;
+  return N;
+}
+
+void KVStore::enumerateGlobalRoots(RootSlotVisitor Visit, void *VisitorCtx) {
+  for (Shard &Sh : Shards)
+    for (auto &[Key, E] : Sh.Map)
+      Visit(&E.Bits, VisitorCtx);
+}

@@ -1,0 +1,132 @@
+//===- service/KVStore.h - NUMA-sharded in-memory KV store ----------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A NUMA-sharded in-memory key/value store: the serving workload whose
+/// allocation churn -- not a benchmark timer -- drives collection. Keys
+/// hash to shards and each shard is homed on one NUMA node (round-robin
+/// over the topology), so a node-affine worker serving a shard allocates
+/// that shard's working set from its own node's local heap.
+///
+/// Values are built through the handle API: each entry is a typed
+/// KVEntry object (ObjectType<KVEntry>) holding the key, a version, and
+/// a pointer to a raw payload of configurable size, allocated locally in
+/// the serving vproc's nursery and promoted to the global heap when the
+/// entry is published. An overwrite or delete drops the previous global
+/// entry -- real garbage for the next global collection -- and the local
+/// copy dies young in the nursery, exactly the churn profile a serving
+/// system hands a split local/global collector.
+///
+/// Payloads carry a deterministic key/version-derived fill plus a
+/// checksum; get() re-verifies both, so a collector bug that moved or
+/// dropped an object under the store surfaces as a counted corruption
+/// rather than silent nonsense.
+///
+/// Threading discipline: each shard has a single owner -- requests are
+/// routed to the shard's worker over a Channel (service/TrafficGen.h),
+/// so shard state needs no locks. The entry tables are runtime (C++)
+/// state holding global-heap references; the store registers as a
+/// GlobalRootProvider and the global collector's leader enumerates every
+/// entry slot while the world is stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SERVICE_KVSTORE_H
+#define MANTI_SERVICE_KVSTORE_H
+
+#include "gc/Handles.h"
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace manti {
+
+/// The typed heap object behind one published KV entry.
+struct KVEntry {
+  Value Payload; ///< raw data object (scanned)
+  int64_t Key;
+  int64_t Version;
+  static constexpr const char *GcName = "kv-entry";
+  static constexpr auto GcPtrFields = ptrFields(&KVEntry::Payload);
+};
+
+class KVStore : public GlobalRootProvider {
+public:
+  /// Registers the KVEntry object type (must therefore be constructed
+  /// before the runtime's vprocs start allocating) and registers the
+  /// store's entry tables as global GC roots. Shard home nodes are
+  /// assigned round-robin over \p RT's topology.
+  KVStore(Runtime &RT, unsigned NumShards);
+  ~KVStore() override;
+
+  KVStore(const KVStore &) = delete;
+  KVStore &operator=(const KVStore &) = delete;
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Shard owning \p Key (a mixed hash, stable across runs).
+  unsigned shardOf(uint64_t Key) const;
+
+  /// NUMA node the owning shard is homed on -- the affinity hint for the
+  /// worker serving this key.
+  NodeId homeNodeOf(uint64_t Key) const { return Shards[shardOf(Key)].Home; }
+
+  /// Home node of shard \p Shard directly (worker spawn affinity).
+  NodeId shardHome(unsigned Shard) const { return Shards[Shard].Home; }
+
+  //===--------------------------------------------------------------------===//
+  // Operations. Call on the owning shard's worker vproc (or, before the
+  // workers start, from any single vproc -- e.g. preloading).
+  //===--------------------------------------------------------------------===//
+
+  /// Inserts or overwrites \p Key with a fresh \p ValueBytes payload.
+  /// The previous entry (if any) becomes global-heap garbage.
+  void put(VProc &VP, uint64_t Key, uint32_t ValueBytes);
+
+  /// Looks up \p Key and verifies the payload's checksum and fill.
+  /// \returns true on hit (misses and corruptions are counted).
+  bool get(VProc &VP, uint64_t Key);
+
+  /// Removes \p Key. \returns true if it was present.
+  bool erase(VProc &VP, uint64_t Key);
+
+  //===--------------------------------------------------------------------===//
+  // Introspection (quiescent or owner-thread use).
+  //===--------------------------------------------------------------------===//
+
+  std::size_t size() const;
+  uint64_t misses() const;
+  /// Entries whose payload failed verification -- 0 unless the collector
+  /// lost or scrambled an object under the store.
+  uint64_t corruptions() const;
+
+  /// Global-root enumeration (global collector's leader, world stopped).
+  void enumerateGlobalRoots(RootSlotVisitor Visit, void *VisitorCtx) override;
+
+private:
+  struct Entry {
+    Word Bits;        ///< global-heap KVEntry object (a root slot)
+    uint64_t Version; ///< expected version, checked on get
+  };
+  struct Shard {
+    std::unordered_map<uint64_t, Entry> Map;
+    NodeId Home = 0;
+    uint64_t NextVersion = 1;
+    uint64_t Misses = 0;
+    uint64_t Corruptions = 0;
+  };
+
+  Shard &shard(uint64_t Key) { return Shards[shardOf(Key)]; }
+
+  Runtime &RT;
+  std::vector<Shard> Shards;
+};
+
+} // namespace manti
+
+#endif // MANTI_SERVICE_KVSTORE_H

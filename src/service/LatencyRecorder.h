@@ -1,0 +1,131 @@
+//===- service/LatencyRecorder.h - log-bucketed latency histogram ---------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An HDR-style log-bucketed latency histogram for the serving harness:
+/// fixed memory, O(1) record, and percentile queries with bounded
+/// *relative* error (~3.1%: 32 sub-buckets per power of two; values
+/// below 32 ns are exact). Nothing allocates after construction, so a
+/// recorder can sit on a worker's hot path without perturbing the GC
+/// behavior it is measuring. One recorder per worker, merged after the
+/// run -- no synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SERVICE_LATENCYRECORDER_H
+#define MANTI_SERVICE_LATENCYRECORDER_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace manti {
+
+class LatencyRecorder {
+public:
+  /// Records one sample (nanoseconds).
+  void record(uint64_t Nanos) {
+    Buckets[indexOf(Nanos)]++;
+    Count_++;
+    TotalNanos += Nanos;
+    if (Nanos > Max_)
+      Max_ = Nanos;
+  }
+
+  uint64_t count() const { return Count_; }
+
+  /// Exact maximum of the recorded samples (not bucket-quantized).
+  uint64_t maxNanos() const { return Max_; }
+
+  double meanNanos() const {
+    return Count_ ? static_cast<double>(TotalNanos) /
+                        static_cast<double>(Count_)
+                  : 0.0;
+  }
+
+  /// Value at percentile \p P (0..100): the smallest bucket upper edge
+  /// such that at least P% of samples are at or below it, clamped to
+  /// the exact maximum. 0 when nothing was recorded.
+  uint64_t percentileNanos(double P) const {
+    if (Count_ == 0)
+      return 0;
+    if (P >= 100.0)
+      return Max_;
+    if (P < 0.0)
+      P = 0.0;
+    // Nearest-rank: the ceil(P/100 * Count)-th sample in sorted order.
+    uint64_t Rank = static_cast<uint64_t>(
+        std::ceil(P * static_cast<double>(Count_) / 100.0));
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Count_)
+      Rank = Count_;
+    uint64_t Cum = 0;
+    for (std::size_t I = 0; I < NumBuckets; ++I) {
+      Cum += Buckets[I];
+      if (Cum >= Rank) {
+        uint64_t Edge = upperEdgeOf(I);
+        return Edge < Max_ ? Edge : Max_;
+      }
+    }
+    return Max_;
+  }
+
+  void merge(const LatencyRecorder &O) {
+    for (std::size_t I = 0; I < NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    Count_ += O.Count_;
+    TotalNanos += O.TotalNanos;
+    if (O.Max_ > Max_)
+      Max_ = O.Max_;
+  }
+
+private:
+  /// 2^SubBits sub-buckets per octave; octave 0 is [0, 2^SubBits) with
+  /// exact single-value buckets.
+  static constexpr unsigned SubBits = 5;
+  static constexpr unsigned SubCount = 1u << SubBits;
+  /// Octave O >= 1 covers [2^(O+SubBits-1), 2^(O+SubBits)); 60 octaves
+  /// reach past any 64-bit nanosecond count this side of a reboot.
+  static constexpr unsigned NumOctaves = 60;
+  static constexpr std::size_t NumBuckets = NumOctaves * SubCount;
+
+  static unsigned msb(uint64_t V) {
+    unsigned B = 0;
+    while (V >>= 1)
+      B++;
+    return B;
+  }
+
+  static std::size_t indexOf(uint64_t Nanos) {
+    if (Nanos < SubCount)
+      return Nanos;
+    unsigned Octave = msb(Nanos) - SubBits + 1;
+    if (Octave >= NumOctaves)
+      Octave = NumOctaves - 1;
+    unsigned Sub = (Nanos >> (Octave - 1)) & (SubCount - 1);
+    return static_cast<std::size_t>(Octave) * SubCount + Sub;
+  }
+
+  /// Largest value mapping into bucket \p I (the conservative edge the
+  /// percentile reports).
+  static uint64_t upperEdgeOf(std::size_t I) {
+    unsigned Octave = static_cast<unsigned>(I / SubCount);
+    uint64_t Sub = I % SubCount;
+    if (Octave == 0)
+      return Sub;
+    return ((SubCount + Sub + 1) << (Octave - 1)) - 1;
+  }
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count_ = 0;
+  uint64_t TotalNanos = 0;
+  uint64_t Max_ = 0;
+};
+
+} // namespace manti
+
+#endif // MANTI_SERVICE_LATENCYRECORDER_H

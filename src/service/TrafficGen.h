@@ -1,0 +1,104 @@
+//===- service/TrafficGen.h - open-loop traffic and the serving harness ---===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The open-loop request generator and the serving harness that drives a
+/// KVStore with it.
+///
+/// Open loop means the arrival schedule is fixed *before* the run:
+/// requests are stamped with Poisson (exponential inter-arrival) times
+/// derived deterministically from a seed, and a request's latency is
+/// measured from its *scheduled* arrival, not from when the generator
+/// managed to send it. A closed-loop generator (issue, wait, issue)
+/// silently stops offering load whenever the system stalls -- a GC pause
+/// hides all the requests that *would have* arrived during it
+/// (coordinated omission); measuring from the schedule charges that
+/// queueing delay to the requests, which is what a tail-latency SLO is
+/// about.
+///
+/// Topology of a run: W shards = W node-affine workers, each owning one
+/// Channel, plus W generators (generator 0 runs inline on the main
+/// vproc), so the runtime needs 2W vprocs -- a blocking recv occupies
+/// its vproc. Generators route each request to its key's shard channel;
+/// workers execute against the store, stamp the completion, and record
+/// scheduled-arrival-to-completion latency in a per-worker
+/// LatencyRecorder (merged after the run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_SERVICE_TRAFFICGEN_H
+#define MANTI_SERVICE_TRAFFICGEN_H
+
+#include "service/LatencyRecorder.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace manti {
+
+class Runtime;
+
+enum class OpKind : uint8_t { Get, Put, Delete };
+
+/// One scheduled request. ScheduledNanos is relative to the run's epoch
+/// (captured after preloading, before the workers start).
+struct Request {
+  uint64_t ScheduledNanos;
+  uint64_t Key;
+  OpKind Op;
+  uint32_t ValueBytes;
+};
+
+/// Workload shape. Everything is derived deterministically from Seed, so
+/// a schedule can be rebuilt bit-for-bit for tests and reproductions.
+struct TrafficConfig {
+  uint64_t Seed = 1;
+  /// Offered load per generator, requests/second (Poisson arrivals).
+  double RatePerGen = 20000.0;
+  uint64_t RequestsPerGen = 2000;
+  /// Keys are drawn uniformly from [0, KeySpace).
+  uint64_t KeySpace = 1 << 14;
+  /// Payload bytes for put requests.
+  uint32_t ValueBytes = 256;
+  /// Op mix in percent; the remainder after gets and puts is deletes.
+  unsigned GetPct = 70;
+  unsigned PutPct = 25;
+};
+
+/// Builds generator \p Generator's request schedule: a pure function of
+/// (Cfg.Seed, Generator).
+std::vector<Request> buildSchedule(const TrafficConfig &Cfg,
+                                   unsigned Generator);
+
+/// One serving run: W workers/shards/generators over a preloaded store.
+struct ServingConfig {
+  TrafficConfig Traffic;
+  /// Shards = workers = generators; the runtime must have at least
+  /// 2*Workers vprocs.
+  unsigned Workers = 4;
+  /// Keys 0..PreloadKeys-1 are put before the epoch so gets mostly hit.
+  uint64_t PreloadKeys = 4096;
+};
+
+struct ServingResult {
+  LatencyRecorder Latency; ///< all workers merged
+  double Seconds = 0;      ///< epoch to last completion
+  double OfferedRps = 0;
+  double AchievedRps = 0;
+  uint64_t Gets = 0, Puts = 0, Deletes = 0;
+  uint64_t Misses = 0;
+  uint64_t Corruptions = 0; ///< payload verification failures (want: 0)
+};
+
+/// Runs the serving workload on \p RT (which must outlive the call and
+/// have >= 2*Cfg.Workers vprocs). May be called repeatedly; each call
+/// builds a fresh store. GC statistics accumulate in RT's world --
+/// read them per-run via a fresh Runtime, or diff aggregateStats.
+ServingResult runServing(Runtime &RT, const ServingConfig &Cfg);
+
+} // namespace manti
+
+#endif // MANTI_SERVICE_TRAFFICGEN_H

@@ -17,6 +17,9 @@
 
 #include "gc/Handles.h"
 #include "gc/Heap.h"
+#ifdef MANTI_GC_INTERNAL
+#include "gc/HeapInternal.h" // GcFrame + raw mixed allocators for GC tests
+#endif
 #include "numa/Topology.h"
 
 #include <cstdint>

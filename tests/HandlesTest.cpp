@@ -80,13 +80,6 @@ static_assert(!std::is_copy_constructible_v<Ref<Object>> &&
               "handles are non-copyable");
 static_assert(std::is_move_constructible_v<Ref<Object>>,
               "handles are movable within their scope");
-// The legacy GcFrame::root proxy binds as Value& but refuses the
-// silently-unrooting by-value copy.
-static_assert(std::is_convertible_v<RootedSlot, Value &>,
-              "RootedSlot must bind as Value&");
-static_assert(!std::is_convertible_v<RootedSlot, Value>,
-              "Value X = Frame.root(...) must not compile");
-
 //===----------------------------------------------------------------------===//
 // ObjectType registration round-trips (ObjectDescriptorTest parity)
 //===----------------------------------------------------------------------===//

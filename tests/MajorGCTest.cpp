@@ -180,7 +180,7 @@ TEST(MajorGC, MixedObjectsPromoteCorrectly) {
   // under GCConfig::StressGC.
   Word Fields[2] = {12345, 0};
   Value *Slots[1] = {&Inner};
-  Value &Mixed = Frame.root(H.allocMixedRooted(Id, Fields, Slots));
+  Value &Mixed = Frame.root(gcinternal::allocMixedRooted(H, Id, Fields, Slots));
   H.minorGC();
   H.minorGC();
   H.majorGC();

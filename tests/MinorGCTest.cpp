@@ -13,6 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
+// The internal GcFrame::root proxy binds as Value& but refuses the
+// silently-unrooting by-value copy (the public RootScope analogue is
+// asserted in HandlesTest.cpp).
+static_assert(std::is_convertible_v<manti::RootedSlot, manti::Value &>,
+              "RootedSlot must bind as Value&");
+static_assert(!std::is_convertible_v<manti::RootedSlot, manti::Value>,
+              "Value X = Frame.root(...) must not compile");
+
 using namespace manti;
 using namespace manti::test;
 
@@ -152,7 +162,7 @@ TEST(MinorGC, MixedObjectsAreScannedViaDescriptors) {
   // inside every allocation.
   Word Fields[3] = {0xDEAD, 0, 0xBEEF};
   Value *Slots[1] = {&Inner};
-  Value &Mixed = Frame.root(H.allocMixedRooted(Id, Fields, Slots));
+  Value &Mixed = Frame.root(gcinternal::allocMixedRooted(H, Id, Fields, Slots));
   H.minorGC();
   EXPECT_EQ(mixedGetWord(Mixed, 0), 0xDEADu);
   EXPECT_EQ(mixedGetWord(Mixed, 2), 0xBEEFu);
@@ -173,7 +183,7 @@ TEST(MinorGC, AllocMixedRootedSurvivesMidAllocationCollection) {
   for (int64_t I = 0; I < N; ++I) {
     Word Fields[3] = {Root.bits(), static_cast<Word>(I), 0};
     Value *Slots[1] = {&Root};
-    Root = H.allocMixedRooted(Id, Fields, Slots);
+    Root = gcinternal::allocMixedRooted(H, Id, Fields, Slots);
   }
   EXPECT_GT(H.Stats.MinorPause.count(), 0u) << "build must have collected";
   int64_t Len = 0;

@@ -117,7 +117,7 @@ TEST(Promotion, MixedObjectGraph) {
   // which forces a collection inside every allocation.
   Word Fields[3] = {0, 0, 777};
   Value *Slots[2] = {&L, &R};
-  Value &Node = Frame.root(H.allocMixedRooted(Id, Fields, Slots));
+  Value &Node = Frame.root(gcinternal::allocMixedRooted(H, Id, Fields, Slots));
   Value &P = Frame.root(H.promote(Node));
   EXPECT_TRUE(isGlobal(TW.World, P));
   EXPECT_TRUE(isGlobal(TW.World, mixedGet(P, 0)));

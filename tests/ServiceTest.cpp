@@ -1,0 +1,312 @@
+//===- tests/ServiceTest.cpp - serving-layer tests ------------------------===//
+//
+// Part of the manticore-gc project.
+//
+// Covers the service layer: LatencyRecorder percentile math on known
+// distributions, deterministic TrafficGen schedules, KVStore
+// correctness across forced minor/major/global collections, and a small
+// end-to-end serving run. In the stress lane (MANTI_STRESS_GC=1) every
+// eligible allocation collects, so the store's rooting discipline is
+// exercised on every put.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+#include "runtime/Runtime.h"
+#include "service/KVStore.h"
+#include "service/LatencyRecorder.h"
+#include "service/TrafficGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+using namespace manti;
+using namespace manti::test;
+
+//===----------------------------------------------------------------------===//
+// LatencyRecorder
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyRecorder, EmptyReportsZero) {
+  LatencyRecorder R;
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(R.maxNanos(), 0u);
+  EXPECT_EQ(R.percentileNanos(50), 0u);
+  EXPECT_DOUBLE_EQ(R.meanNanos(), 0.0);
+}
+
+TEST(LatencyRecorder, SmallValuesAreExact) {
+  // Values below 32 land in single-value buckets: percentiles exact.
+  LatencyRecorder R;
+  for (uint64_t V = 0; V < 32; ++V)
+    R.record(V);
+  EXPECT_EQ(R.count(), 32u);
+  EXPECT_EQ(R.maxNanos(), 31u);
+  EXPECT_EQ(R.percentileNanos(50), 15u); // 16th of 32 samples is value 15
+  EXPECT_EQ(R.percentileNanos(100), 31u);
+  EXPECT_DOUBLE_EQ(R.meanNanos(), 15.5);
+}
+
+TEST(LatencyRecorder, UniformDistributionPercentiles) {
+  // 1..1000 uniformly: percentile P should land near 10*P with the
+  // histogram's ~3.1% relative quantization error.
+  LatencyRecorder R;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    R.record(V);
+  for (double P : {10.0, 50.0, 90.0, 99.0}) {
+    double Expect = 10.0 * P;
+    double Got = static_cast<double>(R.percentileNanos(P));
+    EXPECT_GE(Got, Expect - 1) << "P" << P;
+    EXPECT_LE(Got, Expect * 1.04 + 1) << "P" << P;
+  }
+  EXPECT_EQ(R.maxNanos(), 1000u);
+  EXPECT_EQ(R.percentileNanos(100), 1000u);
+  EXPECT_DOUBLE_EQ(R.meanNanos(), 500.5);
+}
+
+TEST(LatencyRecorder, PercentileNeverExceedsExactMax) {
+  // A single large sample: every percentile is clamped to the exact
+  // maximum, not its bucket's (coarser) upper edge.
+  LatencyRecorder R;
+  R.record(1'000'003);
+  EXPECT_EQ(R.percentileNanos(50), 1'000'003u);
+  EXPECT_EQ(R.percentileNanos(99.9), 1'000'003u);
+  EXPECT_EQ(R.maxNanos(), 1'000'003u);
+}
+
+TEST(LatencyRecorder, WideRangeBoundedRelativeError) {
+  LatencyRecorder R;
+  const uint64_t Samples[] = {100, 10'000, 1'000'000, 100'000'000,
+                              10'000'000'000ull};
+  for (uint64_t S : Samples)
+    R.record(S);
+  // The k-th of 5 equal-weight samples sits at percentile 20k; probe
+  // each sample's own percentile and require <= 3.2% relative error.
+  for (unsigned K = 0; K < 5; ++K) {
+    double P = 20.0 * K + 10.0;
+    double Got = static_cast<double>(R.percentileNanos(P));
+    double Expect = static_cast<double>(Samples[K]);
+    EXPECT_GE(Got, Expect * 0.999) << "sample " << K;
+    EXPECT_LE(Got, Expect * 1.032 + 1) << "sample " << K;
+  }
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedStream) {
+  LatencyRecorder A, B, Both;
+  for (uint64_t V = 1; V <= 500; ++V) {
+    A.record(V * 3);
+    Both.record(V * 3);
+  }
+  for (uint64_t V = 1; V <= 300; ++V) {
+    B.record(V * 7919);
+    Both.record(V * 7919);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Both.count());
+  EXPECT_EQ(A.maxNanos(), Both.maxNanos());
+  EXPECT_DOUBLE_EQ(A.meanNanos(), Both.meanNanos());
+  for (double P : {25.0, 50.0, 95.0, 99.9})
+    EXPECT_EQ(A.percentileNanos(P), Both.percentileNanos(P)) << "P" << P;
+}
+
+//===----------------------------------------------------------------------===//
+// TrafficGen schedules
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TrafficConfig testTraffic() {
+  TrafficConfig T;
+  T.Seed = 7;
+  T.RatePerGen = 1e6;
+  T.RequestsPerGen = 4000;
+  T.KeySpace = 512;
+  T.ValueBytes = 64;
+  return T;
+}
+
+} // namespace
+
+TEST(TrafficGen, ScheduleIsDeterministic) {
+  TrafficConfig T = testTraffic();
+  std::vector<Request> A = buildSchedule(T, 3);
+  std::vector<Request> B = buildSchedule(T, 3);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].ScheduledNanos, B[I].ScheduledNanos);
+    EXPECT_EQ(A[I].Key, B[I].Key);
+    EXPECT_EQ(A[I].Op, B[I].Op);
+  }
+}
+
+TEST(TrafficGen, GeneratorsGetDistinctStreams) {
+  TrafficConfig T = testTraffic();
+  std::vector<Request> A = buildSchedule(T, 0);
+  std::vector<Request> B = buildSchedule(T, 1);
+  ASSERT_EQ(A.size(), B.size());
+  unsigned Different = 0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    if (A[I].ScheduledNanos != B[I].ScheduledNanos || A[I].Key != B[I].Key)
+      Different++;
+  EXPECT_GT(Different, A.size() / 2);
+}
+
+TEST(TrafficGen, ArrivalsAreMonotoneAtTheOfferedRate) {
+  TrafficConfig T = testTraffic();
+  std::vector<Request> S = buildSchedule(T, 0);
+  ASSERT_EQ(S.size(), T.RequestsPerGen);
+  for (std::size_t I = 1; I < S.size(); ++I)
+    EXPECT_GE(S[I].ScheduledNanos, S[I - 1].ScheduledNanos);
+  // Mean arrival rate: N exponential gaps of mean 1/rate sum to N/rate
+  // with ~1/sqrt(N) spread; 4000 samples puts 10% far outside noise.
+  double ExpectSpanNanos = 1e9 * T.RequestsPerGen / T.RatePerGen;
+  double Span = static_cast<double>(S.back().ScheduledNanos);
+  EXPECT_GT(Span, ExpectSpanNanos * 0.9);
+  EXPECT_LT(Span, ExpectSpanNanos * 1.1);
+}
+
+TEST(TrafficGen, OpMixMatchesConfiguredPercentages) {
+  TrafficConfig T = testTraffic();
+  std::vector<Request> S = buildSchedule(T, 0);
+  uint64_t Gets = 0, Puts = 0, Deletes = 0;
+  for (const Request &R : S) {
+    Gets += R.Op == OpKind::Get;
+    Puts += R.Op == OpKind::Put;
+    Deletes += R.Op == OpKind::Delete;
+    EXPECT_LT(R.Key, T.KeySpace);
+  }
+  double N = static_cast<double>(S.size());
+  EXPECT_NEAR(Gets / N, 0.70, 0.03);
+  EXPECT_NEAR(Puts / N, 0.25, 0.03);
+  EXPECT_NEAR(Deletes / N, 0.05, 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// KVStore across forced collections
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RuntimeConfig serviceRuntimeConfig(unsigned NumVProcs) {
+  RuntimeConfig Cfg;
+  Cfg.GC = smallConfig();
+  Cfg.NumVProcs = NumVProcs;
+  Cfg.PinThreads = false;
+  return Cfg;
+}
+
+struct StoreCtx {
+  KVStore *Store = nullptr;
+  unsigned Failures = 0;
+};
+
+constexpr uint64_t StoreKeys = 200;
+
+void storeGCMain(Runtime &RT, VProc &VP, void *CtxP) {
+  auto *C = static_cast<StoreCtx *>(CtxP);
+  KVStore &Store = *C->Store;
+  auto CheckAll = [&](const char *When) {
+    for (uint64_t K = 0; K < StoreKeys; ++K)
+      if (!Store.get(VP, K)) {
+        ADD_FAILURE() << "lost key " << K << " " << When;
+        C->Failures++;
+      }
+  };
+
+  for (uint64_t K = 0; K < StoreKeys; ++K)
+    Store.put(VP, K, 64 + (K % 5) * 32);
+  CheckAll("after load");
+
+  VProcHeap &H = VP.heap();
+  H.minorGC();
+  CheckAll("after minor GC");
+
+  H.majorGC();
+  H.majorGC(); // age every survivor into the global heap
+  CheckAll("after major GCs");
+
+  // Overwrite half the keys (old entries become global garbage), make
+  // extra global garbage, then run a global collection.
+  for (uint64_t K = 0; K < StoreKeys; K += 2)
+    Store.put(VP, K, 128);
+  {
+    RootScope Junk(H);
+    for (int I = 0; I < 10; ++I) {
+      Ref<> Dead = Junk.root(makeIntList(H, 300));
+      promote(Junk, Dead);
+    }
+  }
+  RT.world().requestGlobalGC();
+  H.safePoint();
+  CheckAll("after global GC");
+
+  for (uint64_t K = 0; K < StoreKeys; K += 4)
+    EXPECT_TRUE(Store.erase(VP, K));
+  RT.world().requestGlobalGC();
+  H.safePoint();
+  for (uint64_t K = 0; K < StoreKeys; ++K) {
+    bool Hit = Store.get(VP, K);
+    EXPECT_EQ(Hit, K % 4 != 0) << "key " << K;
+  }
+}
+
+} // namespace
+
+TEST(KVStore, SurvivesMinorMajorAndGlobalCollections) {
+  Runtime RT(serviceRuntimeConfig(2), Topology::uniform(2, 2));
+  KVStore Store(RT, 4);
+  StoreCtx Ctx;
+  Ctx.Store = &Store;
+  RT.run(&storeGCMain, &Ctx);
+  EXPECT_EQ(Ctx.Failures, 0u);
+  EXPECT_EQ(Store.corruptions(), 0u);
+  EXPECT_EQ(Store.size(), StoreKeys - StoreKeys / 4);
+  EXPECT_GE(RT.world().globalGCCount(), 2u);
+}
+
+TEST(KVStore, ShardsSpreadAcrossNodes) {
+  Runtime RT(serviceRuntimeConfig(2), Topology::uniform(2, 2));
+  KVStore Store(RT, 4);
+  EXPECT_EQ(Store.numShards(), 4u);
+  bool SawNode[2] = {false, false};
+  for (unsigned S = 0; S < 4; ++S) {
+    ASSERT_LT(Store.shardHome(S), 2u);
+    SawNode[Store.shardHome(S)] = true;
+  }
+  EXPECT_TRUE(SawNode[0]);
+  EXPECT_TRUE(SawNode[1]);
+  // homeNodeOf agrees with the shard assignment.
+  for (uint64_t K = 0; K < 64; ++K)
+    EXPECT_EQ(Store.homeNodeOf(K), Store.shardHome(Store.shardOf(K)));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end serving run
+//===----------------------------------------------------------------------===//
+
+TEST(Serving, SmallOpenLoopRunCompletes) {
+  Runtime RT(serviceRuntimeConfig(4), Topology::uniform(2, 2));
+  ServingConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.PreloadKeys = 128;
+  Cfg.Traffic.Seed = 11;
+  Cfg.Traffic.RatePerGen = 20000;
+  Cfg.Traffic.RequestsPerGen = 150;
+  Cfg.Traffic.KeySpace = 128;
+  Cfg.Traffic.ValueBytes = 96;
+
+  ServingResult R = runServing(RT, Cfg);
+  const uint64_t Total = 2 * Cfg.Traffic.RequestsPerGen;
+  EXPECT_EQ(R.Latency.count(), Total);
+  EXPECT_EQ(R.Gets + R.Puts + R.Deletes, Total);
+  EXPECT_EQ(R.Corruptions, 0u);
+  // Full keyspace preloaded, so only keys a delete removed earlier in
+  // the run can miss.
+  EXPECT_LT(R.Misses, Total / 2);
+  EXPECT_GT(R.AchievedRps, 0.0);
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_GT(R.Latency.maxNanos(), 0u);
+  EXPECT_DOUBLE_EQ(R.OfferedRps, 2 * Cfg.Traffic.RatePerGen);
+}
