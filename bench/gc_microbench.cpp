@@ -65,6 +65,22 @@ static void BM_NurseryAlloc(benchmark::State &State) {
 }
 BENCHMARK(BM_NurseryAlloc)->Arg(2)->Arg(8)->Arg(64);
 
+/// The same bump allocation through the out-of-line twin of the fast
+/// path (the pre-inlining code shape, kept for exactly this comparison):
+/// the delta against BM_NurseryAlloc is what header-inlining the
+/// tryAlloc fast path buys per allocation.
+static void BM_NurseryAllocOutlined(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t Words = State.range(0);
+  for (auto _ : State) {
+    Value V = gcinternal::HeapAccess::allocRawOutlined(H, nullptr, Words * 8);
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetBytesProcessed(State.iterations() * (Words + 1) * 8);
+}
+BENCHMARK(BM_NurseryAllocOutlined)->Arg(2)->Arg(8)->Arg(64);
+
 /// Allocate a fresh live list, then minor-collect it: measures the
 /// mutator-allocation plus nursery-copy cycle at a given live size.
 static void BM_MinorGC(benchmark::State &State) {
@@ -134,6 +150,29 @@ static void BM_GlobalGC(benchmark::State &State) {
   State.counters["live_cells"] = static_cast<double>(State.range(0));
 }
 BENCHMARK(BM_GlobalGC)->Arg(256)->Arg(4096)->Arg(16384);
+
+/// Mostly-concurrent cycle, single vproc: measures the whole-cycle cost
+/// (both rendezvous plus assist-driven tracing -- with one vproc nothing
+/// actually overlaps). Compare against BM_GlobalGC for the mark-sweep
+/// vs copying-collection cost at the same live size; the *pause* win
+/// shows up in bench_serving_kv, not here.
+static void BM_ConcurrentGlobalGC(benchmark::State &State) {
+  GCConfig Cfg = benchConfig();
+  Cfg.ConcurrentGlobal = true;
+  GCWorld World(Cfg, Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  GcFrame Frame(H);
+  Value &Live = Frame.root(makeList(H, State.range(0)));
+  Live = H.promote(Live);
+  for (auto _ : State) {
+    World.startConcurrentMark();
+    while (World.collectionInProgress())
+      H.safePoint();
+    benchmark::DoNotOptimize(Live);
+  }
+  State.counters["live_cells"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_ConcurrentGlobalGC)->Arg(256)->Arg(4096)->Arg(16384);
 
 /// Descriptor-driven scanning: allocate a chain of mixed objects and
 /// minor-collect it, exercising the per-type generated scanners

@@ -197,13 +197,27 @@ Report manti::buildGCReport(GCWorld &World) {
   Phase("promotion", S.PromotePause, S.PromoteBytes, "promoted");
   Phase("global", S.GlobalPause, S.GlobalBytesCopied, "copied")
       .metric("completed", static_cast<double>(World.globalGCCount()),
-              Report::Unit::Count, "completed collections");
+              Report::Unit::Count, "completed collections")
+      .metric("concurrent", static_cast<double>(World.concurrentGCCount()),
+              Report::Unit::Count, "concurrent cycles");
 
   // The serving-workload headline: the longest single mutator pause of
-  // any phase (GCStats::maxPauseNanos).
-  R.section("pause").metric("max_us",
-                            static_cast<double>(S.maxPauseNanos()) / 1e3,
-                            Report::Unit::Micros, "max (all phases)");
+  // any phase (GCStats::maxPauseNanos), broken down by what the global
+  // collection spent it on. For a concurrent cycle, mark_us covers only
+  // the stopped terminal re-mark -- the bulk of tracing overlaps
+  // mutation and never appears as pause.
+  R.section("pause")
+      .metric("max_us", static_cast<double>(S.maxPauseNanos()) / 1e3,
+              Report::Unit::Micros, "max (all phases)")
+      .metric("rendezvous_us",
+              static_cast<double>(S.GlobalRendezvousPause.maxNanos()) / 1e3,
+              Report::Unit::Micros, "max rendezvous")
+      .metric("mark_us",
+              static_cast<double>(S.GlobalMarkPause.maxNanos()) / 1e3,
+              Report::Unit::Micros, "max stopped mark")
+      .metric("sweep_us",
+              static_cast<double>(S.GlobalSweepPause.maxNanos()) / 1e3,
+              Report::Unit::Micros, "max sweep");
 
   ChunkManager &CM = World.chunks();
   R.section("global heap")

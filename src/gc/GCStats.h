@@ -41,6 +41,14 @@ struct GCStats {
   uint64_t GlobalBytesCopied = 0;
   uint64_t GlobalChunksScanned = 0;
 
+  // Per-phase breakdown of the global pause. For the STW collector the
+  // three sum (approximately) to GlobalPause; for a concurrent cycle
+  // only the two rendezvous windows stop this mutator, so GlobalPause
+  // covers those while the mark phase runs overlapped with mutation.
+  DurationStat GlobalRendezvousPause; ///< snapshot/root handshakes
+  DurationStat GlobalMarkPause;       ///< tracing the mutator waited on
+  DurationStat GlobalSweepPause;      ///< sweep / from-space release
+
   // Allocation volume.
   uint64_t BytesAllocatedLocal = 0;
   uint64_t BytesAllocatedGlobal = 0;
@@ -80,6 +88,9 @@ struct GCStats {
     GlobalPause.merge(O.GlobalPause);
     GlobalBytesCopied += O.GlobalBytesCopied;
     GlobalChunksScanned += O.GlobalChunksScanned;
+    GlobalRendezvousPause.merge(O.GlobalRendezvousPause);
+    GlobalMarkPause.merge(O.GlobalMarkPause);
+    GlobalSweepPause.merge(O.GlobalSweepPause);
     BytesAllocatedLocal += O.BytesAllocatedLocal;
     BytesAllocatedGlobal += O.BytesAllocatedGlobal;
     ChunkLocalReuses += O.ChunkLocalReuses;

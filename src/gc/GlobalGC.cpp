@@ -139,7 +139,20 @@ public:
     }
   }
 
-  void visitSlot(Word *Slot) { *Slot = forwardGlobal(*Slot); }
+  /// Forwards one pointer slot in place. Slots inside *global* objects
+  /// can be reached twice in the same collection -- once through a root
+  /// walk (a proxy payload slot is visited via the owner's proxy-table
+  /// roots) and once through the shared to-space scan -- so the access
+  /// must be atomic. Both visitors store the same forwarding target
+  /// (the copy itself is ordered by the header CAS in forwardGlobal),
+  /// so relaxed ordering suffices.
+  void visitSlot(Word *Slot) {
+    std::atomic_ref<Word> S(*Slot);
+    Word Old = S.load(std::memory_order_relaxed);
+    Word New = forwardGlobal(Old);
+    if (New != Old)
+      S.store(New, std::memory_order_relaxed);
+  }
 
   /// Phase 3: forward this vproc's roots and scan its local heap for
   /// pointers into from-space.
@@ -238,7 +251,8 @@ private:
         // owner's local heap (unresolved payloads are kept alive by the
         // owner's proxy-table roots instead). A negative owner field
         // marks a resolved proxy, whose payload is always global.
-        Word Payload = Obj[1];
+        Word Payload =
+            std::atomic_ref<Word>(Obj[1]).load(std::memory_order_relaxed);
         if (wordIsPtr(Payload)) {
           int64_t OwnerOrResolved = Value::fromBits(Obj[0]).asInt();
           Word *Target = reinterpret_cast<Word *>(Payload);
@@ -246,7 +260,7 @@ private:
               !W.heap(static_cast<unsigned>(OwnerOrResolved))
                    .local()
                    .contains(Target))
-            Obj[1] = forwardGlobal(Payload);
+            visitSlot(&Obj[1]);
         }
       } else {
         forEachPtrField(Obj, Hdr, Descs,
@@ -267,36 +281,45 @@ private:
 void GlobalCollection::participate(VProcHeap &H) {
   ScopedTimer Timer(H.Stats.GlobalPause);
 
-  // Phase 1: parallel local collections; everything live becomes young
-  // data or global-heap objects (end state of Fig. 3 on every vproc).
-  minorGCImpl(H);
-  majorGCImpl(H, EvacuateMode::OldOnly);
+  bool Leader;
+  {
+    ScopedTimer Rendezvous(H.Stats.GlobalRendezvousPause);
 
-  // Phase 2: leader gathers from-space once every vproc's local
-  // collections are done.
-  bool Leader = W.GCBarrier.arriveAndWait();
-  if (Leader) {
-    W.Chunks.gatherFromSpace(FromByNode);
-    for (ChunkStack &Stack : PendingByNode)
-      Stack.clear();
-    PendingCount.store(0, std::memory_order_relaxed);
-    IdleCount.store(0, std::memory_order_relaxed);
+    // Phase 1: parallel local collections; everything live becomes young
+    // data or global-heap objects (end state of Fig. 3 on every vproc).
+    minorGCImpl(H);
+    majorGCImpl(H, EvacuateMode::OldOnly);
+
+    // Phase 2: leader gathers from-space once every vproc's local
+    // collections are done.
+    Leader = W.GCBarrier.arriveAndWait();
+    if (Leader) {
+      W.Chunks.gatherFromSpace(FromByNode);
+      for (ChunkStack &Stack : PendingByNode)
+        Stack.clear();
+      PendingCount.store(0, std::memory_order_relaxed);
+      IdleCount.store(0, std::memory_order_relaxed);
+    }
+    W.GCBarrier.arriveAndWait();
   }
-  W.GCBarrier.arriveAndWait();
 
   // Our current chunk now belongs to from-space.
   H.CurChunk = nullptr;
 
-  // Phase 3 + 4: roots, local heap, then cooperative parallel scan.
-  GlobalScanner Scanner(H, *this);
-  Scanner.forwardRootsAndLocalHeap();
-  if (Leader)
-    Scanner.forwardGlobalRoots();
-  Scanner.scanLoop();
+  {
+    ScopedTimer Mark(H.Stats.GlobalMarkPause);
+    // Phase 3 + 4: roots, local heap, then cooperative parallel scan.
+    GlobalScanner Scanner(H, *this);
+    Scanner.forwardRootsAndLocalHeap();
+    if (Leader)
+      Scanner.forwardGlobalRoots();
+    Scanner.scanLoop();
+  }
 
   // Phase 5: return from-space to the free pool and resume.
   bool Leader2 = W.GCBarrier.arriveAndWait();
   if (Leader2) {
+    ScopedTimer Sweep(H.Stats.GlobalSweepPause);
     uint64_t Freed = 0;
     for (Chunk *&Head : FromByNode) {
       while (Chunk *C = Head) {
@@ -312,8 +335,11 @@ void GlobalCollection::participate(VProcHeap &H) {
                     W.numVProcs();
     W.GlobalGCThreshold.store(std::max(Base, 2 * Live),
                               std::memory_order_relaxed);
+    W.GlobalLiveBytes.store(Live, std::memory_order_relaxed);
+    for (auto &Heap : W.Heaps)
+      Heap->GlobalAllocSinceCycle.store(0, std::memory_order_relaxed);
     W.GlobalGCsCompleted.fetch_add(1, std::memory_order_relaxed);
-    W.GlobalGCRequested.store(false, std::memory_order_release);
+    W.Phase.store(GCPhase::Idle, std::memory_order_release);
     // Completion rings the broadcast doorbell too: anything parked on
     // "no collection pending" (the runtime's between-runs drain wait)
     // resumes now instead of running out its park backstop.

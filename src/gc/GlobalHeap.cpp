@@ -272,6 +272,67 @@ void ChunkManager::releaseChunk(Chunk *C) {
   S.Free = C;
 }
 
+void Chunk::beginMark(uint64_t Cycle) {
+  // The bitmap only needs to cover the stamped prefix: markers refuse
+  // anything at or above MarkLimit, so bits for the unallocated tail
+  // would never be touched.
+  std::size_t UsedWords = static_cast<std::size_t>(AllocPtr - Base);
+  std::size_t NeedWords = (UsedWords + 63) / 64;
+  if (NeedWords > MarkBitsWords) {
+    MarkBits.reset(new std::atomic<uint64_t>[NeedWords]);
+    MarkBitsWords = NeedWords;
+  }
+  for (std::size_t I = 0; I < NeedWords; ++I)
+    MarkBits[I].store(0, std::memory_order_relaxed);
+  MarkedCount.store(0, std::memory_order_relaxed);
+  MarkLimit.store(AllocPtr, std::memory_order_relaxed);
+  MarkEpoch.store(Cycle, std::memory_order_release);
+}
+
+void ChunkManager::beginMarkCycle(uint64_t Cycle) {
+  for (Shard &S : Shards) {
+    std::lock_guard<SpinLock> Guard(S.Lock);
+    for (Chunk *C = S.Active; C; C = C->Next)
+      C->beginMark(Cycle);
+  }
+}
+
+uint64_t
+ChunkManager::sweepUnmarked(uint64_t Cycle,
+                            const std::vector<const Chunk *> &Pinned) {
+  uint64_t Freed = 0;
+  std::vector<Chunk *> ToRelease;
+  for (Shard &S : Shards) {
+    std::lock_guard<SpinLock> Guard(S.Lock);
+    Chunk **Link = &S.Active;
+    while (Chunk *C = *Link) {
+      // A chunk is reclaimable only when the whole cycle saw it: stamped
+      // at the snapshot, zero survivors marked, and no allocation after
+      // the stamp (post-MarkLimit objects were retained unscanned). The
+      // vprocs' current chunks stay put so their cached pointers remain
+      // valid.
+      bool Dead = C->MarkEpoch.load(std::memory_order_relaxed) == Cycle &&
+                  C->MarkedCount.load(std::memory_order_relaxed) == 0 &&
+                  C->AllocPtr == C->MarkLimit.load(std::memory_order_relaxed) &&
+                  std::find(Pinned.begin(), Pinned.end(), C) == Pinned.end();
+      if (!Dead) {
+        Link = &C->Next;
+        continue;
+      }
+      *Link = C->Next;
+      std::size_t Bytes = C->IsOversized ? C->BlockBytes : ChunkBytes;
+      ActiveBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+      Freed += Bytes;
+      ToRelease.push_back(C);
+    }
+  }
+  // releaseChunk re-takes shard locks (and the register lock for
+  // oversized blocks), so it runs after the walk drops them.
+  for (Chunk *C : ToRelease)
+    releaseChunk(C);
+  return Freed;
+}
+
 bool ChunkManager::activeChunksContain(const Word *P) const {
   for (const Shard &S : Shards) {
     std::lock_guard<SpinLock> Guard(S.Lock);

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -79,6 +80,33 @@ struct Chunk {
   bool IsOversized = false;
   std::size_t BlockBytes = 0; ///< full block allocation, metadata included
 
+  // Concurrent-mark metadata (ConcurrentGC.cpp). A mark cycle's leader
+  // stamps every active chunk with the cycle number and the allocation
+  // snapshot while the world is briefly stopped; markers then touch only
+  // [Base, MarkLimit) of stamped chunks, so mutator bump allocation
+  // above MarkLimit never races the tracer. Chunks acquired after the
+  // stamp keep a stale MarkEpoch and are retained wholesale.
+  std::atomic<uint64_t> MarkEpoch{0}; ///< cycle this chunk was stamped for
+  std::atomic<Word *> MarkLimit{nullptr}; ///< AllocPtr at stamp time
+  std::atomic<uint64_t> MarkedCount{0};   ///< objects marked this cycle
+  /// Side mark bitmap, one bit per word of [Base, MarkLimit). Lazily
+  /// sized to the stamped allocation prefix and reused across cycles.
+  std::unique_ptr<std::atomic<uint64_t>[]> MarkBits;
+  std::size_t MarkBitsWords = 0;
+
+  /// Marks the object whose header occupies \p HdrSlot. \returns true
+  /// exactly once per object per cycle (markers race via fetch_or).
+  bool testAndSetMark(const Word *HdrSlot) {
+    std::size_t Bit = static_cast<std::size_t>(HdrSlot - Base);
+    std::atomic<uint64_t> &W = MarkBits[Bit >> 6];
+    uint64_t Mask = uint64_t(1) << (Bit & 63);
+    return (W.fetch_or(Mask, std::memory_order_relaxed) & Mask) == 0;
+  }
+
+  /// Stamps this chunk for mark cycle \p Cycle: snapshots AllocPtr into
+  /// MarkLimit and clears the (lazily grown) bitmap. World-stopped only.
+  void beginMark(uint64_t Cycle);
+
   /// Recovers the chunk owning interior pointer \p P. \p ChunkBytes must
   /// be the manager's (power-of-two) chunk size. Aborts if \p P does not
   /// point into a standard chunk; oversized chunks are found through
@@ -119,6 +147,7 @@ struct Chunk {
     Next = nullptr;
     PendingNext.store(nullptr, std::memory_order_relaxed);
     InFromSpace = false;
+    MarkEpoch.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -256,6 +285,19 @@ public:
 
   /// Returns a from-space chunk to its home node's free shard.
   void releaseChunk(Chunk *C);
+
+  /// Stamps every active chunk for concurrent-mark cycle \p Cycle
+  /// (Chunk::beginMark). Called by the cycle's leader while the world is
+  /// stopped at the initial rendezvous.
+  void beginMarkCycle(uint64_t Cycle);
+
+  /// Non-moving sweep after a concurrent mark: unlinks and releases every
+  /// active chunk stamped for \p Cycle that finished the cycle with no
+  /// marked objects and no post-snapshot allocation. Chunks in \p Pinned
+  /// (the vprocs' current allocation chunks) are kept even when empty.
+  /// World-stopped (terminal rendezvous leader) only. \returns freed
+  /// bytes.
+  uint64_t sweepUnmarked(uint64_t Cycle, const std::vector<const Chunk *> &Pinned);
 
   /// Bytes currently held by active chunks (allocation capacity handed
   /// out, which is what the paper's trigger counts).

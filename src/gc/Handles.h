@@ -239,8 +239,17 @@ private:
 class RootScope {
 public:
   explicit RootScope(VProcHeap &Heap)
-      : Heap(Heap), Mark(Heap.ShadowStack.size()) {}
-  ~RootScope() { Heap.ShadowStack.resize(Mark); }
+      : Heap(Heap), Mark(Heap.ShadowStack.size()),
+        PrevSatbHeap(gcdetail::CurrentSatbHeap) {
+    // Publish the heap for the handle layer's deletion barrier
+    // (satbRecordOverwrite in gc/Heap.h): scopes nest LIFO on one vproc
+    // thread, so the innermost scope's heap is always current.
+    gcdetail::CurrentSatbHeap = &Heap;
+  }
+  ~RootScope() {
+    gcdetail::CurrentSatbHeap = PrevSatbHeap;
+    Heap.ShadowStack.resize(Mark);
+  }
 
   RootScope(const RootScope &) = delete;
   RootScope &operator=(const RootScope &) = delete;
@@ -283,6 +292,7 @@ public:
 private:
   VProcHeap &Heap;
   std::size_t Mark;
+  VProcHeap *PrevSatbHeap;
   /// Deque: growth never invalidates addresses of existing slots.
   std::deque<Value> Owned;
 };
@@ -305,6 +315,7 @@ public:
 
   Ref(Ref &&Other) noexcept : Slot(Other.Slot) {}
   Ref &operator=(Ref &&Other) noexcept {
+    satbRecordOverwrite(*Slot);
     *Slot = *Other.Slot;
     return *this;
   }
@@ -319,8 +330,10 @@ public:
     *B.Slot = Tmp;
   }
 
-  /// Overwrites the rooted slot in place (e.g. loop accumulators).
+  /// Overwrites the rooted slot in place (e.g. loop accumulators). The
+  /// dropped value feeds the concurrent collector's deletion barrier.
   Ref &operator=(Value V) {
+    satbRecordOverwrite(*Slot);
     *Slot = V;
     return *this;
   }
@@ -394,6 +407,7 @@ public:
 
   VecRef(VecRef &&Other) noexcept : Slot(Other.Slot) {}
   VecRef &operator=(VecRef &&Other) noexcept {
+    satbRecordOverwrite(*Slot);
     *Slot = *Other.Slot;
     return *this;
   }
@@ -408,10 +422,12 @@ public:
     *B.Slot = Tmp;
   }
 
-  /// Re-targets the rooted slot (nil or a vector object; checked).
+  /// Re-targets the rooted slot (nil or a vector object; checked). The
+  /// dropped value feeds the concurrent collector's deletion barrier.
   VecRef &operator=(Value V) {
     assert((V.isNil() || (V.isPtr() && objectId(V) == IdVector)) &&
            "VecRef may only hold vector objects");
+    satbRecordOverwrite(*Slot);
     *Slot = V;
     return *this;
   }

@@ -74,15 +74,16 @@ GCWorld::GCWorld(const GCConfig &Config, const Topology &Topo,
                                                 Topo.nodeOfCore(Cores[Id])));
 
   GCState.reset(createGlobalCollection(*this));
+  CMState.reset(createConcurrentMark(*this));
 }
 
 GCWorld::~GCWorld() = default;
 
 void GCWorld::requestGlobalGC() {
-  bool Expected = false;
-  if (!GlobalGCRequested.compare_exchange_strong(Expected, true,
-                                                 std::memory_order_acq_rel))
-    return; // already pending or in progress
+  GCPhase Expected = GCPhase::Idle;
+  if (!Phase.compare_exchange_strong(Expected, GCPhase::StwPending,
+                                     std::memory_order_acq_rel))
+    return; // a collection (either flavor) is already pending or running
   // Section 3.4, step 2: signal every vproc by zeroing its allocation
   // limit; each enters the collector at its next safe point.
   for (auto &H : Heaps)
@@ -93,6 +94,24 @@ void GCWorld::requestGlobalGC() {
   notifyWakeupHook();
   MANTI_DEBUG("gc", "global collection requested (active=%llu)",
               static_cast<unsigned long long>(Chunks.activeBytes()));
+}
+
+bool GCWorld::startConcurrentMark() {
+  GCPhase Expected = GCPhase::Idle;
+  if (!Phase.compare_exchange_strong(Expected, GCPhase::ConcInit,
+                                     std::memory_order_acq_rel))
+    return false; // a collection (either flavor) is already underway
+  // Same convergence mechanism as the STW request: zeroed limits plus
+  // the broadcast doorbell bring every vproc to the (short) snapshot
+  // rendezvous. Safe points dispatch on the phase word itself, so a
+  // limit signal lost to a concurrent restoreLimit only costs latency,
+  // never correctness.
+  for (auto &H : Heaps)
+    H->local().signalLimit();
+  notifyWakeupHook();
+  MANTI_DEBUG("gc", "concurrent mark requested (active=%llu)",
+              static_cast<unsigned long long>(Chunks.activeBytes()));
+  return true;
 }
 
 NodeId GCWorld::homeNodeOf(Value V, NodeId Fallback) {
@@ -136,10 +155,9 @@ void VProcHeap::majorGC() {
   majorGCImpl(*this, EvacuateMode::OldOnly);
 }
 
-void VProcHeap::safePoint() {
-  if (World.globalGCPending())
-    globalGCParticipate(*this);
-}
+/// Innermost-RootScope heap for the handle layer's deletion barrier
+/// (declared in Heap.h, maintained by RootScope in Handles.h).
+thread_local VProcHeap *gcdetail::CurrentSatbHeap = nullptr;
 
 //===----------------------------------------------------------------------===//
 // Global-heap bump allocation
@@ -166,6 +184,8 @@ Chunk *VProcHeap::acquireChunkCounted() {
 
 Word *VProcHeap::globalReserve(uint64_t FootprintWords, Chunk **UsedChunk) {
   std::size_t Bytes = FootprintWords * sizeof(Word);
+  // Uncontended owner bump; the watermark trigger sums these lazily.
+  GlobalAllocSinceCycle.fetch_add(Bytes, std::memory_order_relaxed);
   if (Bytes > World.Chunks.standardCapacityBytes()) {
     Chunk *Big = World.Chunks.acquireOversized(Node, Bytes);
     ++Stats.ChunkFreshRegistrations;
@@ -192,23 +212,46 @@ Word *VProcHeap::globalAllocObject(uint16_t Id, uint64_t LenWords) {
   HdrSlot[0] = makeHeader(Id, LenWords);
   Stats.BytesAllocatedGlobal += (LenWords + 1) * sizeof(Word);
   World.Traffic.record(Node, Used->HomeNode, (LenWords + 1) * sizeof(Word));
-  if (World.Chunks.activeBytes() > World.globalGCThresholdBytes())
-    World.requestGlobalGC();
+  maybeTriggerGlobalGC((LenWords + 1) * sizeof(Word));
   return HdrSlot + 1;
+}
+
+void VProcHeap::maybeTriggerGlobalGC(uint64_t JustAllocatedBytes) {
+  if (!World.Config.ConcurrentGlobal) {
+    // Stop-the-world mode: the classic trigger, checked on every global
+    // allocation so threshold crossings are caught exactly.
+    if (World.Chunks.activeBytes() > World.globalGCThresholdBytes())
+      World.requestGlobalGC();
+    return;
+  }
+  // Concurrent mode, corobase-style: accumulate locally and only re-sum
+  // everyone's counters once per stride of this vproc's own allocation.
+  WatermarkResidue += JustAllocatedBytes;
+  if (MANTI_LIKELY(WatermarkResidue < GCWorld::WatermarkStrideBytes))
+    return;
+  WatermarkResidue = 0;
+  if (World.phase() != GCPhase::Idle)
+    return; // a cycle is already pending or running
+  uint64_t Allocated = 0;
+  for (auto &H : World.Heaps)
+    Allocated += H->GlobalAllocSinceCycle.load(std::memory_order_relaxed);
+  const uint64_t Threshold = World.globalGCThresholdBytes();
+  const auto Watermark = static_cast<uint64_t>(
+      World.Config.ConcurrentMarkWatermark * static_cast<double>(Threshold));
+  if (Allocated >= Watermark)
+    // Enough new allocation since the last cycle: start marking now,
+    // well before the hard threshold, so the cycle finishes while the
+    // heap still has headroom.
+    World.startConcurrentMark();
+  else if (World.Chunks.activeBytes() > Threshold)
+    // Backstop: fragmentation or floating garbage outran the watermark;
+    // fall back to the compacting stop-the-world collection.
+    World.requestGlobalGC();
 }
 
 //===----------------------------------------------------------------------===//
 // Local allocation: fast path and GC-driving slow path
 //===----------------------------------------------------------------------===//
-
-Word *VProcHeap::allocLocalObject(uint16_t Id, uint64_t LenWords) {
-  if (MANTI_UNLIKELY(World.Config.StressGC))
-    stressGCBeforeAlloc();
-  Stats.BytesAllocatedLocal += (LenWords + 1) * sizeof(Word);
-  if (Word *P = Local.tryAlloc(Id, LenWords))
-    return P;
-  return allocSlowPath(Id, LenWords);
-}
 
 /// StressGC: every slow-path-eligible allocation first validates the
 /// shadow stack, then actually collects, so any Value held outside a
@@ -221,8 +264,7 @@ void VProcHeap::stressGCBeforeAlloc() {
       (++StressTick % World.Config.StressGCPeriod) != 0)
     return;
   debugCheckShadowStack();
-  if (World.globalGCPending())
-    globalGCParticipate(*this);
+  safePoint();
   minorGCImpl(*this);
   if (Local.nurseryCapacityBytes() < World.Config.MinNurseryBytes)
     majorGCImpl(*this, EvacuateMode::OldOnly);
@@ -264,13 +306,13 @@ Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {
   for (unsigned Attempt = 0;; ++Attempt) {
     MANTI_CHECK(Attempt < 8, "allocation cannot make progress");
 
-    // A zeroed limit may mean a pending global collection rather than a
-    // full nursery (Section 3.4 step 2).
-    if (World.globalGCPending())
-      globalGCParticipate(*this);
+    // A zeroed limit may mean a pending collection rendezvous rather
+    // than a full nursery (Section 3.4 step 2); safePoint dispatches on
+    // the phase word and participates in whichever flavor is underway.
+    safePoint();
     if (Word *P = Local.tryAlloc(Id, LenWords))
       return P;
-    if (World.globalGCPending())
+    if (Local.limitSignalled())
       continue;
 
     // Raw objects too large for the nursery go straight to the global
@@ -290,7 +332,7 @@ Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {
       majorGCImpl(*this, EvacuateMode::OldOnly);
     if (Word *P = Local.tryAlloc(Id, LenWords))
       return P;
-    if (World.globalGCPending())
+    if (Local.limitSignalled())
       continue;
 
     // Still failing: live local data is crowding the heap. Evacuate
@@ -307,9 +349,22 @@ Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {
 // Public allocators
 //===----------------------------------------------------------------------===//
 
-Value VProcHeap::allocRaw(const void *Data, std::size_t Bytes) {
+/// Out-of-line twins of the header-inlined fast path, kept only so the
+/// microbench can measure what the call-boundary version used to cost.
+MANTI_NOINLINE Word *VProcHeap::allocLocalOutlined(uint16_t Id,
+                                                   uint64_t LenWords) {
+  if (MANTI_UNLIKELY(World.Config.StressGC))
+    stressGCBeforeAlloc();
+  Stats.BytesAllocatedLocal += (LenWords + 1) * sizeof(Word);
+  if (Word *P = Local.tryAlloc(Id, LenWords))
+    return P;
+  return allocSlowPath(Id, LenWords);
+}
+
+MANTI_NOINLINE Value gcinternal::HeapAccess::allocRawOutlined(
+    VProcHeap &H, const void *Data, std::size_t Bytes) {
   uint64_t LenWords = std::max<uint64_t>(1, divideCeil(Bytes, sizeof(Word)));
-  Word *Obj = allocLocalObject(IdRaw, LenWords);
+  Word *Obj = H.allocLocalOutlined(IdRaw, LenWords);
   Obj[LenWords - 1] = 0; // zero the tail beyond Bytes
   if (Data)
     std::memcpy(Obj, Data, Bytes);
@@ -419,7 +474,6 @@ Value VProcHeap::promote(Value V) {
   Word NewW = Evac.forwardWord(V.bits());
   Evac.drain();
   Stats.PromoteBytes += Evac.bytesCopied();
-  if (World.Chunks.activeBytes() > World.globalGCThresholdBytes())
-    World.requestGlobalGC();
+  maybeTriggerGlobalGC(Evac.bytesCopied());
   return Value::fromBits(NewW);
 }

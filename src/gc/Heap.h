@@ -53,9 +53,13 @@
 #include "numa/Topology.h"
 #include "numa/TrafficMatrix.h"
 #include "support/Barrier.h"
+#include "support/Compiler.h"
+#include "support/MathExtras.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +84,29 @@ GlobalCollection *createGlobalCollection(GCWorld &W);
 struct GlobalCollectionDeleter {
   void operator()(GlobalCollection *GC) const;
 };
+
+/// Opaque per-world state of the mostly-concurrent global marker
+/// (ConcurrentGC.cpp).
+class ConcurrentMark;
+ConcurrentMark *createConcurrentMark(GCWorld &W);
+struct ConcurrentMarkDeleter {
+  void operator()(ConcurrentMark *CM) const;
+};
+
+/// Stop-the-world collection entry (GlobalGC.cpp): called from a safe
+/// point when a STW collection is pending.
+void globalGCParticipate(VProcHeap &H);
+
+/// Concurrent-collection safe-point dispatch (ConcurrentGC.cpp): joins
+/// the initial/terminal rendezvous or performs a bounded mutator marking
+/// assist, depending on the current phase.
+void concurrentGCSafePoint(VProcHeap &H);
+
+/// Marker-task work step (ConcurrentGC.cpp): traces up to \p Budget gray
+/// objects on behalf of \p H's vproc. \returns false when the cycle is
+/// not in its marking phase or no gray work was available (the caller's
+/// marker task should exit and let safe-point polls finish the cycle).
+bool concurrentMarkSome(VProcHeap &H, unsigned Budget);
 
 /// Tunables for the memory system. Defaults are scaled down from the
 /// paper's values (L3-sized local heaps, 32 MB/vproc global trigger) so
@@ -120,6 +147,30 @@ struct GCConfig {
   /// affordable under stress. Overridden by the MANTI_STRESS_GC_PERIOD
   /// environment variable when set.
   unsigned StressGCPeriod = 1;
+  /// Run global collections as mostly-concurrent mark cycles (snapshot-
+  /// at-the-beginning marking overlapped with mutation, bounded by two
+  /// short rendezvous) instead of the stop-the-world copying collection.
+  /// Off by default: the STW collector compacts and is the ablation
+  /// baseline; the concurrent collector reclaims whole-chunk garbage
+  /// without moving anything.
+  bool ConcurrentGlobal = false;
+  /// Fraction of the global-GC threshold at which allocation-byte
+  /// watermarks start a concurrent mark cycle (only meaningful with
+  /// ConcurrentGlobal). Starting early keeps the cycle ahead of the
+  /// hard threshold, whose crossing still forces a STW fallback.
+  double ConcurrentMarkWatermark = 0.5;
+};
+
+/// Global-collection phase word. Single source of truth for "is any
+/// global collection pending or running": every transition is a CAS or a
+/// leader store on GCWorld::Phase, and safe points dispatch on one
+/// acquire load.
+enum class GCPhase : uint8_t {
+  Idle,       ///< no global collection active
+  StwPending, ///< stop-the-world collection requested; vprocs converging
+  ConcInit,   ///< concurrent mark: initial snapshot rendezvous
+  ConcMark,   ///< concurrent mark: tracing overlapped with mutation
+  ConcTerm,   ///< concurrent mark: terminal rendezvous (re-scan + sweep)
 };
 
 /// Visits one root slot; the visitor may rewrite the slot's word.
@@ -207,9 +258,22 @@ public:
   /// the forwarding pointers left behind.
   Value promote(Value V);
 
-  /// Polls for a pending global collection and participates if one was
-  /// signalled. Every potentially-blocking runtime loop calls this.
+  /// Polls for pending collector work and participates: joins a
+  /// stop-the-world collection, a concurrent-mark rendezvous, or lends a
+  /// bounded marking assist while a concurrent cycle is tracing. Every
+  /// potentially-blocking runtime loop calls this.
   void safePoint();
+
+  /// Yuasa-style deletion-barrier entry for runtime-owned root tables
+  /// (e.g. the KV store's entry slots): call with the value about to be
+  /// overwritten or dropped. No-op unless a concurrent mark snapshot is
+  /// active.
+  void satbRecord(Value Old);
+
+  /// Cold half of the deletion barrier: marks \p Old's global object so
+  /// the snapshot the running cycle committed to stays reachable.
+  /// Requires Old.isPtr() and an active snapshot. (ConcurrentGC.cpp)
+  void satbMarkOld(Value Old);
 
   /// \returns true if this vproc's allocation limit has been zeroed.
   bool gcSignalled() const { return Local.limitSignalled(); }
@@ -242,6 +306,12 @@ public:
   /// This vproc's current global-heap chunk (null until first use).
   Chunk *CurChunk = nullptr;
 
+  /// Global-heap bytes this vproc has allocated since the last completed
+  /// global collection. Owner-bumped (uncontended) in globalReserve and
+  /// summed lazily by the watermark trigger, corobase-style; reset by
+  /// the finishing collection's leader.
+  std::atomic<uint64_t> GlobalAllocSinceCycle{0};
+
   /// Bump-allocates an object shell in the global heap, acquiring chunks
   /// as needed. Used by the major collector, promotion, and the direct
   /// global allocation paths. Objects larger than a standard chunk get a
@@ -256,13 +326,21 @@ public:
 
 private:
   friend class GCWorld;
+  friend class ConcurrentMark;
   friend struct gcinternal::HeapAccess;
 
   Chunk *acquireChunkCounted();
   Word *allocLocalObject(uint16_t Id, uint64_t LenWords);
+  /// Out-of-line twin of allocLocalObject for the microbench's
+  /// before/after comparison (gcinternal::HeapAccess::allocRawOutlined).
+  Word *allocLocalOutlined(uint16_t Id, uint64_t LenWords);
   Word *allocSlowPath(uint16_t Id, uint64_t LenWords);
   void stressGCBeforeAlloc();
   bool vectorIsOversized(std::size_t N) const;
+  /// Trigger check after \p JustAllocatedBytes landed in the global
+  /// heap: the classic active-bytes threshold in STW mode, or the
+  /// stride-gated allocation watermark in concurrent mode.
+  void maybeTriggerGlobalGC(uint64_t JustAllocatedBytes);
 
   GCWorld &World;
   unsigned Id;
@@ -272,6 +350,9 @@ private:
   void *LocalMem;
   LocalHeap Local;
   uint64_t StressTick = 0; ///< StressGCPeriod schedule position
+  /// Bytes accumulated toward the next watermark summation (owner-only;
+  /// the summation itself is the expensive part the stride amortizes).
+  uint64_t WatermarkResidue = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -324,11 +405,18 @@ public:
       GlobalRoots(Visit, VisitorCtx, GlobalRootsCtx);
   }
 
-  /// Requests a global collection: sets the pending flag and zeroes every
-  /// vproc's allocation limit (Section 3.4, steps 1-2), then invokes the
-  /// wakeup hook so parked vprocs reach their safe points immediately.
-  /// No-op when a collection is already pending or running.
+  /// Requests a stop-the-world global collection: flips the phase word
+  /// to StwPending and zeroes every vproc's allocation limit (Section
+  /// 3.4, steps 1-2), then invokes the wakeup hook so parked vprocs
+  /// reach their safe points immediately. No-op when any collection is
+  /// already pending or running.
   void requestGlobalGC();
+
+  /// Starts a mostly-concurrent mark cycle: flips the phase word to
+  /// ConcInit and signals every vproc to join the initial snapshot
+  /// rendezvous at its next safe point. \returns false (and does
+  /// nothing) when a collection is already pending or running.
+  bool startConcurrentMark();
 
   /// Registers the runtime's wakeup hook: invoked (from any thread) when
   /// every vproc must promptly observe collector state -- at the global
@@ -346,6 +434,23 @@ public:
       WakeupHook(WakeupHookCtx);
   }
 
+  /// Registers the runtime's concurrent-mark hook: invoked by the cycle
+  /// leader (on its own vproc thread, world still stopped) right after
+  /// the phase flips to ConcMark. The runtime wires this to spawn
+  /// per-node marker tasks through the scheduler; without a hook the
+  /// mutators' safe-point assists do all of the tracing.
+  void setConcurrentMarkHook(void (*Fn)(void *, unsigned LeaderVProc),
+                             void *Ctx) {
+    ConcMarkHook = Fn;
+    ConcMarkHookCtx = Ctx;
+  }
+
+  /// Invokes the registered concurrent-mark hook, if any (collector use).
+  void notifyConcurrentMarkHook(unsigned LeaderVProc) {
+    if (ConcMarkHook)
+      ConcMarkHook(ConcMarkHookCtx, LeaderVProc);
+  }
+
   /// Home NUMA node of the memory backing \p V: the backing chunk's home
   /// for global objects, the backing bank of the owning vproc's local
   /// heap for local objects, \p Fallback for nil and tagged ints. The
@@ -354,15 +459,44 @@ public:
   /// per element.
   NodeId homeNodeOf(Value V, NodeId Fallback);
 
-  /// \returns true if a global collection has been requested and not yet
-  /// completed.
-  bool globalGCPending() const {
-    return GlobalGCRequested.load(std::memory_order_acquire);
+  /// Current global-collection phase.
+  GCPhase phase() const { return Phase.load(std::memory_order_acquire); }
+
+  /// \returns true if a stop-the-world collection has been requested and
+  /// not yet entered its rendezvous-complete state.
+  bool globalGCPending() const { return phase() == GCPhase::StwPending; }
+
+  /// \returns true while any global collection -- stop-the-world or a
+  /// concurrent mark cycle in any of its phases -- is pending or
+  /// running.
+  bool collectionInProgress() const { return phase() != GCPhase::Idle; }
+
+  /// \returns true while a phase that needs every vproc at a barrier is
+  /// pending: a stop-the-world request, or a concurrent cycle's initial
+  /// or terminal rendezvous. ConcMark itself needs no barrier -- mutators
+  /// run freely there -- so schedulers should not treat it as urgent.
+  bool rendezvousRequested() const {
+    GCPhase P = phase();
+    return P == GCPhase::StwPending || P == GCPhase::ConcInit ||
+           P == GCPhase::ConcTerm;
   }
 
-  /// Number of completed global collections.
+  /// \returns true while a concurrent cycle's snapshot is being held
+  /// (deletion barrier active: from the initial rendezvous until the
+  /// terminal rendezvous turns it off).
+  bool satbActive() const {
+    return SatbActive.load(std::memory_order_relaxed);
+  }
+
+  /// Number of completed global collections (both flavors).
   uint64_t globalGCCount() const {
     return GlobalGCsCompleted.load(std::memory_order_relaxed);
+  }
+
+  /// Number of completed concurrent mark cycles (subset of
+  /// globalGCCount()).
+  uint64_t concurrentGCCount() const {
+    return ConcurrentGCsCompleted.load(std::memory_order_relaxed);
   }
 
   /// Current trigger threshold in bytes (grows adaptively if live data
@@ -397,7 +531,14 @@ public:
 private:
   friend class VProcHeap;
   friend void globalGCParticipate(VProcHeap &H);
+  friend bool concurrentMarkSome(VProcHeap &H, unsigned Budget);
   friend class GlobalCollection;
+  friend class ConcurrentMark;
+
+  /// Watermark summation stride (corobase's WATERMARK): a vproc re-sums
+  /// everyone's allocation counters only once per this many bytes of its
+  /// own global allocation.
+  static constexpr uint64_t WatermarkStrideBytes = 64 * 1024;
 
   GCConfig Config;
   Topology Topo;
@@ -409,11 +550,17 @@ private:
   std::vector<std::unique_ptr<VProcHeap>> Heaps;
 
   // Global-collection coordination.
-  std::atomic<bool> GlobalGCRequested{false};
+  std::atomic<GCPhase> Phase{GCPhase::Idle};
+  std::atomic<bool> SatbActive{false};
   std::atomic<uint64_t> GlobalGCsCompleted{0};
+  std::atomic<uint64_t> ConcurrentGCsCompleted{0};
   std::atomic<uint64_t> GlobalGCThreshold;
+  /// Active bytes at the end of the last completed global collection --
+  /// the live-estimate base the watermark trigger projects from.
+  std::atomic<uint64_t> GlobalLiveBytes{0};
   Barrier GCBarrier;
   std::unique_ptr<GlobalCollection, GlobalCollectionDeleter> GCState;
+  std::unique_ptr<ConcurrentMark, ConcurrentMarkDeleter> CMState;
 
   VProcRootEnumerator VProcRoots = nullptr;
   void *VProcRootsCtx = nullptr;
@@ -421,6 +568,8 @@ private:
   void *GlobalRootsCtx = nullptr;
   void (*WakeupHook)(void *) = nullptr;
   void *WakeupHookCtx = nullptr;
+  void (*ConcMarkHook)(void *, unsigned) = nullptr;
+  void *ConcMarkHookCtx = nullptr;
 
   /// ObjectType<T> tag address -> object id (see typedObjectId).
   std::unordered_map<const void *, uint16_t> TypedObjectIds;
@@ -463,6 +612,68 @@ inline Value mixedGet(Value V, unsigned FieldWord) {
 inline Word mixedGetWord(Value V, unsigned FieldWord) {
   assert(FieldWord < objectLenWords(V) && "field out of range");
   return V.asPtr()[FieldWord];
+}
+
+//===----------------------------------------------------------------------===//
+// Inline hot paths (safe-point poll, deletion barrier, bump allocation)
+//===----------------------------------------------------------------------===//
+
+namespace gcdetail {
+/// The heap of the innermost live RootScope on this thread (Handles.h
+/// maintains it). The handle layer's deletion barrier reads it so
+/// Ref<T>/VecRef<T> slot overwrites need no heap argument at the call
+/// site.
+extern thread_local VProcHeap *CurrentSatbHeap;
+} // namespace gcdetail
+
+inline void VProcHeap::safePoint() {
+  GCPhase P = World.Phase.load(std::memory_order_acquire);
+  if (MANTI_LIKELY(P == GCPhase::Idle))
+    return;
+  if (P == GCPhase::StwPending) {
+    globalGCParticipate(*this);
+    return;
+  }
+  concurrentGCSafePoint(*this);
+}
+
+inline void VProcHeap::satbRecord(Value Old) {
+  if (MANTI_UNLIKELY(Old.isPtr() && World.satbActive()))
+    satbMarkOld(Old);
+}
+
+/// Deletion barrier on handle-slot overwrites (Ref<T>/VecRef<T>
+/// assignment in Handles.h): before a rooted slot drops its old value,
+/// record it so a running concurrent mark keeps its snapshot closed.
+/// Initializing stores (no old pointer) skip the whole gate, keeping the
+/// mutator fast path one predictable branch.
+inline void satbRecordOverwrite(Value Old) {
+  if (MANTI_LIKELY(!Old.isPtr()))
+    return;
+  VProcHeap *H = gcdetail::CurrentSatbHeap;
+  if (MANTI_LIKELY(!H || !H->world().satbActive()))
+    return;
+  H->satbMarkOld(Old);
+}
+
+inline Word *VProcHeap::allocLocalObject(uint16_t Id, uint64_t LenWords) {
+  if (MANTI_UNLIKELY(World.Config.StressGC))
+    stressGCBeforeAlloc();
+  Stats.BytesAllocatedLocal += (LenWords + 1) * sizeof(Word);
+  if (Word *P = Local.tryAlloc(Id, LenWords))
+    return P;
+  return allocSlowPath(Id, LenWords);
+}
+
+inline Value VProcHeap::allocRaw(const void *Data, std::size_t Bytes) {
+  uint64_t LenWords = std::max<uint64_t>(1, divideCeil(Bytes, sizeof(Word)));
+  Word *Obj = allocLocalObject(IdRaw, LenWords);
+  Obj[LenWords - 1] = 0; // zero the tail beyond Bytes
+  if (Data)
+    std::memcpy(Obj, Data, Bytes);
+  else
+    std::memset(Obj, 0, LenWords * sizeof(Word));
+  return Value::fromPtr(Obj);
 }
 
 } // namespace manti

@@ -182,7 +182,7 @@ void manti::majorGCImpl(VProcHeap &H, EvacuateMode Mode) {
   }
 
   L.resplitNursery();
-  if (H.world().globalGCPending())
+  if (H.world().rendezvousRequested())
     L.signalLimit();
 
   // Acquiring chunks may have pushed the global heap over its trigger

@@ -84,8 +84,8 @@ void manti::minorGCImpl(VProcHeap &H) {
   L.resplitNursery();
 
   // resplitNursery restored the allocation limit; do not swallow a
-  // pending global-collection signal.
-  if (H.world().globalGCPending())
+  // pending global-collection (or concurrent-rendezvous) signal.
+  if (H.world().rendezvousRequested())
     L.signalLimit();
 
   MANTI_DEBUG("gc", "vp%u minor: copied %zu reclaimed %zu", H.id(), Copied,

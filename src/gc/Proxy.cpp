@@ -15,6 +15,7 @@
 #include "support/Assert.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace manti;
 
@@ -59,8 +60,17 @@ Value manti::resolveProxy(VProcHeap &H, Value Proxy) {
   // Promotion never moves the proxy itself (it is already global), but
   // re-read through the rooted value for clarity.
   Word *Obj = Proxy.asPtr();
-  Obj[1] = Promoted.bits();
-  Obj[0] = Value::fromInt(-1).bits();
+  // Publication order matters for the concurrent marker, which may scan
+  // this proxy mid-resolution: payload first, then the resolved owner
+  // word, both release. A marker that acquires owner == -1 is then
+  // guaranteed to read the promoted (global) payload, never the stale
+  // local one. The old payload needs no deletion-barrier record: a local
+  // referent is the owner's business, and its promoted copy is
+  // epoch-retained.
+  std::atomic_ref<Word>(Obj[1]).store(Promoted.bits(),
+                                      std::memory_order_release);
+  std::atomic_ref<Word>(Obj[0]).store(Value::fromInt(-1).bits(),
+                                      std::memory_order_release);
 
   auto It = std::find(H.ProxyTable.begin(), H.ProxyTable.end(), Obj);
   MANTI_CHECK(It != H.ProxyTable.end(),

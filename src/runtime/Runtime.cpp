@@ -20,6 +20,24 @@
 
 using namespace manti;
 
+namespace {
+
+/// Body of a concurrent-marking task. One is spawned per NUMA node when a
+/// cycle flips to ConcMark; the affinity hint steers each toward chunks
+/// homed on its node. The task traces in bounded slices, polling between
+/// them so it keeps answering steal requests and joins the terminal
+/// rendezvous (inside poll) when the gray stack drains. A stale task from
+/// an already-finished cycle no-ops on the phase check inside
+/// concurrentMarkSome.
+void markerTaskMain(Runtime &RT, VProc &VP, Task) {
+  (void)RT;
+  while (concurrentMarkSome(VP.heap(), /*Budget=*/1024))
+    VP.poll();
+  VP.poll();
+}
+
+} // namespace
+
 Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
     : Config(Config), World(Config.GC, Topo, Config.NumVProcs) {
   registerRopeDescriptors(World);
@@ -39,6 +57,24 @@ Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
         [](void *LotPtr) { static_cast<ParkLot *>(LotPtr)->ringBroadcast(); },
         Lot.get());
   }
+  // Concurrent marking is driven by ordinary tasks: when a cycle's init
+  // rendezvous flips to ConcMark, the leader (world still stopped at the
+  // pre-release barrier, so owner-only spawn onto its own queue is safe)
+  // seeds one marker per node. Wired unconditionally -- markers are part
+  // of the collector, not the doorbell policy.
+  World.setConcurrentMarkHook(
+      [](void *RTPtr, unsigned LeaderVProc) {
+        Runtime *RT = static_cast<Runtime *>(RTPtr);
+        VProc &Leader = RT->vproc(LeaderVProc);
+        unsigned Nodes = RT->world().topology().numNodes();
+        for (unsigned N = 0; N < Nodes; ++N) {
+          Task T;
+          T.Fn = &markerTaskMain;
+          T.Affinity = static_cast<NodeId>(N);
+          Leader.spawn(T);
+        }
+      },
+      this);
 
   // Initially "between runs": workers idle in the drained state.
   ShuttingDown.store(true, std::memory_order_release);
@@ -153,7 +189,7 @@ void Runtime::run(MainFn Main, void *Ctx) {
         Runtime *RT = static_cast<Runtime *>(Ctx);
         return RT->Drained.load(std::memory_order_acquire) >=
                    RT->numVProcs() &&
-               !RT->World.globalGCPending();
+               !RT->World.collectionInProgress();
       },
       this, /*RecordStats=*/false);
   Sched->noteProgress(VP0);

@@ -432,7 +432,7 @@ void Scheduler::sendStealChunk(VProc &Victim, StealRequest *Req,
   // Truncate the transfer when a global collection goes pending: every
   // chunk the victim still owes is one more spin-wait the thief must
   // clear before it can sit at the collection's barrier for long.
-  bool More = Budget > 0 && !RT.world().globalGCPending();
+  bool More = Budget > 0 && !RT.world().rendezvousRequested();
   if (!More)
     Budget = 0;
   Req->Count = Take;
@@ -612,7 +612,7 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
       (!Pred && RT.schedulerActive() &&
        Lot.shedDepth(VP.node()) != 0) ||
       VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
-      VP.ActiveSteal != nullptr || RT.world().globalGCPending()) {
+      VP.ActiveSteal != nullptr || RT.world().rendezvousRequested()) {
     Lot.cancel(VP.node(), T);
     std::this_thread::yield();
     return;
@@ -643,7 +643,7 @@ void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
     return; // spin rung: retry immediately, the caller's poll is the spin
   if (R <= SpinRounds + YieldRounds ||
       VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
-      VP.ActiveSteal != nullptr || RT.world().globalGCPending()) {
+      VP.ActiveSteal != nullptr || RT.world().rendezvousRequested()) {
     // Yield rung -- also taken instead of parking whenever a thief, an
     // in-flight chunked transfer, or a pending collection needs a
     // prompt answer.

@@ -72,9 +72,14 @@ void KVStore::put(VProc &VP, uint64_t Key, uint32_t ValueBytes) {
                                 static_cast<int64_t>(Version)});
   // Publishing promotes the entry graph (entry + payload) to the global
   // heap; the nursery copies die at the next minor collection, and the
-  // overwritten predecessor (if any) becomes global-heap garbage.
+  // overwritten predecessor (if any) becomes global-heap garbage. The
+  // entry slots are global roots, so an overwrite is a root deletion: a
+  // running concurrent mark must see the dropped value (Yuasa barrier).
   Ref<KVEntry> Published = promote(S, E);
-  Sh.Map[Key] = Entry{Published.value().bits(), Version};
+  auto [It, Inserted] = Sh.Map.try_emplace(Key);
+  if (!Inserted)
+    H.satbRecord(Value::fromBits(It->second.Bits));
+  It->second = Entry{Published.value().bits(), Version};
 }
 
 bool KVStore::get(VProc &VP, uint64_t Key) {
@@ -107,7 +112,6 @@ bool KVStore::get(VProc &VP, uint64_t Key) {
 }
 
 bool KVStore::erase(VProc &VP, uint64_t Key) {
-  (void)VP;
   Shard &Sh = shard(Key);
   auto It = Sh.Map.find(Key);
   if (It == Sh.Map.end()) {
@@ -115,7 +119,10 @@ bool KVStore::erase(VProc &VP, uint64_t Key) {
     return false;
   }
   // The entry object (and transitively its payload) is now unreachable
-  // from the store: garbage for the next global collection.
+  // from the store: garbage for the next global collection. Dropping a
+  // global root mid-concurrent-mark must record the deleted value, or
+  // the running cycle's snapshot would be missing it.
+  VP.heap().satbRecord(Value::fromBits(It->second.Bits));
   Sh.Map.erase(It);
   return true;
 }

@@ -173,7 +173,7 @@ void runOnVProcs(GCWorld &W, void (*Body)(VProcHeap &)) {
       Body(H);
       Done.fetch_add(1, std::memory_order_acq_rel);
       while (Done.load(std::memory_order_acquire) < W.numVProcs() ||
-             W.globalGCPending()) {
+             W.collectionInProgress()) {
         H.safePoint();
         std::this_thread::yield();
       }
@@ -247,6 +247,214 @@ TEST(GlobalGCParallel, MixedLocalAndGlobalLiveData) {
   });
 
   verifyWorld(TW.World);
+}
+
+//===----------------------------------------------------------------------===//
+// Mostly-concurrent marking (GCConfig::ConcurrentGlobal)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Steps a single-vproc world through the rest of a concurrent cycle:
+/// with a barrier of one, each safe point runs an entire rendezvous, and
+/// the ConcMark assists drain the gray stack.
+void stepCycleToCompletion(GCWorld &W, VProcHeap &H) {
+  while (W.collectionInProgress())
+    H.safePoint();
+}
+
+} // namespace
+
+TEST(ConcurrentGlobalGC, PhaseMachineSteps) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 20));
+  Keep = H.promote(Keep);
+
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  EXPECT_FALSE(TW.World.startConcurrentMark()) << "no re-entry mid-cycle";
+  EXPECT_EQ(TW.World.phase(), GCPhase::ConcInit);
+  EXPECT_TRUE(H.gcSignalled());
+
+  H.safePoint(); // barrier of one: runs the whole initial rendezvous
+  EXPECT_EQ(TW.World.phase(), GCPhase::ConcMark);
+  EXPECT_TRUE(TW.World.satbActive());
+
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.phase(), GCPhase::Idle);
+  EXPECT_FALSE(TW.World.satbActive());
+  EXPECT_EQ(TW.World.globalGCCount(), 1u);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 1u);
+  EXPECT_EQ(listSum(Keep), intListSum(20));
+  verifyHeap(H);
+}
+
+TEST(ConcurrentGlobalGC, SingleVProcCollectsGarbage) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 50));
+  Keep = H.promote(Keep);
+  // Whole-chunk garbage: the non-moving sweep reclaims chunks with no
+  // marked objects, so the junk must span several chunks by itself.
+  for (int I = 0; I < 40; ++I) {
+    GcFrame Inner(H);
+    Value &Junk = Inner.root(makeIntList(H, 200));
+    H.promote(Junk);
+  }
+  uint64_t ActiveBefore = TW.World.chunks().activeBytes();
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 1u);
+  EXPECT_LT(TW.World.chunks().activeBytes(), ActiveBefore)
+      << "all-garbage chunks must return to the free pool";
+  EXPECT_EQ(listSum(Keep), intListSum(50));
+  verifyHeap(H);
+}
+
+TEST(ConcurrentGlobalGC, MutationMidMarkKeepsSnapshotSafe) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H); // arms the handle-layer deletion barrier for this heap
+  // Enough dropped data to span whole chunks, so the *second* cycle can
+  // be seen reclaiming the floating garbage.
+  std::vector<Ref<>> Dropped;
+  for (int I = 0; I < 10; ++I)
+    Dropped.push_back(S.root(H.promote(makeIntList(H, 600))));
+  Ref<> Keep = S.root(H.promote(makeIntList(H, 40)));
+
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  H.safePoint(); // initial rendezvous: snapshot taken
+  ASSERT_EQ(TW.World.phase(), GCPhase::ConcMark);
+
+  // Mutate mid-mark. Overwrites and deletes of root slots drop the only
+  // references to snapshotted data: the Yuasa barrier must record the
+  // old values, or the tracer could miss them and sweep live chunks.
+  for (std::size_t I = 0; I < Dropped.size(); ++I)
+    Dropped[I] = (I % 2 == 0) ? Value::nil() // delete
+                              : H.promote(makeIntList(H, 3)); // overwrite
+  // Data allocated during the mark is retained by allocation epoch.
+  Ref<> Fresh = S.root(H.promote(makeIntList(H, 12)));
+
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 1u);
+  EXPECT_EQ(listSum(Keep.value()), intListSum(40));
+  EXPECT_EQ(listSum(Fresh.value()), intListSum(12));
+  verifyHeap(H);
+
+  // The dropped lists survived cycle 1 as floating garbage (the barrier
+  // marked them). Nothing references them now: cycle 2 frees their
+  // chunks.
+  uint64_t ActiveAfterFirst = TW.World.chunks().activeBytes();
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 2u);
+  EXPECT_LT(TW.World.chunks().activeBytes(), ActiveAfterFirst)
+      << "floating garbage must be reclaimed by the next cycle";
+  EXPECT_EQ(listSum(Keep.value()), intListSum(40));
+  verifyHeap(H);
+}
+
+TEST(ConcurrentGlobalGC, ProxyResolutionMidMark) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Payload = Frame.root(makeIntList(H, 8));
+  Value &P = Frame.root(createProxy(H, Payload));
+
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  H.safePoint();
+  ASSERT_EQ(TW.World.phase(), GCPhase::ConcMark);
+
+  // The one true heap mutation in the system: resolution publishes the
+  // promoted payload into the proxy while the marker may be scanning it.
+  Value G = resolveProxy(H, P);
+  stepCycleToCompletion(TW.World, H);
+
+  EXPECT_TRUE(proxyResolved(P));
+  EXPECT_EQ(listSum(proxyPayload(P)), intListSum(8));
+  EXPECT_EQ(listSum(G), intListSum(8));
+  verifyHeap(H);
+}
+
+TEST(ConcurrentGlobalGC, StwRequestDoesNotPreemptRunningCycle) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 20));
+  Keep = H.promote(Keep);
+
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  H.safePoint();
+  ASSERT_EQ(TW.World.phase(), GCPhase::ConcMark);
+  TW.World.requestGlobalGC(); // must be a no-op mid-cycle
+  EXPECT_FALSE(TW.World.globalGCPending());
+  EXPECT_EQ(TW.World.phase(), GCPhase::ConcMark);
+
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.globalGCCount(), 1u);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 1u);
+  EXPECT_EQ(listSum(Keep), intListSum(20));
+}
+
+TEST(ConcurrentGlobalGC, WatermarkTriggersAutomatically) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 256 * 1024; // tiny budget: 4 chunks
+  Cfg.ConcurrentGlobal = true;
+  Cfg.ConcurrentMarkWatermark = 0.5;
+  TestWorld TW(1, Cfg);
+  VProcHeap &H = TW.heap();
+  GcFrame Frame(H);
+  Value &Keep = Frame.root(makeIntList(H, 20));
+  Keep = H.promote(Keep);
+  for (int I = 0; I < 400 && TW.World.concurrentGCCount() == 0; ++I) {
+    {
+      GcFrame Inner(H);
+      Value &Junk = Inner.root(makeIntList(H, 200));
+      H.promote(Junk);
+    }
+    H.safePoint();
+  }
+  EXPECT_GE(TW.World.concurrentGCCount(), 1u)
+      << "allocation volume must trip the concurrent-mark watermark";
+  EXPECT_EQ(listSum(Keep), intListSum(20));
+  verifyHeap(H);
+}
+
+TEST(ConcurrentGlobalGCParallel, MutationUnderConcurrentMark) {
+  GCConfig Cfg = smallConfig();
+  Cfg.GlobalGCBytesPerVProc = 256 * 1024;
+  Cfg.ConcurrentGlobal = true;
+  TestWorld TW(4, Cfg, Topology::uniform(2, 2));
+
+  DurableKeeps.assign(4, Value::nil());
+  for (unsigned I = 0; I < 4; ++I)
+    TW.heap(I).ShadowStack.push_back(&DurableKeeps[I]);
+
+  runOnVProcs(TW.World, [](VProcHeap &H) {
+    RootScope S(H);
+    Ref<> Keep = S.root(H.promote(makeIntList(H, 40)));
+    DurableKeeps[H.id()] = Keep.value();
+    // Churn a root slot while cycles run underneath: every assignment
+    // is an overwrite (deletion barrier) and every nil store a delete.
+    Ref<> Churn = S.root(Value::nil());
+    for (int I = 0; I < 150; ++I) {
+      Churn = H.promote(makeIntList(H, 60));
+      if (I % 7 == 0)
+        Churn = Value::nil();
+      H.safePoint();
+      ASSERT_EQ(listSum(Keep.value()), intListSum(40));
+    }
+    DurableKeeps[H.id()] = Keep.value();
+  });
+
+  EXPECT_GE(TW.World.concurrentGCCount(), 1u)
+      << "the churn volume must start at least one concurrent cycle";
+  VerifyResult R = verifyWorld(TW.World);
+  EXPECT_GT(R.GlobalObjects, 0u);
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_EQ(listSum(DurableKeeps[I]), intListSum(40));
 }
 
 TEST(GlobalGCParallel, StatsAggregateAcrossVProcs) {

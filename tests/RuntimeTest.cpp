@@ -250,6 +250,45 @@ TEST(WorkStealing, GlobalCollectionDuringParallelWork) {
   verifyWorld(RT.world());
 }
 
+TEST(WorkStealing, ConcurrentMarkDuringParallelWork) {
+  // Phase-flip hammer: tiny budget plus heavy promotion drives repeated
+  // concurrent cycles (init rendezvous -> marker tasks + assists ->
+  // terminal rendezvous) while every worker thread keeps mutating and
+  // overwriting roots. Runs under TSan via the sched label: the marker
+  // reads only below the stamped MarkLimit, so tracing and bump
+  // allocation must never touch the same words.
+  RuntimeConfig Cfg = testRuntimeConfig(4);
+  Cfg.GC.GlobalGCBytesPerVProc = 64 * 1024;
+  Cfg.GC.ConcurrentGlobal = true;
+  Runtime RT(Cfg, Topology::uniform(2, 2));
+  static std::atomic<int64_t> Total;
+  Total = 0;
+  RT.run(
+      [](Runtime &RT, VProc &VP, void *) {
+        parallelFor(
+            RT, VP, 0, 300, 4,
+            [](Runtime &, VProc &VP, int64_t Lo, int64_t Hi, void *) {
+              for (int64_t I = Lo; I < Hi; ++I) {
+                RootScope Scope(VP.heap());
+                Ref<> L = Scope.root(makeIntList(VP.heap(), 60));
+                promoteInPlace(Scope, L); // drive the watermark
+                // Overwrite the rooted slot mid-cycle: deletion-barrier
+                // traffic from every worker thread.
+                L = makeIntList(VP.heap(), 10);
+                Total.fetch_add(listSum(L.value()));
+              }
+            },
+            nullptr);
+      },
+      nullptr);
+  EXPECT_EQ(Total.load(), 300 * intListSum(10));
+  EXPECT_GE(RT.world().concurrentGCCount(), 1u)
+      << "the promotion volume must start concurrent cycles";
+  EXPECT_EQ(RT.world().phase(), GCPhase::Idle)
+      << "run() must not return with a cycle in flight";
+  verifyWorld(RT.world());
+}
+
 TEST(WorkStealing, LazyPromotesAtMostStolenTasks) {
   // Lazy promotion: environment promotions happen only for stolen tasks.
   RuntimeConfig Cfg = testRuntimeConfig(3);
