@@ -1,0 +1,274 @@
+//===- bench/ablation_structures.cpp - GC vs epoch reclamation ablation ---===//
+//
+// Part of the manticore-gc project.
+//
+// The data-structure ablation: the same two lock-free ordered sets (a
+// Harris-style linked list and a skiplist) written twice -- once with
+// nodes as runtime heap objects reclaimed by the collector
+// (structures/GcStructures.h, run with mostly-concurrent marking on),
+// once with malloc'd nodes and a manual epoch-based-reclamation
+// baseline (structures/EpochStructures.h). Identical op mixes are swept
+// over update ratio x thread count x structure x reclaimer on both
+// recorded topologies.
+//
+// What the columns show: the GC rows pay promotion + SATB barriers on
+// the mutator path and the collector's rendezvous pauses land in the op
+// latency tail (p99 tracks max-pause once cycles fire); the epoch rows
+// pay a pin/unpin fence pair per op and retire-list bookkeeping, but
+// never pause. The retired/reclaimed pair makes the reclamation story
+// explicit: epoch rows reclaim exactly what they retire (after drain);
+// GC rows report the heap footprint a forced end-of-run *copying*
+// collection returns -- chunk-granular, so it is floating garbage plus
+// allocation slack, the memory the concurrent whole-chunk sweep could
+// not recover while live nodes kept every chunk pinned.
+//
+// Usage: bench_ablation_structures [--quick] [--json <path>]
+//                                  [--topology <name>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCBenchUtils.h"
+#include "gc/GCReport.h"
+#include "numa/Topology.h"
+#include "service/LatencyRecorder.h"
+#include "structures/EpochStructures.h"
+#include "structures/GcStructures.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace manti;
+using namespace manti::benchutil;
+
+namespace {
+
+int OpsPerThread = 40000;
+unsigned KeySpace = 2048;
+
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+GCConfig structuresConfig() {
+  GCConfig Cfg;
+  // Small nursery and a low global trigger so the GC rows actually
+  // collect under --quick volumes; the epoch rows allocate nothing on
+  // the runtime heaps, so the same config is a no-op for them.
+  Cfg.LocalHeapBytes = 256 * 1024;
+  Cfg.GlobalGCBytesPerVProc = 64 * 1024;
+  Cfg.ConcurrentGlobal = true;
+  return Cfg;
+}
+
+struct RowResult {
+  double Seconds = 0;
+  double P99Us = 0;
+  double MaxPauseUs = 0;
+  double RetiredMb = 0;
+  double ReclaimedMb = 0;
+  double Cycles = 0;
+};
+
+/// Runs the op mix on every vproc thread: UpdatePct/2 inserts,
+/// UpdatePct/2 erases, the rest membership tests, keys uniform over
+/// KeySpace. Every 8th op is latency-sampled (cheap enough not to
+/// perturb the mix, dense enough for a stable p99).
+template <typename SetT>
+double hammer(GCWorld &W, SetT &S, unsigned UpdatePct,
+              std::vector<LatencyRecorder> &Recorders) {
+  const auto T0 = std::chrono::steady_clock::now();
+  runOnWorldThreads(W, [&S, UpdatePct, &Recorders](VProcHeap &H) {
+    uint64_t Seed = 0xABCDEF12345ull + 0x1000ull * H.id();
+    LatencyRecorder &Rec = Recorders[H.id()];
+    for (int Op = 0; Op < OpsPerThread; ++Op) {
+      const uint64_t R = splitmix64(Seed);
+      const auto Key = static_cast<int64_t>(R % KeySpace);
+      const unsigned Pick = static_cast<unsigned>((R >> 32) % 100);
+      const bool Sample = (Op & 7) == 0;
+      const auto S0 = Sample ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+      if (Pick < UpdatePct / 2)
+        S.insert(H, Key);
+      else if (Pick < UpdatePct)
+        S.erase(H, Key);
+      else
+        S.contains(H, Key);
+      if (Sample) {
+        const auto S1 = std::chrono::steady_clock::now();
+        Rec.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(S1 - S0)
+                .count()));
+      }
+      H.safePoint();
+    }
+  });
+  const auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+/// Drives one forced, untimed end-of-run *copying* (STW) collection and
+/// \returns the active-bytes drop: the retired garbage still occupying
+/// the global heap at quiescence. The concurrent cycles that ran during
+/// the hammer sweep whole chunks only, so dead nodes interleaved with
+/// live ones linger as floating garbage until this compaction -- exactly
+/// the gap the retired/reclaimed pair is meant to expose.
+uint64_t forcedCycleReclaimedBytes(GCWorld &W) {
+  auto Settle = [&W] {
+    runOnWorldThreads(W, [&W](VProcHeap &H) {
+      while (W.collectionInProgress()) {
+        H.safePoint();
+        std::this_thread::yield();
+      }
+    });
+  };
+  // A mid-run cycle may still be in flight when the hammer drains; finish
+  // it first so the forced collection below is guaranteed to start.
+  Settle();
+  const uint64_t Before = W.chunks().activeBytes();
+  W.requestGlobalGC();
+  Settle();
+  const uint64_t After = W.chunks().activeBytes();
+  return Before > After ? Before - After : 0;
+}
+
+template <typename SetT, typename ReclaimerT>
+RowResult runGcRow(const Topology &Topo, unsigned Threads, unsigned UpdatePct) {
+  GCWorld W(structuresConfig(), Topo, Threads);
+  ReclaimerT R(Threads);
+  RowResult Out;
+  std::vector<LatencyRecorder> Recorders(Threads);
+  {
+    SetT S(W.heap(0), R);
+    Out.Seconds = hammer(W, S, UpdatePct, Recorders);
+    // Pause and cycle columns describe the timed region only; capture
+    // them before the forced end-of-run compaction adds its own pause.
+    Out.MaxPauseUs = buildGCReport(W).value("pause.max_us");
+    Out.Cycles =
+        static_cast<double>(W.globalGCCount() + W.concurrentGCCount());
+    Out.ReclaimedMb =
+        static_cast<double>(forcedCycleReclaimedBytes(W)) / (1024.0 * 1024.0);
+  }
+  LatencyRecorder Merged;
+  for (const LatencyRecorder &Rec : Recorders)
+    Merged.merge(Rec);
+  Out.P99Us = static_cast<double>(Merged.percentileNanos(99)) / 1e3;
+  Out.RetiredMb =
+      static_cast<double>(R.stats().RetiredBytes) / (1024.0 * 1024.0);
+  return Out;
+}
+
+template <typename SetT>
+RowResult runEpochRow(const Topology &Topo, unsigned Threads,
+                      unsigned UpdatePct) {
+  GCWorld W(structuresConfig(), Topo, Threads);
+  structures::EpochReclaimer R(Threads);
+  RowResult Out;
+  std::vector<LatencyRecorder> Recorders(Threads);
+  {
+    SetT S(R);
+    Out.Seconds = hammer(W, S, UpdatePct, Recorders);
+    R.drain();
+    Out.RetiredMb =
+        static_cast<double>(R.stats().RetiredBytes) / (1024.0 * 1024.0);
+    Out.ReclaimedMb =
+        static_cast<double>(R.stats().ReclaimedBytes) / (1024.0 * 1024.0);
+  }
+  LatencyRecorder Merged;
+  for (const LatencyRecorder &Rec : Recorders)
+    Merged.merge(Rec);
+  Out.P99Us = static_cast<double>(Merged.percentileNanos(99)) / 1e3;
+  Out.MaxPauseUs = buildGCReport(W).value("pause.max_us");
+  Out.Cycles = static_cast<double>(R.stats().EpochAdvances);
+  return Out;
+}
+
+void emitRow(JsonReport &Json, const char *Machine, const char *Structure,
+             const char *Reclaimer, unsigned Threads, unsigned UpdatePct,
+             const RowResult &R) {
+  const double TotalOps =
+      static_cast<double>(Threads) * static_cast<double>(OpsPerThread);
+  const double Mops = R.Seconds > 0 ? TotalOps / R.Seconds / 1e6 : 0;
+  char Config[64];
+  std::snprintf(Config, sizeof(Config), "%s/%s/t%u/u%u", Structure, Reclaimer,
+                Threads, UpdatePct);
+  Json.addRow(Machine, Config,
+              {{"threads", static_cast<double>(Threads)},
+               {"update_pct", static_cast<double>(UpdatePct)},
+               {"mops", Mops},
+               {"p99_us", R.P99Us},
+               {"max_pause_us", R.MaxPauseUs},
+               {"retired_mb", R.RetiredMb},
+               {"reclaimed_mb", R.ReclaimedMb},
+               {"cycles", R.Cycles}});
+  std::printf("%-8s %-9s %-11s %3u %4u%% %8.3f %9.1f %10.1f %9.3f %9.3f "
+              "%6.0f\n",
+              Machine, Structure, Reclaimer, Threads, UpdatePct, Mops, R.P99Us,
+              R.MaxPauseUs, R.RetiredMb, R.ReclaimedMb, R.Cycles);
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions Opts = BenchOptions::parse(
+      argc, argv, "ablation_structures",
+      "Lock-free list/skiplist under runtime-GC vs epoch-based "
+      "reclamation: throughput, op-latency tail, GC pauses, and "
+      "retired-vs-reclaimed bytes.");
+  JsonReport Json("ablation_structures", Opts.JsonPath);
+
+  const bool Quick = Opts.Quick;
+  OpsPerThread = Quick ? 3000 : 40000;
+  KeySpace = Quick ? 512 : 2048;
+  const std::vector<unsigned> ThreadCounts =
+      Quick ? std::vector<unsigned>{4} : std::vector<unsigned>{2, 4, 8};
+  const std::vector<unsigned> UpdateRatios =
+      Quick ? std::vector<unsigned>{10, 50}
+            : std::vector<unsigned>{10, 50, 90};
+
+  std::printf("Ablation: lock-free structures, runtime-GC vs epoch "
+              "reclamation%s\n",
+              Quick ? " [--quick]" : "");
+  std::printf("(%d ops/thread, %u-key range; concurrent marking on for "
+              "the GC rows; latency sampled 1-in-8)\n\n",
+              OpsPerThread, KeySpace);
+  std::printf("%-8s %-9s %-11s %3s %5s %8s %9s %10s %9s %9s %6s\n", "machine",
+              "structure", "reclaimer", "thr", "upd", "mops", "p99-us",
+              "max-pause", "retired", "reclaimed", "cycles");
+
+  struct MachineDef {
+    const char *Name;
+    Topology Topo;
+  };
+  const MachineDef Machines[2] = {
+      {"amd48", Topology::amdMagnyCours48()},
+      {"intel32", Topology::intelXeon32()},
+  };
+
+  for (const MachineDef &M : Machines) {
+    if (!Opts.runsTopology(M.Name))
+      continue;
+    for (unsigned Threads : ThreadCounts) {
+      for (unsigned Upd : UpdateRatios) {
+        emitRow(Json, M.Name, "list", "runtime-gc", Threads, Upd,
+                runGcRow<structures::GcList, structures::GcReclaimer>(
+                    M.Topo, Threads, Upd));
+        emitRow(Json, M.Name, "list", "epoch", Threads, Upd,
+                runEpochRow<structures::EpochList>(M.Topo, Threads, Upd));
+        emitRow(Json, M.Name, "skiplist", "runtime-gc", Threads, Upd,
+                runGcRow<structures::GcSkipList, structures::GcReclaimer>(
+                    M.Topo, Threads, Upd));
+        emitRow(Json, M.Name, "skiplist", "epoch", Threads, Upd,
+                runEpochRow<structures::EpochSkipList>(M.Topo, Threads, Upd));
+      }
+    }
+    std::printf("\n");
+  }
+  return Json.write() ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 // internal API deliberately.
 #define MANTI_GC_INTERNAL 1
 
+#include "gc/Handles.h"
 #include "gc/HeapInternal.h"
 #include "gc/HeapVerifier.h"
 #include "numa/Topology.h"
@@ -196,5 +197,56 @@ static void BM_MixedObjectScan(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Chain);
 }
 BENCHMARK(BM_MixedObjectScan)->Arg(512)->Arg(4096);
+
+/// Handle-layer root registration: one RootScope with N rooted slots,
+/// opened and torn down per iteration. This is the fixed overhead every
+/// handle-using operation pays before touching the heap (the
+/// lock-free-structure ops in src/structures/ open one per retry loop).
+static void BM_RootScopeRegister(benchmark::State &State) {
+  GCWorld World(benchConfig(), Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  int64_t Roots = State.range(0);
+  for (auto _ : State) {
+    RootScope Scope(H);
+    for (int64_t I = 0; I < Roots; ++I) {
+      Ref<> R = Scope.root(Value::fromInt(I));
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Roots);
+}
+BENCHMARK(BM_RootScopeRegister)->Arg(1)->Arg(4)->Arg(16);
+
+/// Handle assignment through the SATB deletion barrier: overwriting a
+/// rooted slot mid concurrent mark must record the dropped value. The
+/// Idle/ConcMark pair prices the barrier's fast path (phase check only)
+/// against its taken path (record into the SATB buffer).
+static void BM_RefAssign(benchmark::State &State) {
+  GCConfig Cfg = benchConfig();
+  Cfg.ConcurrentGlobal = true;
+  GCWorld World(Cfg, Topology::singleNode(1), 1);
+  VProcHeap &H = World.heap(0);
+  RootScope Scope(H);
+  Ref<> A = Scope.root(makeList(H, 4));
+  Ref<> B = Scope.root(makeList(H, 4));
+  Ref<> Slot = Scope.root(A.value());
+  const bool MidMark = State.range(0) != 0;
+  if (MidMark) {
+    World.startConcurrentMark();
+    H.safePoint(); // join the snapshot rendezvous; marking is now live
+  }
+  bool Flip = false;
+  for (auto _ : State) {
+    Slot = Flip ? A.value() : B.value();
+    Flip = !Flip;
+    benchmark::DoNotOptimize(Slot);
+  }
+  if (MidMark)
+    while (World.collectionInProgress())
+      H.safePoint();
+  State.SetItemsProcessed(State.iterations());
+  State.counters["mid_mark"] = MidMark ? 1 : 0;
+}
+BENCHMARK(BM_RefAssign)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

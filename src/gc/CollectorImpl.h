@@ -92,8 +92,16 @@ public:
   /// anything else passes through.
   Word forwardWord(Word W);
 
-  /// Rewrites \p Slot in place through forwardWord.
-  void visitSlot(Word *Slot) { *Slot = forwardWord(*Slot); }
+  /// Rewrites \p Slot in place through forwardWord. The store is
+  /// skipped when nothing moved: root slots holding already-global
+  /// values are readable from other vprocs mid-collection (lock-free
+  /// structure heads), and a same-value rewrite would race those reads.
+  void visitSlot(Word *Slot) {
+    Word W = *Slot;
+    Word F = forwardWord(W);
+    if (F != W)
+      *Slot = F;
+  }
 
   /// Scans all global copies made so far, transitively evacuating what
   /// they reference. Call once after all roots are forwarded.

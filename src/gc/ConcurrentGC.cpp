@@ -206,7 +206,15 @@ void ConcurrentMark::scanObject(Word *Obj) {
     markObject(Target);
     return;
   }
-  forEachPtrField(Obj, Hdr, W.Descs, [this](Word *Slot) { markWord(*Slot); });
+  // Ordinary objects may still have pointer fields CASed by mutators
+  // mid-mark (lock-free structures do exactly that); a plain load here
+  // is a data race with the mutator's atomic_ref CAS and, under the
+  // SATB invariant, may also tear on weaker hardware. The dropped value
+  // is covered by the mutator's SATB record; the new value is covered
+  // either by this (acquire) load or by the allocating thread's mark.
+  forEachPtrField(Obj, Hdr, W.Descs, [this](Word *Slot) {
+    markWord(std::atomic_ref<Word>(*Slot).load(std::memory_order_acquire));
+  });
 }
 
 bool ConcurrentMark::markStep(VProcHeap &H, unsigned Budget) {

@@ -55,7 +55,16 @@ void manti::minorGCImpl(VProcHeap &H) {
     return reinterpret_cast<Word>(NewObj);
   };
 
-  forEachVProcRoot(H, [&](Word *Slot) { *Slot = Forward(*Slot); });
+  // Store only when the word actually moved: rooted slots that hold
+  // global values (e.g. a lock-free structure's head, which other vprocs
+  // read while this vproc collects) must not see a same-value rewrite --
+  // that plain store would race their plain reads.
+  forEachVProcRoot(H, [&](Word *Slot) {
+    Word W = *Slot;
+    Word F = Forward(W);
+    if (F != W)
+      *Slot = F;
+  });
 
   // Cheney scan of the copied region.
   const ObjectDescriptorTable &Descs = H.world().descriptors();

@@ -573,7 +573,8 @@ unsigned Scheduler::parkMicrosFor(unsigned Step) {
 }
 
 void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
-                             bool (*Pred)(void *), void *PredCtx) {
+                             bool (*Pred)(void *), void *PredCtx,
+                             bool Claimable) {
   if (!UseDoorbells) {
     // Ladder baseline: a blind bounded sleep nobody can cut short.
     auto Start = std::chrono::steady_clock::now();
@@ -592,9 +593,10 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
   // condition, then wait. Any ring that lands after the snapshot --
   // including the global-GC broadcast -- makes the wait return
   // immediately, so the conditions checked here can never be missed.
-  // Only idle-ladder parks (Pred == nullptr) register as *claimable*
-  // waiters: shed targeting must not count a channel-blocked parker.
-  ParkLot::Token T = Lot.prepare(VP.node(), /*Claimable=*/Pred == nullptr);
+  // Only claimable parkers (idle ladder, joinWait) register as
+  // shed-claim targets: targeting must not count a channel-blocked
+  // parker, which cannot run arbitrary tasks.
+  ParkLot::Token T = Lot.prepare(VP.node(), Claimable);
   // Fence pairing with tryRing: in the seq_cst fence order, either this
   // fence precedes the ringer's (so the ringer's waiter-count load sees
   // prepare's increment and rings) or the ringer's precedes this one
@@ -602,14 +604,14 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
   // Either way a condition set concurrently with this park cannot be
   // missed, which is what lets blockOn use long ring-driven parks.
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  // The shed-bay check applies only to idle-ladder parks (Pred ==
-  // nullptr) while a run is live: a channel-blocked vproc cannot run
-  // arbitrary tasks, so waking it for a bay batch would just burn its
-  // backstop, and the between-runs drain loops never claim (a leftover
-  // fire-and-forget batch waits for the next run, like leftover queue
-  // tasks do) so keeping them awake for one would spin them.
+  // The shed-bay check applies only to claimable parks while a run is
+  // live: a channel-blocked vproc cannot run arbitrary tasks, so waking
+  // it for a bay batch would just burn its backstop, and the
+  // between-runs drain loops never claim (a leftover fire-and-forget
+  // batch waits for the next run, like leftover queue tasks do) so
+  // keeping them awake for one would spin them.
   if ((Pred && Pred(PredCtx)) ||
-      (!Pred && RT.schedulerActive() &&
+      (Claimable && RT.schedulerActive() &&
        Lot.shedDepth(VP.node()) != 0) ||
       VP.Mailbox.load(std::memory_order_acquire) != nullptr ||
       VP.ActiveSteal != nullptr || RT.world().rendezvousRequested()) {
@@ -636,7 +638,8 @@ void Scheduler::doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
   }
 }
 
-void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
+void Scheduler::idleBackoff(VProc &VP, bool RecordStats, bool (*Pred)(void *),
+                            void *PredCtx) {
   BackoffState &B = Backoff[VP.id()];
   unsigned R = ++B.IdleRounds;
   if (R <= SpinRounds)
@@ -651,7 +654,7 @@ void Scheduler::idleBackoff(VProc &VP, bool RecordStats) {
     return;
   }
   doorbellPark(VP, parkMicrosFor(R - SpinRounds - YieldRounds - 1),
-               RecordStats, /*Pred=*/nullptr, /*PredCtx=*/nullptr);
+               RecordStats, Pred, PredCtx, /*Claimable=*/true);
 }
 
 bool Scheduler::tryRing(VProc &Ringer, NodeId Node) {
@@ -721,7 +724,8 @@ void Scheduler::blockOn(VProc &VP, bool (*Pred)(void *), void *Ctx,
   unsigned Round = 0;
   while (!Pred(Ctx)) {
     VP.poll();
-    doorbellPark(VP, parkMicrosFor(Round++), RecordStats, Pred, Ctx);
+    doorbellPark(VP, parkMicrosFor(Round++), RecordStats, Pred, Ctx,
+                 /*Claimable=*/false);
   }
 }
 

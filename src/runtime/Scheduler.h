@@ -170,8 +170,13 @@ public:
   /// steal request or a global collection is pending. Pass
   /// \p RecordStats = false from the between-runs drain loops: those
   /// keep idling after run() returns, and the stats must be quiescent
-  /// for aggregateStats() readers by then.
-  void idleBackoff(VProc &VP, bool RecordStats = true);
+  /// for aggregateStats() readers by then. A non-null \p Pred is an
+  /// extra wake condition re-checked after the park's epoch snapshot
+  /// (joinWait passes its counter's done()), so a targeted ring for it
+  /// can never be lost; the park stays claimable either way, since
+  /// idle-ladder callers can all run arbitrary tasks.
+  void idleBackoff(VProc &VP, bool RecordStats = true,
+                   bool (*Pred)(void *) = nullptr, void *PredCtx = nullptr);
 
   /// Resets \p VP's ladder and remote-steal throttle; call whenever the
   /// vproc made progress.
@@ -289,9 +294,12 @@ private:
   /// non-null) *after* the epoch snapshot -- the re-check-after-prepare
   /// is what makes a racing ring unable to be lost -- then wait for at
   /// most \p Micros. Records park statistics on \p VP when
-  /// \p RecordStats.
+  /// \p RecordStats. \p Claimable distinguishes parkers that can run
+  /// arbitrary tasks (the idle ladder, joinWait) from channel blocks:
+  /// only the former register as shed-claim targets and wake for bay
+  /// backlog.
   void doorbellPark(VProc &VP, unsigned Micros, bool RecordStats,
-                    bool (*Pred)(void *), void *PredCtx);
+                    bool (*Pred)(void *), void *PredCtx, bool Claimable);
 
   /// Exponential park bound for ladder position \p Step.
   static unsigned parkMicrosFor(unsigned Step);

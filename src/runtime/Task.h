@@ -71,11 +71,24 @@ public:
   explicit JoinCounter(int64_t Initial = 0) : Pending(Initial) {}
 
   void add(int64_t N = 1) { Pending.fetch_add(N, std::memory_order_relaxed); }
-  void sub(int64_t N = 1) { Pending.fetch_sub(N, std::memory_order_acq_rel); }
+  /// Decrements the count. The decrement that completes the region
+  /// (count reaching <= 0) also rings the registered waiter's node
+  /// doorbell, so a joiner sleeping in the idle ladder resumes on the
+  /// ring instead of its park backstop. Out of line: the ring needs the
+  /// scheduler (defined in VProc.cpp).
+  void sub(int64_t N = 1);
   bool done() const { return Pending.load(std::memory_order_acquire) <= 0; }
+
+  /// Registers the vproc that will wait on this counter as the target
+  /// of completion rings; joinWait calls it on entry. Call only from
+  /// the joiner's own thread.
+  void setWaiter(VProc *W) { Waiter.store(W, std::memory_order_release); }
 
 private:
   std::atomic<int64_t> Pending;
+  /// The joiner registered by joinWait (null when nobody waits): the
+  /// ring target of the completing sub().
+  std::atomic<VProc *> Waiter{nullptr};
 };
 
 /// A single-assignment result slot owned by the spawning vproc.

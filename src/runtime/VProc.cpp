@@ -150,8 +150,38 @@ void VProc::poll() {
 
 bool VProc::stealAndRun() { return RT.scheduler().stealAndRun(*this); }
 
+void JoinCounter::sub(int64_t N) {
+  // Counters are stack-allocated in the joiner's frame: the decrement
+  // that completes the region releases the joiner, which may return and
+  // destroy the counter at any point after it. So the waiter is loaded
+  // first, and nothing on this object is touched after the fetch_sub.
+  VProc *W = Waiter.load(std::memory_order_acquire);
+  if (Pending.fetch_sub(N, std::memory_order_acq_rel) - N > 0)
+    return;
+  if (!W)
+    return;
+  Scheduler &Sched = W->runtime().scheduler();
+  if (!Sched.doorbells())
+    return;
+  // Ring-site fence discipline (pairs with doorbellPark's fence, see
+  // tryRing): the completion was published by the fetch_sub above; the
+  // fence orders it before the waiter-count load, so a joiner parking
+  // concurrently either sees done() in its pre-park re-check or its
+  // prepare() is visible here and the ring lands. No stats bump: the
+  // SchedStats ring counters are owner-thread-only, and sub() runs on
+  // whichever vproc finished the subtask.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  ParkLot &Lot = Sched.parkLot();
+  if (Lot.parkedOn(W->node()) != 0)
+    Lot.ring(W->node());
+}
+
 void VProc::joinWait(JoinCounter &Join) {
   Scheduler &Sched = RT.scheduler();
+  // Targeted wake-up routing: the completing sub() rings this node, so
+  // the idle-ladder parks below can use their full bounded backstop
+  // instead of busy-polling the counter.
+  Join.setWaiter(this);
   while (!Join.done()) {
     if (runOneLocal()) {
       Sched.noteProgress(*this);
@@ -170,8 +200,13 @@ void VProc::joinWait(JoinCounter &Join) {
       Sched.noteProgress(*this);
       continue;
     }
-    Sched.idleBackoff(*this);
+    Sched.idleBackoff(
+        *this, /*RecordStats=*/true,
+        [](void *C) { return static_cast<JoinCounter *>(C)->done(); }, &Join);
   }
+  // Drop the registration: the counter may be reused for a later region
+  // whose completing sub() must not ring on a stale waiter.
+  Join.setWaiter(nullptr);
   Sched.noteProgress(*this);
 }
 

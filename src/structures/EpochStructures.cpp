@@ -1,0 +1,393 @@
+//===- structures/EpochStructures.cpp - EBR lock-free ordered sets --------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/EpochStructures.h"
+
+#include <climits>
+#include <cstdint>
+
+namespace manti::structures {
+
+namespace {
+
+/// Bit-0 mark on a node pointer: the node that *holds* a marked Next is
+/// logically deleted.
+template <typename N> bool marked(N *P) {
+  return (reinterpret_cast<uintptr_t>(P) & 1) != 0;
+}
+template <typename N> N *unmark(N *P) {
+  return reinterpret_cast<N *>(reinterpret_cast<uintptr_t>(P) & ~uintptr_t(1));
+}
+template <typename N> N *mark(N *P) {
+  return reinterpret_cast<N *>(reinterpret_cast<uintptr_t>(P) | 1);
+}
+
+uint64_t splitmix64(uint64_t Z) {
+  Z ^= Z >> 30;
+  Z *= 0xBF58476D1CE4E5B9ull;
+  Z ^= Z >> 27;
+  Z *= 0x94D049BB133111EBull;
+  Z ^= Z >> 31;
+  return Z;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EpochList
+//===----------------------------------------------------------------------===//
+
+EpochList::EpochList(EpochReclaimer &R) : R(R) {
+  Head = new Node{INT64_MIN, {}};
+}
+
+EpochList::~EpochList() {
+  // Retired nodes live in the reclaimer's buckets, never in the chain,
+  // so walking the chain frees exactly the non-retired remainder.
+  Node *Curr = Head;
+  while (Curr) {
+    Node *Next = unmark(Curr->Next.load(std::memory_order_relaxed));
+    delete Curr;
+    Curr = Next;
+  }
+}
+
+void EpochList::search(unsigned Tid, int64_t Key, Node *&Pred, Node *&Curr) {
+retry:
+  Pred = Head;
+  Curr = unmark(Pred->Next.load(std::memory_order_acquire));
+  for (;;) {
+    if (!Curr)
+      return;
+    Node *Succ = Curr->Next.load(std::memory_order_acquire);
+    if (marked(Succ)) {
+      Node *Expected = Curr;
+      if (!Pred->Next.compare_exchange_strong(Expected, unmark(Succ),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire))
+        goto retry;
+      // This CAS removed the node's only predecessor edge; once
+      // unlinked a node can never be re-linked (every insert CAS would
+      // expect it unmarked), so the winner is the unique retirer.
+      R.retire(Tid, Curr, sizeof(Node), freeNode);
+      Curr = unmark(Succ);
+      continue;
+    }
+    if (Curr->Key >= Key)
+      return;
+    Pred = Curr;
+    Curr = Succ;
+  }
+}
+
+bool EpochList::insert(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  Node *Pred, *Curr;
+  Node *Fresh = nullptr;
+  bool Inserted = false;
+  for (;;) {
+    search(Tid, Key, Pred, Curr);
+    if (Curr && Curr->Key == Key)
+      break;
+    if (!Fresh)
+      Fresh = new Node{Key, {}};
+    Fresh->Next.store(Curr, std::memory_order_relaxed);
+    Node *Expected = Curr;
+    if (Pred->Next.compare_exchange_strong(Expected, Fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      Inserted = true;
+      break;
+    }
+  }
+  if (!Inserted && Fresh)
+    delete Fresh;
+  R.opEnd(Tid);
+  return Inserted;
+}
+
+bool EpochList::erase(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  bool Erased = false;
+  Node *Pred, *Curr;
+  for (;;) {
+    search(Tid, Key, Pred, Curr);
+    if (!Curr || Curr->Key != Key)
+      break;
+    Node *Succ = Curr->Next.load(std::memory_order_acquire);
+    if (marked(Succ))
+      continue; // someone else is deleting it; re-search reports absence
+    // Logical delete: tag Curr's own Next.
+    if (!Curr->Next.compare_exchange_strong(Succ, mark(Succ),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+      continue;
+    // Best-effort physical unlink; the winner (us or a later search)
+    // retires.
+    Node *Expected = Curr;
+    if (Pred->Next.compare_exchange_strong(Expected, Succ,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+      R.retire(Tid, Curr, sizeof(Node), freeNode);
+    Erased = true;
+    break;
+  }
+  R.opEnd(Tid);
+  return Erased;
+}
+
+bool EpochList::contains(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  bool Found = false;
+  Node *Curr = unmark(Head->Next.load(std::memory_order_acquire));
+  while (Curr) {
+    Node *Succ = Curr->Next.load(std::memory_order_acquire);
+    if (Curr->Key > Key)
+      break;
+    if (Curr->Key == Key) {
+      Found = !marked(Succ);
+      break;
+    }
+    Curr = unmark(Succ);
+  }
+  R.opEnd(Tid);
+  return Found;
+}
+
+std::vector<int64_t> EpochList::keys() const {
+  std::vector<int64_t> Out;
+  Node *Curr = unmark(Head->Next.load(std::memory_order_acquire));
+  while (Curr) {
+    Node *Succ = Curr->Next.load(std::memory_order_acquire);
+    if (!marked(Succ))
+      Out.push_back(Curr->Key);
+    Curr = unmark(Succ);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// EpochSkipList
+//===----------------------------------------------------------------------===//
+
+EpochSkipList::EpochSkipList(EpochReclaimer &R) : R(R) {
+  Head = new Node;
+  Head->Key = INT64_MIN;
+  Head->Top = MaxLevels - 1;
+}
+
+EpochSkipList::~EpochSkipList() {
+  Node *Curr = Head;
+  while (Curr) {
+    Node *Next = unmark(Curr->Next[0].load(std::memory_order_relaxed));
+    delete Curr;
+    Curr = Next;
+  }
+}
+
+int EpochSkipList::randomTop() {
+  uint64_t Z = splitmix64(
+      Rng.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed));
+  int Top = 0;
+  while ((Z & 1) && Top < MaxLevels - 1) {
+    ++Top;
+    Z >>= 1;
+  }
+  return Top;
+}
+
+bool EpochSkipList::find(int64_t Key, Node **Preds, Node **Succs) {
+retry:
+  Node *Pred = Head;
+  for (int Level = MaxLevels - 1; Level >= 0; --Level) {
+    Node *Curr = unmark(Pred->Next[Level].load(std::memory_order_acquire));
+    for (;;) {
+      if (!Curr)
+        break;
+      Node *Succ = Curr->Next[Level].load(std::memory_order_acquire);
+      while (marked(Succ)) {
+        // Snip the marked node at this level. No retire here: only the
+        // deleter (level-0 mark winner) retires, after its own find()
+        // has walked every level.
+        Node *Expected = Curr;
+        if (!Pred->Next[Level].compare_exchange_strong(
+                Expected, unmark(Succ), std::memory_order_acq_rel,
+                std::memory_order_acquire))
+          goto retry;
+        Curr = unmark(Succ);
+        if (!Curr)
+          break;
+        Succ = Curr->Next[Level].load(std::memory_order_acquire);
+      }
+      if (!Curr || Curr->Key >= Key)
+        break;
+      Pred = Curr;
+      Curr = unmark(Succ);
+    }
+    Preds[Level] = Pred;
+    Succs[Level] = Curr;
+  }
+  return Succs[0] && Succs[0]->Key == Key;
+}
+
+bool EpochSkipList::insert(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  Node *Preds[MaxLevels], *Succs[MaxLevels];
+  Node *Fresh = nullptr;
+  for (;;) {
+    if (find(Key, Preds, Succs)) {
+      delete Fresh;
+      R.opEnd(Tid);
+      return false;
+    }
+    if (!Fresh) {
+      Fresh = new Node;
+      Fresh->Key = Key;
+      Fresh->Top = randomTop();
+    }
+    // Still private: plain-store the level pointers.
+    for (int Level = 0; Level <= Fresh->Top; ++Level)
+      Fresh->Next[Level].store(Succs[Level], std::memory_order_relaxed);
+    Node *Expected = Succs[0];
+    if (!Preds[0]->Next[0].compare_exchange_strong(Expected, Fresh,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_acquire))
+      continue; // level 0 lost; re-find and retry with the same node
+    // Linked: splice the upper levels. If a concurrent erase marks the
+    // node mid-splice, stop and run a cleanup find() before unpinning
+    // so no level link to the (about to be retired) node outlives this
+    // epoch-pinned operation.
+    for (int Level = 1; Level <= Fresh->Top; ++Level) {
+      for (;;) {
+        if (marked(Fresh->Next[0].load(std::memory_order_acquire))) {
+          find(Key, Preds, Succs);
+          R.opEnd(Tid);
+          return true;
+        }
+        Node *Cur = Fresh->Next[Level].load(std::memory_order_acquire);
+        if (marked(Cur)) {
+          find(Key, Preds, Succs);
+          R.opEnd(Tid);
+          return true;
+        }
+        if (Cur != Succs[Level] &&
+            !Fresh->Next[Level].compare_exchange_strong(
+                Cur, Succs[Level], std::memory_order_acq_rel,
+                std::memory_order_acquire))
+          continue; // re-inspect: either marked now or a stale Cur
+        Node *PredExpected = Succs[Level];
+        if (Preds[Level]->Next[Level].compare_exchange_strong(
+                PredExpected, Fresh, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          // Post-link check: the deleter marks top-down then level 0,
+          // so a marked level 0 here means its cleanup find() may have
+          // missed this fresh link -- snip it ourselves.
+          if (marked(Fresh->Next[0].load(std::memory_order_acquire))) {
+            find(Key, Preds, Succs);
+            R.opEnd(Tid);
+            return true;
+          }
+          break;
+        }
+        find(Key, Preds, Succs); // refresh this level's splice point
+      }
+    }
+    R.opEnd(Tid);
+    return true;
+  }
+}
+
+bool EpochSkipList::erase(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  Node *Preds[MaxLevels], *Succs[MaxLevels];
+  bool Erased = false;
+  if (find(Key, Preds, Succs)) {
+    Node *Victim = Succs[0];
+    // Mark the upper levels top-down; level 0 decides the race.
+    for (int Level = Victim->Top; Level >= 1; --Level) {
+      Node *Succ = Victim->Next[Level].load(std::memory_order_acquire);
+      while (!marked(Succ))
+        Victim->Next[Level].compare_exchange_weak(Succ, mark(Succ),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire);
+    }
+    Node *Succ = Victim->Next[0].load(std::memory_order_acquire);
+    while (!marked(Succ)) {
+      if (Victim->Next[0].compare_exchange_strong(Succ, mark(Succ),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        // We own the deletion: physically unlink at every level, then
+        // retire. find() retries until a clean pass, after which no
+        // level link to Victim remains (re-link CASes expect an
+        // unmarked victim and fail).
+        find(Key, Preds, Succs);
+        R.retire(Tid, Victim, sizeof(Node), freeNode);
+        Erased = true;
+        break;
+      }
+    }
+    // marked(Succ) without winning: another deleter owns it.
+  }
+  R.opEnd(Tid);
+  return Erased;
+}
+
+bool EpochSkipList::contains(VProcHeap &H, int64_t Key) {
+  H.safePoint();
+  unsigned Tid = H.id();
+  R.opBegin(Tid);
+  // Wait-free read-only descent: skip marked nodes logically.
+  Node *Pred = Head;
+  Node *Found = nullptr;
+  for (int Level = MaxLevels - 1; Level >= 0; --Level) {
+    Node *Curr = unmark(Pred->Next[Level].load(std::memory_order_acquire));
+    for (;;) {
+      if (!Curr)
+        break;
+      Node *Succ = Curr->Next[Level].load(std::memory_order_acquire);
+      if (Curr->Key > Key)
+        break;
+      if (Curr->Key == Key) {
+        Found = marked(Succ) ? nullptr : Curr;
+        break;
+      }
+      if (marked(Succ)) {
+        Curr = unmark(Succ);
+        continue;
+      }
+      Pred = Curr;
+      Curr = unmark(Succ);
+    }
+    if (Found)
+      break;
+  }
+  R.opEnd(Tid);
+  return Found != nullptr;
+}
+
+std::vector<int64_t> EpochSkipList::keys() const {
+  std::vector<int64_t> Out;
+  Node *Curr = unmark(Head->Next[0].load(std::memory_order_acquire));
+  while (Curr) {
+    Node *Succ = Curr->Next[0].load(std::memory_order_acquire);
+    if (!marked(Succ))
+      Out.push_back(Curr->Key);
+    Curr = unmark(Succ);
+  }
+  return Out;
+}
+
+} // namespace manti::structures

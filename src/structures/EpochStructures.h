@@ -1,0 +1,119 @@
+//===- structures/EpochStructures.h - EBR lock-free ordered sets ----------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The manual-reclamation twins of GcStructures.h: the same ordered-set
+/// API over malloc'd nodes with bit-0 marked pointers (the classic
+/// Harris/Michael representation -- legal here because nothing scans
+/// these nodes, so the tag steals a real pointer bit) and
+/// EpochReclaimer grace periods instead of the collector.
+///
+///  * EpochList -- Michael's lock-free list: search unlinks marked
+///    nodes it passes, and whichever CAS wins a physical unlink retires
+///    the node exactly once.
+///
+///  * EpochSkipList -- Herlihy-Shavit tower-based skiplist. Deletion
+///    marks the victim's level pointers top-down, level 0 last; the
+///    thread whose level-0 mark wins re-runs find() (which snips the
+///    victim at every level on its path) and is the unique retirer.
+///    Insertion re-checks the level-0 mark after every upper-level
+///    link and runs a cleanup find() if the node died mid-splice, so
+///    no link to a retired node survives the inserter's pinned epoch.
+///
+/// Ops take the calling vproc's heap only for thread identity and to
+/// honor safe points (a thread spinning in a structure must not stall
+/// a global-GC rendezvous); node memory never touches the GC heaps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_STRUCTURES_EPOCHSTRUCTURES_H
+#define MANTI_STRUCTURES_EPOCHSTRUCTURES_H
+
+#include "gc/Heap.h"
+#include "structures/Reclaimer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace manti::structures {
+
+/// Harris/Michael lock-free sorted linked-list set with epoch-based
+/// reclamation.
+class EpochList {
+public:
+  explicit EpochList(EpochReclaimer &R);
+  ~EpochList();
+
+  EpochList(const EpochList &) = delete;
+  EpochList &operator=(const EpochList &) = delete;
+
+  bool insert(VProcHeap &H, int64_t Key);
+  bool erase(VProcHeap &H, int64_t Key);
+  bool contains(VProcHeap &H, int64_t Key);
+
+  /// Quiescent-only ordered key snapshot.
+  std::vector<int64_t> keys() const;
+
+  EpochReclaimer &reclaimer() { return R; }
+
+private:
+  struct Node {
+    int64_t Key;
+    std::atomic<Node *> Next{nullptr};
+  };
+
+  static void freeNode(void *P) { delete static_cast<Node *>(P); }
+  /// Positions Pred (key < Key) and Curr (nil or first unmarked node
+  /// with key >= Key), unlinking and retiring marked nodes on the way.
+  void search(unsigned Tid, int64_t Key, Node *&Pred, Node *&Curr);
+
+  Node *Head;
+  EpochReclaimer &R;
+};
+
+/// Herlihy-Shavit lock-free skiplist set with epoch-based reclamation.
+class EpochSkipList {
+public:
+  explicit EpochSkipList(EpochReclaimer &R);
+  ~EpochSkipList();
+
+  EpochSkipList(const EpochSkipList &) = delete;
+  EpochSkipList &operator=(const EpochSkipList &) = delete;
+
+  bool insert(VProcHeap &H, int64_t Key);
+  bool erase(VProcHeap &H, int64_t Key);
+  bool contains(VProcHeap &H, int64_t Key);
+
+  std::vector<int64_t> keys() const;
+
+  EpochReclaimer &reclaimer() { return R; }
+
+  /// Levels 0..MaxLevels-1; level 0 is the full list.
+  static constexpr int MaxLevels = 12;
+
+private:
+  struct Node {
+    int64_t Key = 0;
+    int Top = 0; // highest linked level index
+    std::atomic<Node *> Next[MaxLevels];
+  };
+
+  static void freeNode(void *P) { delete static_cast<Node *>(P); }
+  /// \returns true if an unmarked node with \p Key is present; fills
+  /// Preds/Succs at every level, snipping marked nodes on the path
+  /// (without retiring -- the deleter owns the victim's retirement).
+  bool find(int64_t Key, Node **Preds, Node **Succs);
+  int randomTop();
+
+  Node *Head;
+  EpochReclaimer &R;
+  std::atomic<uint64_t> Rng{0xD1B54A32D192ED03ull};
+};
+
+} // namespace manti::structures
+
+#endif // MANTI_STRUCTURES_EPOCHSTRUCTURES_H

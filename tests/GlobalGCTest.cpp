@@ -356,6 +356,47 @@ TEST(ConcurrentGlobalGC, MutationMidMarkKeepsSnapshotSafe) {
   verifyHeap(H);
 }
 
+TEST(ConcurrentGlobalGC, VecRefOverwriteMidMarkKeepsSnapshotSafe) {
+  TestWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  // The vector twin of MutationMidMarkKeepsSnapshotSafe: VecRef has its
+  // own assignment operators with their own satbRecordOverwrite calls,
+  // so the barrier coverage must be demonstrated separately.
+  std::vector<VecRef<>> Dropped;
+  for (int I = 0; I < 10; ++I)
+    Dropped.push_back(S.rootVector(H.promote(makeIntList(H, 600))));
+  VecRef<> Keep = S.rootVector(H.promote(makeIntList(H, 40)));
+
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  H.safePoint(); // initial rendezvous: snapshot taken
+  ASSERT_EQ(TW.World.phase(), GCPhase::ConcMark);
+
+  // Re-target the vector handles mid-mark. Each overwrite drops the
+  // only reference to a snapshotted list; VecRef::operator= must feed
+  // the old head to the deletion barrier exactly as Ref's does.
+  for (std::size_t I = 0; I < Dropped.size(); ++I)
+    Dropped[I] = (I % 2 == 0) ? Value::nil() // delete
+                              : H.promote(makeIntList(H, 3)); // overwrite
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 1u);
+  EXPECT_EQ(listSum(Keep.value()), intListSum(40));
+  // Typed element access through the handle still works post-cycle.
+  EXPECT_EQ(Keep.size(), 2u);
+  EXPECT_EQ(listSum(Keep.at(1)), intListSum(39));
+  verifyHeap(H);
+
+  // Cycle 2 reclaims what cycle 1 retained as floating garbage.
+  uint64_t ActiveAfterFirst = TW.World.chunks().activeBytes();
+  ASSERT_TRUE(TW.World.startConcurrentMark());
+  stepCycleToCompletion(TW.World, H);
+  EXPECT_EQ(TW.World.concurrentGCCount(), 2u);
+  EXPECT_LT(TW.World.chunks().activeBytes(), ActiveAfterFirst)
+      << "floating garbage must be reclaimed by the next cycle";
+  EXPECT_EQ(listSum(Keep.value()), intListSum(40));
+  verifyHeap(H);
+}
+
 TEST(ConcurrentGlobalGC, ProxyResolutionMidMark) {
   TestWorld TW;
   VProcHeap &H = TW.heap();
