@@ -73,6 +73,9 @@ struct RowResult {
   double RetiredMb = 0;
   double ReclaimedMb = 0;
   double Cycles = 0;
+  double SizeclassHits = 0;
+  double SizeclassMisses = 0;
+  double SizeclassFlushes = 0;
 };
 
 /// Runs the op mix on every vproc thread: UpdatePct/2 inserts,
@@ -148,7 +151,11 @@ RowResult runGcRow(const Topology &Topo, unsigned Threads, unsigned UpdatePct) {
     Out.Seconds = hammer(W, S, UpdatePct, Recorders);
     // Pause and cycle columns describe the timed region only; capture
     // them before the forced end-of-run compaction adds its own pause.
-    Out.MaxPauseUs = buildGCReport(W).value("pause.max_us");
+    Report Rep = buildGCReport(W);
+    Out.MaxPauseUs = Rep.value("pause.max_us");
+    Out.SizeclassHits = Rep.value("alloc.sizeclass.hits");
+    Out.SizeclassMisses = Rep.value("alloc.sizeclass.misses");
+    Out.SizeclassFlushes = Rep.value("alloc.sizeclass.flushes");
     Out.Cycles =
         static_cast<double>(W.globalGCCount() + W.concurrentGCCount());
     Out.ReclaimedMb =
@@ -183,7 +190,11 @@ RowResult runEpochRow(const Topology &Topo, unsigned Threads,
   for (const LatencyRecorder &Rec : Recorders)
     Merged.merge(Rec);
   Out.P99Us = static_cast<double>(Merged.percentileNanos(99)) / 1e3;
-  Out.MaxPauseUs = buildGCReport(W).value("pause.max_us");
+  Report Rep = buildGCReport(W);
+  Out.MaxPauseUs = Rep.value("pause.max_us");
+  Out.SizeclassHits = Rep.value("alloc.sizeclass.hits");
+  Out.SizeclassMisses = Rep.value("alloc.sizeclass.misses");
+  Out.SizeclassFlushes = Rep.value("alloc.sizeclass.flushes");
   Out.Cycles = static_cast<double>(R.stats().EpochAdvances);
   return Out;
 }
@@ -205,7 +216,10 @@ void emitRow(JsonReport &Json, const char *Machine, const char *Structure,
                {"max_pause_us", R.MaxPauseUs},
                {"retired_mb", R.RetiredMb},
                {"reclaimed_mb", R.ReclaimedMb},
-               {"cycles", R.Cycles}});
+               {"cycles", R.Cycles},
+               {"sizeclass_hits", R.SizeclassHits},
+               {"sizeclass_misses", R.SizeclassMisses},
+               {"sizeclass_flushes", R.SizeclassFlushes}});
   std::printf("%-8s %-9s %-11s %3u %4u%% %8.3f %9.1f %10.1f %9.3f %9.3f "
               "%6.0f\n",
               Machine, Structure, Reclaimer, Threads, UpdatePct, Mops, R.P99Us,

@@ -69,6 +69,13 @@ inline void forEachPtrField(Word *Obj, Word Hdr,
 template <typename FnT> inline void forEachVProcRoot(VProcHeap &H, FnT Fn) {
   for (Value *Slot : H.ShadowStack)
     Fn(reinterpret_cast<Word *>(Slot));
+  // RootScope slot slabs: each live scope registered whole slabs rather
+  // than individual slots, so enumeration walks the occupied prefix of
+  // every slab here (always on the owning vproc's thread, or with the
+  // world quiesced).
+  for (RootSlab *Slab : H.SlabStack)
+    for (unsigned I = 0; I < Slab->Count; ++I)
+      Fn(reinterpret_cast<Word *>(&Slab->Slots[I]));
   // A proxy's payload (data word 1) can reference this vproc's local
   // heap; the owner treats it as a root so local collections keep the
   // referent alive and forward the slot (Section 3.1, footnote 1).
@@ -114,6 +121,9 @@ private:
 
   VProcHeap &H;
   EvacuateMode Mode;
+  /// GCConfig::ScanPrefetch snapshot: drain() prefetches upcoming copies
+  /// and pointer targets when set.
+  bool Prefetch;
   /// (chunk, scan cursor) pairs covering everything this evacuation has
   /// copied; the cursor chases the chunk's AllocPtr.
   std::vector<std::pair<Chunk *, Word *>> ScanCursors;

@@ -53,6 +53,13 @@ struct GCStats {
   uint64_t BytesAllocatedLocal = 0;
   uint64_t BytesAllocatedGlobal = 0;
 
+  // Size-class cache effectiveness (small-vector allocation): pops from
+  // a per-vproc freelist vs. refills/misses, and how many times a
+  // collection dropped the whole cache.
+  uint64_t SizeClassHits = 0;
+  uint64_t SizeClassMisses = 0;
+  uint64_t SizeClassFlushes = 0;
+
   // Chunk acquisitions by synchronization class (paper Sections 3.1 and
   // 3.4): served from this vproc's node shard, stolen from another
   // node's shard, or by a fresh batched registration (global cost).
@@ -93,6 +100,9 @@ struct GCStats {
     GlobalSweepPause.merge(O.GlobalSweepPause);
     BytesAllocatedLocal += O.BytesAllocatedLocal;
     BytesAllocatedGlobal += O.BytesAllocatedGlobal;
+    SizeClassHits += O.SizeClassHits;
+    SizeClassMisses += O.SizeClassMisses;
+    SizeClassFlushes += O.SizeClassFlushes;
     ChunkLocalReuses += O.ChunkLocalReuses;
     ChunkCrossNodeSteals += O.ChunkCrossNodeSteals;
     ChunkFreshRegistrations += O.ChunkFreshRegistrations;

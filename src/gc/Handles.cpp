@@ -14,6 +14,22 @@
 
 using namespace manti;
 
+/// Cold path of RootScope::slot: the current slab is full, so chain a
+/// recycled (or fresh) overflow slab and register it with the collectors
+/// in one SlabStack push.
+MANTI_NOINLINE void RootScope::growSlab() {
+  RootSlab *Slab = Heap.SlabFreeList;
+  if (Slab) {
+    Heap.SlabFreeList = Slab->NextFree;
+    Slab->NextFree = nullptr;
+    Slab->Count = 0;
+  } else {
+    Slab = new RootSlab();
+  }
+  Heap.SlabStack.push_back(Slab);
+  Cur = Slab;
+}
+
 Value manti::detail::allocMixedViaSlots(VProcHeap &H, uint16_t Id,
                                         const Word *RawFields,
                                         Value *const *PtrFieldSlots,

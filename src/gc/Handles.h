@@ -61,7 +61,6 @@
 #include "support/Assert.h"
 
 #include <cstring>
-#include <deque>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -233,21 +232,39 @@ private:
 //===----------------------------------------------------------------------===//
 
 /// An RAII shadow-stack frame that owns handle storage. All handles
-/// created through a scope live in slots the scope owns (a deque, so
-/// growth never moves existing slots); the destructor pops everything
-/// this scope pushed. Subsumes the old GcFrame.
+/// created through a scope live in fixed-capacity slot slabs the scope
+/// owns: one embedded inline, overflow slabs chained from the heap's
+/// recycling list. The slabs themselves are registered with the
+/// collectors (VProcHeap::SlabStack, enumerated by forEachVProcRoot), so
+/// creating a slot is one slab store -- no per-slot ShadowStack push --
+/// and the destructor deregisters the whole frame wholesale. Slabs never
+/// move while registered, so handle slot addresses stay stable no matter
+/// how many slots a scope grows. Subsumes the old GcFrame.
 class RootScope {
 public:
   explicit RootScope(VProcHeap &Heap)
       : Heap(Heap), Mark(Heap.ShadowStack.size()),
-        PrevSatbHeap(gcdetail::CurrentSatbHeap) {
+        SlabMark(Heap.SlabStack.size()),
+        PrevSatbHeap(gcdetail::CurrentSatbHeap), Cur(&Inline) {
     // Publish the heap for the handle layer's deletion barrier
     // (satbRecordOverwrite in gc/Heap.h): scopes nest LIFO on one vproc
     // thread, so the innermost scope's heap is always current.
     gcdetail::CurrentSatbHeap = &Heap;
+    // The batched registration: one push covers the inline slab's
+    // (future) slots; growSlab registers overflow slabs the same way.
+    Heap.SlabStack.push_back(&Inline);
   }
   ~RootScope() {
     gcdetail::CurrentSatbHeap = PrevSatbHeap;
+    // Recycle this scope's overflow slabs (everything above the inline
+    // slab at SlabMark; nesting is LIFO, so they are all ours), then pop
+    // the whole frame in one resize each.
+    auto &Slabs = Heap.SlabStack;
+    for (std::size_t I = SlabMark + 1; I < Slabs.size(); ++I) {
+      Slabs[I]->NextFree = Heap.SlabFreeList;
+      Heap.SlabFreeList = Slabs[I];
+    }
+    Slabs.resize(SlabMark);
     Heap.ShadowStack.resize(Mark);
   }
 
@@ -276,9 +293,12 @@ public:
   /// Low-level escape hatch: a scope-owned rooted slot holding \p V.
   /// The reference stays valid (and registered) until the scope dies.
   Value &slot(Value V) {
-    Owned.push_back(V);
-    Heap.ShadowStack.push_back(&Owned.back());
-    return Owned.back();
+    if (MANTI_UNLIKELY(Cur->Count == RootSlab::Capacity))
+      growSlab();
+    Value &Out = Cur->Slots[Cur->Count++];
+    Out = V;
+    ++NumOwned;
+    return Out;
   }
 
   /// Registers \p Slot (an lvalue that outlives this scope) as a root
@@ -287,14 +307,23 @@ public:
   void rootExternal(Value &Slot) { Heap.ShadowStack.push_back(&Slot); }
 
   /// Number of slots this scope has created (tests / stats).
-  std::size_t numSlots() const { return Owned.size(); }
+  std::size_t numSlots() const { return NumOwned; }
 
 private:
+  /// Chains a fresh (or recycled) overflow slab and makes it current.
+  /// Out of line: slot() inlines everywhere, and growth is the cold 1/16
+  /// of calls. (Handles.cpp)
+  MANTI_NOINLINE void growSlab();
+
   VProcHeap &Heap;
   std::size_t Mark;
+  std::size_t SlabMark;
   VProcHeap *PrevSatbHeap;
-  /// Deque: growth never invalidates addresses of existing slots.
-  std::deque<Value> Owned;
+  RootSlab *Cur;
+  std::size_t NumOwned = 0;
+  /// First slab, embedded: scopes of up to RootSlab::Capacity slots (the
+  /// overwhelmingly common case) never touch the heap allocator.
+  RootSlab Inline;
 };
 
 //===----------------------------------------------------------------------===//

@@ -140,9 +140,19 @@ VProcHeap::VProcHeap(GCWorld &World, unsigned Id, CoreId Core, NodeId Node)
       LocalHeapHome(World.Policy.homeFor(Node)),
       LocalMem(World.Banks.allocBlock(World.Config.LocalHeapBytes,
                                       LocalHeapHome)),
-      Local(LocalMem, World.Config.LocalHeapBytes) {}
+      Local(LocalMem, World.Config.LocalHeapBytes) {
+  // Pre-size the root stacks: a mid-allocation std::vector regrow is the
+  // worst possible time to call the system allocator.
+  ShadowStack.reserve(256);
+  SlabStack.reserve(64);
+}
 
 VProcHeap::~VProcHeap() {
+  while (SlabFreeList) {
+    RootSlab *Next = SlabFreeList->NextFree;
+    delete SlabFreeList;
+    SlabFreeList = Next;
+  }
   World.Banks.freeBlock(LocalMem, World.Config.LocalHeapBytes);
 }
 
@@ -271,10 +281,9 @@ void VProcHeap::stressGCBeforeAlloc() {
 }
 
 void VProcHeap::debugCheckShadowStack() const {
-  for (const Value *Slot : ShadowStack) {
-    Value V = *Slot;
+  auto CheckSlot = [&](Value V) {
     if (!V.isPtr())
-      continue; // nil and tagged ints are always fine
+      return; // nil and tagged ints are always fine
     const Word *P = V.asPtr();
     bool Placed;
     if (Local.contains(P)) {
@@ -298,7 +307,12 @@ void VProcHeap::debugCheckShadowStack() const {
     }
     MANTI_CHECK(Sound,
                 "shadow-stack slot holds an unrooted or stale heap pointer");
-  }
+  };
+  for (const Value *Slot : ShadowStack)
+    CheckSlot(*Slot);
+  for (const RootSlab *Slab : SlabStack)
+    for (unsigned I = 0; I < Slab->Count; ++I)
+      CheckSlot(Slab->Slots[I]);
 }
 
 Word *VProcHeap::allocSlowPath(uint16_t Id, uint64_t LenWords) {
@@ -382,7 +396,61 @@ bool VProcHeap::vectorIsOversized(std::size_t N) const {
          World.Config.LocalHeapBytes / 4;
 }
 
-Value VProcHeap::allocVector(const Value *Elems, std::size_t N) {
+/// Number of equally-sized runs a size-class refill tries to carve in
+/// one nursery bump. One batch pays one stress gate and one limit check;
+/// the remaining Runs-1 allocations of this size are freelist pops.
+static constexpr uint64_t SizeClassBatchRuns = 8;
+
+Word *VProcHeap::sizeClassRefill(uint64_t LenWords) {
+  if (!World.Config.SizeClassCache ||
+      LenWords > SizeClassCacheState::MaxWords)
+    return allocLocalObject(IdVector, LenWords);
+  // One stress gate per batch (not per run): carving run-by-run through
+  // allocLocalObject would collect -- and flush -- between runs, so the
+  // cache could never hold anything under MANTI_STRESS_GC=1.
+  if (MANTI_UNLIKELY(World.Config.StressGC))
+    stressGCBeforeAlloc();
+  const uint64_t Foot = LenWords + 1;
+  uint64_t Runs = SizeClassBatchRuns;
+  Word *Block = Local.tryAllocRun(Runs * Foot);
+  if (!Block) {
+    Runs = 1;
+    Block = Local.tryAllocRun(Foot);
+  }
+  if (!Block) {
+    // Nursery exhausted (or limit signalled): the generic slow path
+    // collects and retries. It does not bump BytesAllocatedLocal, so
+    // account for the single object here.
+    Stats.BytesAllocatedLocal += Foot * sizeof(Word);
+    return allocSlowPath(IdVector, LenWords);
+  }
+  Stats.BytesAllocatedLocal += Runs * Foot * sizeof(Word);
+  // First run is the live result; the rest are parked as dormant IdRaw
+  // objects (valid headers keep the nursery walkable; IdRaw fields are
+  // never scanned) chained through their first data word.
+  Block[0] = makeHeader(IdVector, LenWords);
+  Word *First = Block + 1;
+  for (uint64_t R = 1; R < Runs; ++R) {
+    Word *Hdr = Block + R * Foot;
+    Hdr[0] = makeHeader(IdRaw, LenWords);
+    Word *Run = Hdr + 1;
+    Run[0] = reinterpret_cast<Word>(SizeClasses.Heads[LenWords]);
+    SizeClasses.Heads[LenWords] = Run;
+    ++SizeClasses.CachedRuns;
+  }
+  return First;
+}
+
+void VProcHeap::sizeClassFlush() {
+  if (SizeClasses.CachedRuns == 0)
+    return;
+  for (auto &Head : SizeClasses.Heads)
+    Head = nullptr;
+  SizeClasses.CachedRuns = 0;
+  ++Stats.SizeClassFlushes;
+}
+
+Value VProcHeap::allocVectorSlow(const Value *Elems, std::size_t N) {
   uint64_t LenWords = std::max<uint64_t>(1, N);
   if (vectorIsOversized(N)) {
     // The object lands in the global heap, so its elements must be
@@ -394,14 +462,15 @@ Value VProcHeap::allocVector(const Value *Elems, std::size_t N) {
         const_cast<Value *>(Elems)[I] = promote(Elems[I]);
     return allocGlobalVector(Elems, N);
   }
-  Word *Obj = allocLocalObject(IdVector, LenWords);
+  ++Stats.SizeClassMisses;
+  Word *Obj = sizeClassRefill(LenWords);
   Obj[LenWords - 1] = Value::nil().bits();
   for (std::size_t I = 0; I < N; ++I)
     Obj[I] = Elems ? Elems[I].bits() : Value::nil().bits();
   return Value::fromPtr(Obj);
 }
 
-Value VProcHeap::allocVectorFill(std::size_t N, Value Fill) {
+Value VProcHeap::allocVectorFillSlow(std::size_t N, Value Fill) {
   uint64_t LenWords = std::max<uint64_t>(1, N);
   GcFrame Frame(*this);
   Frame.root(Fill);
@@ -413,7 +482,8 @@ Value VProcHeap::allocVectorFill(std::size_t N, Value Fill) {
       Obj[I] = Fill.bits();
     return Value::fromPtr(Obj);
   }
-  Word *Obj = allocLocalObject(IdVector, LenWords);
+  ++Stats.SizeClassMisses;
+  Word *Obj = sizeClassRefill(LenWords);
   Obj[LenWords - 1] = Value::nil().bits();
   for (std::size_t I = 0; I < N; ++I)
     Obj[I] = Fill.bits();

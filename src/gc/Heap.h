@@ -159,6 +159,18 @@ struct GCConfig {
   /// ConcurrentGlobal). Starting early keeps the cycle ahead of the
   /// hard threshold, whose crossing still forces a STW fallback.
   double ConcurrentMarkWatermark = 0.5;
+  /// Per-vproc size-class caching for small vector allocation: refills
+  /// carve a batch of equally-sized runs off the nursery in one bump and
+  /// recycle them through per-size freelists. Flushed at every minor and
+  /// major collection (the runs live in the nursery), so StressGC still
+  /// collects -- and still catches rooting bugs -- at batch granularity.
+  bool SizeClassCache = true;
+  /// Software-prefetch the next object's header and the current object's
+  /// pointer-field targets in the collector scan loops (minor Cheney
+  /// scan, global evacuator drain, concurrent marker drain). Knob so the
+  /// microbench ablation (BM_MinorScanPrefetch{On,Off}) can show the
+  /// delta.
+  bool ScanPrefetch = true;
 };
 
 /// Global-collection phase word. Single source of truth for "is any
@@ -191,6 +203,27 @@ using GlobalRootEnumerator = void (*)(RootSlotVisitor Visit, void *VisitorCtx,
 // VProcHeap
 //===----------------------------------------------------------------------===//
 
+/// Fixed-capacity block of root slots. RootScope (gc/Handles.h) embeds
+/// one inline and chains overflow slabs through the owning heap's free
+/// list; the collectors enumerate VProcHeap::SlabStack directly, so
+/// registering a slot costs one slab store instead of a ShadowStack
+/// push. Slabs never move while registered (handle slot addresses must
+/// stay stable), which is why growth chains new slabs instead of
+/// reallocating.
+struct RootSlab {
+  static constexpr unsigned Capacity = 16;
+  RootSlab() {}
+  unsigned Count = 0;
+  RootSlab *NextFree = nullptr;
+  /// Anonymous union: slots past Count are never read (the collectors
+  /// and the shadow-stack checker iterate [0, Count)), so constructing
+  /// a slab must not pay for nil-initializing all Capacity slots --
+  /// RootScope embeds one per scope.
+  union {
+    Value Slots[Capacity];
+  };
+};
+
 class VProcHeap {
 public:
   VProcHeap(GCWorld &World, unsigned Id, CoreId Core, NodeId Node);
@@ -219,7 +252,10 @@ public:
   Value allocRaw(const void *Data, std::size_t Bytes);
 
   /// Allocates a vector of \p N values. \p Elems (when non-null) points
-  /// at N *rooted* slots that are re-read after any collection.
+  /// at N *rooted* slots that are re-read after any collection. Small
+  /// vectors are served from the per-vproc size-class cache when a run
+  /// is available (inline fast path below); everything else takes
+  /// allocVectorSlow.
   Value allocVector(const Value *Elems, std::size_t N);
 
   /// Allocates a vector of \p N copies of a non-pointer \p Fill value.
@@ -293,11 +329,39 @@ public:
   /// (gc/HeapInternal.h); exposed for the collectors and tests.
   std::vector<Value *> ShadowStack;
 
+  /// RootScope slot slabs, in scope-nesting order. Each live RootScope
+  /// contributes its inline slab plus any overflow slabs it grew; the
+  /// collectors enumerate Slots[0..Count) of every slab here alongside
+  /// the shadow stack (forEachVProcRoot).
+  std::vector<RootSlab *> SlabStack;
+
+  /// Recycled overflow slabs (chained through RootSlab::NextFree), so
+  /// deep scopes stop paying the heap allocation after the first growth.
+  RootSlab *SlabFreeList = nullptr;
+
   /// Proxy objects owned by this vproc (see Proxy.h). Entries point at
   /// the proxy object's first data word in the global heap.
   std::vector<Word *> ProxyTable;
 
   GCStats Stats;
+
+  /// Total registered root slots: shadow-stack entries plus every live
+  /// slab's occupied slots. The tests' scope-balance assertions read
+  /// this instead of ShadowStack.size().
+  std::size_t numRegisteredRootSlots() const {
+    std::size_t N = ShadowStack.size();
+    for (const RootSlab *Slab : SlabStack)
+      N += Slab->Count;
+    return N;
+  }
+
+  /// Number of runs currently parked in the size-class cache (tests).
+  uint64_t sizeClassCachedRuns() const { return SizeClasses.CachedRuns; }
+
+  /// Drops every cached size-class run. Called by the collectors at the
+  /// start of each minor and major collection: the runs live in the
+  /// nursery, which the collection is about to recycle.
+  void sizeClassFlush();
 
   //===--------------------------------------------------------------------===//
   // Internal state shared with the collector implementation files.
@@ -335,12 +399,31 @@ private:
   /// before/after comparison (gcinternal::HeapAccess::allocRawOutlined).
   Word *allocLocalOutlined(uint16_t Id, uint64_t LenWords);
   Word *allocSlowPath(uint16_t Id, uint64_t LenWords);
+  Value allocVectorSlow(const Value *Elems, std::size_t N);
+  Value allocVectorFillSlow(std::size_t N, Value Fill);
+  /// Batch-carves a run of same-size vector shells off the nursery: the
+  /// first is returned (header written), the rest are parked in the
+  /// size-class freelist as dormant IdRaw objects.
+  Word *sizeClassRefill(uint64_t LenWords);
+  Word *sizeClassTryPop(uint64_t LenWords);
   void stressGCBeforeAlloc();
   bool vectorIsOversized(std::size_t N) const;
   /// Trigger check after \p JustAllocatedBytes landed in the global
   /// heap: the classic active-bytes threshold in STW mode, or the
   /// stride-gated allocation watermark in concurrent mode.
   void maybeTriggerGlobalGC(uint64_t JustAllocatedBytes);
+
+  /// Per-vproc size-class cache for small vector allocation: Heads[L] is
+  /// an intrusive freelist (linked through each run's first data word)
+  /// of dormant L-word runs carved off this vproc's nursery. Dormant
+  /// runs carry valid IdRaw headers so the nursery stays walkable; a pop
+  /// rewrites the header to IdVector (same footprint). No locks: only
+  /// the owning vproc touches it, and every collection flushes it.
+  struct SizeClassCacheState {
+    static constexpr uint64_t MaxWords = 16;
+    Word *Heads[MaxWords + 1] = {};
+    uint64_t CachedRuns = 0;
+  };
 
   GCWorld &World;
   unsigned Id;
@@ -349,6 +432,7 @@ private:
   NodeId LocalHeapHome;
   void *LocalMem;
   LocalHeap Local;
+  SizeClassCacheState SizeClasses;
   uint64_t StressTick = 0; ///< StressGCPeriod schedule position
   /// Bytes accumulated toward the next watermark summation (owner-only;
   /// the summation itself is the expensive part the stride amortizes).
@@ -674,6 +758,48 @@ inline Value VProcHeap::allocRaw(const void *Data, std::size_t Bytes) {
   else
     std::memset(Obj, 0, LenWords * sizeof(Word));
   return Value::fromPtr(Obj);
+}
+
+/// Pops a dormant run from the size-class cache, or returns null to send
+/// the caller down allocVectorSlow. The limitSignalled bail-out matters:
+/// the hit path skips tryAlloc's limit check, and a zeroed limit is how
+/// other vprocs summon this one to a rendezvous -- serving cached runs
+/// through a pending signal would stall a stop-the-world collection.
+inline Word *VProcHeap::sizeClassTryPop(uint64_t LenWords) {
+  if (LenWords > SizeClassCacheState::MaxWords)
+    return nullptr;
+  Word *Run = SizeClasses.Heads[LenWords];
+  if (!Run)
+    return nullptr;
+  if (MANTI_UNLIKELY(Local.limitSignalled()))
+    return nullptr;
+  SizeClasses.Heads[LenWords] = reinterpret_cast<Word *>(Run[0]);
+  --SizeClasses.CachedRuns;
+  ++Stats.SizeClassHits;
+  headerOf(Run) = makeHeader(IdVector, LenWords);
+  return Run;
+}
+
+inline Value VProcHeap::allocVector(const Value *Elems, std::size_t N) {
+  uint64_t LenWords = std::max<uint64_t>(1, N);
+  if (Word *Obj = sizeClassTryPop(LenWords)) {
+    Obj[LenWords - 1] = Value::nil().bits(); // N == 0 pads one nil word
+    for (std::size_t I = 0; I < N; ++I)
+      Obj[I] = Elems ? Elems[I].bits() : Value::nil().bits();
+    return Value::fromPtr(Obj);
+  }
+  return allocVectorSlow(Elems, N);
+}
+
+inline Value VProcHeap::allocVectorFill(std::size_t N, Value Fill) {
+  uint64_t LenWords = std::max<uint64_t>(1, N);
+  if (Word *Obj = sizeClassTryPop(LenWords)) {
+    Obj[LenWords - 1] = Value::nil().bits();
+    for (std::size_t I = 0; I < N; ++I)
+      Obj[I] = Fill.bits();
+    return Value::fromPtr(Obj);
+  }
+  return allocVectorFillSlow(N, Fill);
 }
 
 } // namespace manti

@@ -100,7 +100,14 @@ private:
 class GcFrame {
 public:
   explicit GcFrame(VProcHeap &Heap)
-      : Heap(Heap), Mark(Heap.ShadowStack.size()) {}
+      : Heap(Heap), Mark(Heap.ShadowStack.size()) {
+    // Keep push_back headroom ahead of the roots this frame will add: a
+    // std::vector regrow in the middle of the allocation path (deep
+    // parallelReduce recursion) is the worst place to call the system
+    // allocator.
+    if (MANTI_UNLIKELY(Heap.ShadowStack.capacity() < Mark + 16))
+      Heap.ShadowStack.reserve(Mark + 64);
+  }
   ~GcFrame() { Heap.ShadowStack.resize(Mark); }
 
   GcFrame(const GcFrame &) = delete;

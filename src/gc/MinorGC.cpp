@@ -29,6 +29,13 @@ void manti::minorGCImpl(VProcHeap &H) {
   LocalHeap &L = H.local();
   ScopedTimer Timer(H.Stats.MinorPause);
 
+  // The size-class cache holds dormant nursery runs; this collection is
+  // about to recycle the nursery, so drop them all. Keeping the flush
+  // here (not in the public wrappers) covers every path that collects:
+  // slow-path minors, stress collections, and both global flavors'
+  // per-vproc local collections.
+  H.sizeClassFlush();
+
   Word *const DestBase = L.oldTop();
   Word *Dest = DestBase;
   std::size_t NurseryUsed = L.nurseryUsedBytes();
@@ -66,14 +73,28 @@ void manti::minorGCImpl(VProcHeap &H) {
       *Slot = F;
   });
 
-  // Cheney scan of the copied region.
+  // Cheney scan of the copied region. With ScanPrefetch the next
+  // object's header and this object's pointer targets (their headers,
+  // one word below the object) are requested ahead of use: the scan is
+  // memory-latency-bound on heaps bigger than cache, and the Forward
+  // pass touches exactly those lines a few dozen cycles later.
   const ObjectDescriptorTable &Descs = H.world().descriptors();
+  const bool Prefetch = H.world().config().ScanPrefetch;
   for (Word *Scan = DestBase; Scan < Dest;) {
     Word Hdr = *Scan;
     MANTI_CHECK(isHeaderWord(Hdr), "corrupt header in minor-GC scan");
+    uint64_t Foot = objectFootprintWords(Hdr);
+    if (Prefetch) {
+      MANTI_PREFETCH(Scan + Foot);
+      forEachPtrField(Scan + 1, Hdr, Descs, [&](Word *Slot) {
+        Word W = *Slot;
+        if (wordIsPtr(W))
+          MANTI_PREFETCH(reinterpret_cast<Word *>(W) - 1);
+      });
+    }
     forEachPtrField(Scan + 1, Hdr, Descs,
                     [&](Word *Slot) { *Slot = Forward(*Slot); });
-    Scan += objectFootprintWords(Hdr);
+    Scan += Foot;
   }
 
   MANTI_CHECK(Dest <= L.nurseryStart(),

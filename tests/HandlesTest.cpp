@@ -289,7 +289,7 @@ TEST(HandlesDeath, RootAsWrongTypeAborts) {
 TEST(Handles, ScopesPopTheirSlots) {
   TestWorld TW;
   VProcHeap &H = TW.heap();
-  std::size_t Before = H.ShadowStack.size();
+  std::size_t Before = H.numRegisteredRootSlots();
   {
     RootScope Outer(H);
     Outer.root(Value::fromInt(1));
@@ -297,11 +297,79 @@ TEST(Handles, ScopesPopTheirSlots) {
       RootScope Inner(H);
       Inner.root(Value::fromInt(2));
       Inner.root(Value::fromInt(3));
-      EXPECT_EQ(H.ShadowStack.size(), Before + 3);
+      EXPECT_EQ(H.numRegisteredRootSlots(), Before + 3);
+      EXPECT_EQ(Inner.numSlots(), 2u);
     }
-    EXPECT_EQ(H.ShadowStack.size(), Before + 1);
+    EXPECT_EQ(H.numRegisteredRootSlots(), Before + 1);
   }
-  EXPECT_EQ(H.ShadowStack.size(), Before);
+  EXPECT_EQ(H.numRegisteredRootSlots(), Before);
+}
+
+TEST(Handles, SlabGrowthAcrossNestedScopes) {
+  // Scopes store their slots in fixed-capacity slabs (one inline,
+  // overflow slabs chained on demand). Deeply nested scopes that each
+  // overflow their inline slab must keep every level's registration
+  // count exact -- and drop back to it level by level as the scopes
+  // unwind, returning overflow slabs to the heap's recycling list.
+  HandleWorld TW; // StressGC: every allocation collects
+  VProcHeap &H = TW.heap();
+  constexpr std::size_t PerScope = 3 * RootSlab::Capacity + 5;
+  std::size_t Before = H.numRegisteredRootSlots();
+
+  RootScope S1(H);
+  for (std::size_t I = 0; I < PerScope; ++I)
+    S1.root(cons(H, Value::fromInt(static_cast<int64_t>(I)), Value::nil()));
+  EXPECT_EQ(S1.numSlots(), PerScope);
+  EXPECT_EQ(H.numRegisteredRootSlots(), Before + PerScope);
+  {
+    RootScope S2(H);
+    for (std::size_t I = 0; I < PerScope; ++I)
+      S2.root(Value::fromInt(static_cast<int64_t>(I)));
+    EXPECT_EQ(H.numRegisteredRootSlots(), Before + 2 * PerScope);
+    {
+      RootScope S3(H);
+      for (std::size_t I = 0; I < PerScope; ++I)
+        S3.root(makeIntList(H, 3));
+      EXPECT_EQ(H.numRegisteredRootSlots(), Before + 3 * PerScope);
+    }
+    EXPECT_EQ(H.numRegisteredRootSlots(), Before + 2 * PerScope);
+  }
+  EXPECT_EQ(H.numRegisteredRootSlots(), Before + PerScope);
+  // Everything the outer scope rooted survived the inner scopes' stress
+  // collections (all of which enumerated the slab slots as roots).
+  H.minorGC();
+  H.majorGC();
+  verifyHeap(H);
+}
+
+TEST(Handles, HandleStabilityWhileSlabsGrow) {
+  // Growing a scope past its slab capacity chains *new* slabs; slots
+  // already handed out must not move (Ref::slotAddr stays valid), unlike
+  // a vector-backed design where growth reallocates.
+  HandleWorld TW;
+  VProcHeap &H = TW.heap();
+  RootScope S(H);
+  Ref<> Early = S.root(makeIntList(H, 7));
+  Value *EarlyAddr = Early.slotAddr();
+  std::vector<Value *> Addrs;
+  std::vector<Ref<>> Held;
+  Held.reserve(4 * RootSlab::Capacity);
+  for (std::size_t I = 0; I < 4 * RootSlab::Capacity; ++I) {
+    Held.push_back(S.root(cons(H, Value::fromInt(static_cast<int64_t>(I)),
+                               Value::nil())));
+    Addrs.push_back(Held.back().slotAddr());
+  }
+  EXPECT_EQ(Early.slotAddr(), EarlyAddr)
+      << "slab growth must not move existing slots";
+  for (std::size_t I = 0; I < Held.size(); ++I)
+    EXPECT_EQ(Held[I].slotAddr(), Addrs[I]);
+  // The slots are still registered and forwarded: collections move the
+  // referents, the slots keep tracking them.
+  H.minorGC();
+  H.majorGC();
+  EXPECT_EQ(listSum(Early), intListSum(7));
+  for (std::size_t I = 0; I < Held.size(); ++I)
+    EXPECT_EQ(vectorGet(Held[I], 0).asInt(), static_cast<int64_t>(I));
 }
 
 TEST(Handles, SwapExchangesValuesNotSlots) {
@@ -366,15 +434,19 @@ TEST(Handles, EnvironmentVariableEnablesStress) {
 
 TEST(Handles, VectorOfLeavesTheShadowStackConsistent) {
   // Regression: allocVectorOf's temporary element roots must be popped
-  // before the result is rooted, or the result slot's registration is
-  // popped instead and a dangling stack-array slot stays registered.
+  // before the result is rooted, or a dangling stack-array slot stays
+  // registered after the call returns.
   HandleWorld TW;
   VProcHeap &H = TW.heap();
   RootScope S(H);
   Ref<> Leaf = S.root(makeIntList(H, 4));
+  std::size_t ShadowBefore = H.ShadowStack.size();
+  std::size_t SlotsBefore = S.numSlots();
   Ref<> Pair = allocVectorOf(S, Value::fromInt(1), Leaf);
-  ASSERT_EQ(H.ShadowStack.back(), Pair.slotAddr())
-      << "the result handle's slot must be the top registration";
+  ASSERT_EQ(H.ShadowStack.size(), ShadowBefore)
+      << "the temporary element roots must all be deregistered";
+  ASSERT_EQ(S.numSlots(), SlotsBefore + 1)
+      << "exactly the result handle's slot must remain";
   // The README's workload pattern: keep allocating in the same scope.
   // Under StressGC this collects, sweeping the whole shadow stack; a
   // leftover dangling registration would abort (or corrupt) here.
