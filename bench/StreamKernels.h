@@ -1,0 +1,154 @@
+//===- bench/StreamKernels.h - STREAM triad on placed memory --------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement core shared by bench_numa_stream and
+/// table1_bandwidth's host column: a STREAM triad (a[i] = b[i] + q*c[i])
+/// over arrays whose placement is controlled three ways, following
+/// Bergstrom's "Measuring NUMA effects with the STREAM benchmark":
+///
+///   - fill threads pinned to the *memory* node's cpus, so first touch
+///     places pages locally to that node even without libnuma;
+///   - an mbind to the memory node (or MPOL_INTERLEAVE) layered on top
+///     when the build carries libnuma, making placement deterministic;
+///   - compute threads pinned to the *thread* node's cpus.
+///
+/// Bandwidth is the STREAM convention: 24 bytes per element per
+/// iteration (two reads + one write), best timed repetition reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_BENCH_STREAMKERNELS_H
+#define MANTI_BENCH_STREAMKERNELS_H
+
+#include "numa/NumaOS.h"
+#include "numa/Topology.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace manti::streambench {
+
+struct TriadConfig {
+  /// Doubles per array (three arrays total).
+  std::size_t ElemsPerArray = 1 << 20;
+  /// Timed repetitions; the best one is reported (STREAM convention).
+  unsigned Reps = 5;
+  /// OS cpus the compute threads pin to (one thread per entry; empty =
+  /// one unpinned thread).
+  std::vector<unsigned> ComputeCpus;
+  /// OS cpus the fill (first-touch) threads pin to; empty = the compute
+  /// threads fill, i.e. thread-local placement.
+  std::vector<unsigned> FillCpus;
+  /// mbind the arrays to this OS node before first touch (-1 = none).
+  int BindOsNode = -1;
+  /// mbind MPOL_INTERLEAVE across all nodes instead (overrides bind).
+  bool Interleave = false;
+};
+
+struct TriadResult {
+  double GBps = 0;    ///< best-rep triad bandwidth
+  bool Bound = false; ///< an mbind/interleave policy really applied
+  bool Pinned = true; ///< every pin request succeeded
+};
+
+/// Runs the triad sweep described by \p C. Thread k works the k-th
+/// contiguous slice of each array; timing brackets barrier-synchronized
+/// whole-array passes.
+inline TriadResult runTriad(const TriadConfig &C) {
+  const std::size_t N = C.ElemsPerArray;
+  const unsigned Threads =
+      std::max<unsigned>(1, static_cast<unsigned>(C.ComputeCpus.size()));
+  const std::size_t Bytes = 3 * N * sizeof(double);
+
+  TriadResult R;
+  double *Mem = static_cast<double *>(numaos::mapPages(Bytes));
+  if (!Mem)
+    return R;
+  if (C.Interleave)
+    R.Bound = numaos::interleaveAllNodes(Mem, Bytes);
+  else if (C.BindOsNode >= 0)
+    R.Bound = numaos::bindToOsNode(Mem, Bytes,
+                                   static_cast<unsigned>(C.BindOsNode));
+  double *A = Mem, *B = Mem + N, *Cc = Mem + 2 * N;
+
+  std::vector<double> RepSeconds(C.Reps, 0.0);
+  std::barrier Sync(static_cast<std::ptrdiff_t>(Threads));
+  std::vector<char> PinOk(Threads, 1); // not vector<bool>: threads race bits
+  std::chrono::steady_clock::time_point T0;
+
+  auto Worker = [&](unsigned K) {
+    const std::size_t Lo = N * K / Threads;
+    const std::size_t Hi = N * (K + 1) / Threads;
+
+    // First touch: pin to the fill cpu (the memory node) if one is
+    // given, else fall through to the compute pin so placement is
+    // thread-local.
+    if (!C.FillCpus.empty())
+      PinOk[K] =
+          numaos::pinThisThread(C.FillCpus[K % C.FillCpus.size()]) && PinOk[K];
+    else if (!C.ComputeCpus.empty())
+      PinOk[K] = numaos::pinThisThread(C.ComputeCpus[K]) && PinOk[K];
+    for (std::size_t I = Lo; I < Hi; ++I) {
+      A[I] = 1.0;
+      B[I] = 2.0;
+      Cc[I] = 0.5;
+    }
+    Sync.arrive_and_wait();
+
+    if (!C.FillCpus.empty() && !C.ComputeCpus.empty())
+      PinOk[K] = numaos::pinThisThread(C.ComputeCpus[K]) && PinOk[K];
+    Sync.arrive_and_wait();
+
+    for (unsigned Rep = 0; Rep < C.Reps; ++Rep) {
+      Sync.arrive_and_wait(); // align the pass
+      if (K == 0)
+        T0 = std::chrono::steady_clock::now();
+      Sync.arrive_and_wait(); // T0 is stamped before anyone computes
+      const double Q = 3.0;
+      for (std::size_t I = Lo; I < Hi; ++I)
+        A[I] = B[I] + Q * Cc[I];
+      Sync.arrive_and_wait();
+      if (K == 0)
+        RepSeconds[Rep] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          T0)
+                .count();
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  for (unsigned K = 1; K < Threads; ++K)
+    Pool.emplace_back(Worker, K);
+  Worker(0);
+  for (std::thread &T : Pool)
+    T.join();
+
+  double Best = *std::min_element(RepSeconds.begin(), RepSeconds.end());
+  if (Best > 0)
+    R.GBps = 24.0 * static_cast<double>(N) / Best / 1e9;
+  R.Pinned = std::all_of(PinOk.begin(), PinOk.end(), [](bool P) { return P; });
+  numaos::unmapPages(Mem, Bytes);
+  return R;
+}
+
+/// OS cpus of \p Node under \p Topo, capped at \p MaxCpus.
+inline std::vector<unsigned> nodeCpus(const Topology &Topo, NodeId Node,
+                                      unsigned MaxCpus) {
+  std::vector<unsigned> Cpus;
+  unsigned Take = std::min(Topo.coresPerNode(), MaxCpus);
+  for (unsigned C = 0; C < Take; ++C)
+    Cpus.push_back(Topo.osCpuOfCore(Node * Topo.coresPerNode() + C));
+  return Cpus;
+}
+
+} // namespace manti::streambench
+
+#endif // MANTI_BENCH_STREAMKERNELS_H

@@ -1,0 +1,125 @@
+//===- bench/numa_stream.cpp - STREAM calibration of the host machine -----===//
+//
+// Part of the manticore-gc project.
+//
+// Bergstrom's recipe ("Measuring NUMA effects with the STREAM
+// benchmark") applied to the machine this binary runs on: a triad sweep
+// over every (thread node, memory node) pair plus an interleaved row per
+// thread node, reporting measured GB/s. The local/remote/interleaved
+// split is the hardware's answer to the paper's Table 1, and the numbers
+// calibrate the simulator's link-bandwidth cost model.
+//
+// On a single-node (UMA) machine -- every CI runner -- the sweep
+// degrades to the local and interleaved rows and says so explicitly;
+// that degradation path is exactly what the host-numa CI lane smokes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCBenchUtils.h"
+#include "StreamKernels.h"
+
+#include "numa/NumaOS.h"
+#include "numa/Topology.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace manti;
+using namespace manti::streambench;
+
+int main(int argc, char **argv) {
+  benchutil::BenchOptions Opts = benchutil::BenchOptions::parse(
+      argc, argv, "numa_stream",
+      "STREAM triad sweep over the host's NUMA topology: local / remote / "
+      "interleaved placement x thread node, measured GB/s per node pair.");
+  benchutil::JsonReport Json("numa_stream", Opts.JsonPath);
+
+  Topology Host = Topology::host();
+  if (!Opts.runsTopology("host")) {
+    std::printf("numa_stream only runs on the \"host\" topology\n");
+    return Json.write() ? 0 : 1;
+  }
+
+  const unsigned Nodes = Host.numNodes();
+  TriadConfig Base;
+  Base.ElemsPerArray = Opts.Quick ? (1u << 20) : (1u << 23); // 8 / 64 MiB
+  Base.Reps = Opts.Quick ? 3 : 10;
+  const unsigned MaxThreads = Opts.Quick ? 2 : 8;
+
+  std::printf("numa_stream: host \"%s\" -- %u node(s) x %u core(s), "
+              "libnuma binding %s\n",
+              Host.name().c_str(), Nodes, Host.coresPerNode(),
+              numaos::available() ? "available" : "unavailable (first-touch "
+                                                 "placement only)");
+  std::printf("triad arrays: 3 x %.1f MiB, %u reps (best reported), "
+              "<= %u threads\n\n",
+              Base.ElemsPerArray * sizeof(double) / (1024.0 * 1024.0),
+              Base.Reps, MaxThreads);
+
+  std::printf("%-12s %-10s %-13s %-9s %-10s %-7s %s\n", "thread-node",
+              "mem-node", "kind", "threads", "GB/s", "bound", "distance");
+
+  double LocalBest = 0, RemoteWorst = 0, RemoteBest = 0;
+  auto Emit = [&](NodeId T, const char *MemName, const char *Kind,
+                  unsigned Threads, const TriadResult &R, unsigned Distance) {
+    std::printf("%-12u %-10s %-13s %-9u %-10.2f %-7s %u\n", T, MemName, Kind,
+                Threads, R.GBps, R.Bound ? "yes" : "no", Distance);
+    Json.addRow("host",
+                "t" + std::to_string(T) + "-m" + MemName + "-" + Kind,
+                {{"gbps", R.GBps},
+                 {"threads", static_cast<double>(Threads)},
+                 {"mib_per_array",
+                  Base.ElemsPerArray * sizeof(double) / (1024.0 * 1024.0)},
+                 {"bound", R.Bound ? 1.0 : 0.0},
+                 {"distance", static_cast<double>(Distance)}});
+  };
+
+  for (NodeId T = 0; T < Nodes; ++T) {
+    std::vector<unsigned> ComputeCpus = nodeCpus(Host, T, MaxThreads);
+    for (NodeId M = 0; M < Nodes; ++M) {
+      TriadConfig C = Base;
+      C.ComputeCpus = ComputeCpus;
+      // Place on M two ways at once: first touch from M's cpus, plus a
+      // deterministic mbind when the build can.
+      if (M != T)
+        C.FillCpus = nodeCpus(Host, M, MaxThreads);
+      C.BindOsNode = static_cast<int>(Host.osNodeOfNode(M));
+      TriadResult R = runTriad(C);
+      const char *Kind = M == T ? "local" : "remote";
+      Emit(T, std::to_string(M).c_str(), Kind,
+           static_cast<unsigned>(ComputeCpus.size()), R,
+           Host.distance(T, M));
+      if (M == T)
+        LocalBest = std::max(LocalBest, R.GBps);
+      else {
+        RemoteWorst = RemoteWorst == 0 ? R.GBps : std::min(RemoteWorst, R.GBps);
+        RemoteBest = std::max(RemoteBest, R.GBps);
+      }
+    }
+    // Interleaved: pages spread across every node.
+    TriadConfig C = Base;
+    C.ComputeCpus = ComputeCpus;
+    C.Interleave = true;
+    TriadResult R = runTriad(C);
+    Emit(T, "all", "interleaved", static_cast<unsigned>(ComputeCpus.size()),
+         R, Host.distance(T, T));
+  }
+
+  std::printf("\ncalibration summary:\n");
+  std::printf("  local  best: %.2f GB/s\n", LocalBest);
+  if (Nodes > 1) {
+    std::printf("  remote best: %.2f GB/s, worst: %.2f GB/s "
+                "(remote/local ratio %.2f)\n",
+                RemoteBest, RemoteWorst,
+                LocalBest > 0 ? RemoteWorst / LocalBest : 0.0);
+    std::printf("  model placeholder had local %.1f GB/s; update the host "
+                "topology's nominal figures from these rows.\n",
+                Topology::HostNominalLocalGBps);
+  } else {
+    std::printf("  remote: n/a (single NUMA node -- the UMA "
+                "graceful-degradation path)\n");
+  }
+
+  return Json.write() ? 0 : 1;
+}

@@ -3,38 +3,93 @@
 // Part of the manticore-gc project.
 // "Theoretical bandwidth available between a single node and the rest of
 // the system." The model's topologies encode exactly these numbers; the
-// binary prints paper vs model so drift is obvious.
+// binary prints paper vs model so drift is obvious, plus a "host
+// measured" column -- a STREAM triad on the running machine
+// (StreamKernels.h) -- so the simulator's cost model can be calibrated
+// against real silicon rather than data-sheet figures.
 //
 //===----------------------------------------------------------------------===//
 
+#include "GCBenchUtils.h"
+#include "StreamKernels.h"
+
+#include "numa/NumaOS.h"
 #include "numa/Topology.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 using namespace manti;
+using namespace manti::streambench;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::BenchOptions Opts = benchutil::BenchOptions::parse(
+      argc, argv, "table1_bandwidth",
+      "Paper Table 1 (theoretical node bandwidth) vs the model's encoding, "
+      "plus STREAM-measured numbers for the host machine.");
+  benchutil::JsonReport Json("table1_bandwidth", Opts.JsonPath);
+
   Topology Amd = Topology::amdMagnyCours48();
   Topology Intel = Topology::intelXeon32();
 
+  // Host measurement: triad local to node 0, and remote from node 0 to
+  // the most distant node (the worst pair, like the paper's "another
+  // package" row). UMA machines get only the local figure.
+  Topology Host = Topology::host();
+  TriadConfig HC;
+  HC.ElemsPerArray = Opts.Quick ? (1u << 20) : (1u << 23);
+  HC.Reps = Opts.Quick ? 3 : 10;
+  HC.ComputeCpus = nodeCpus(Host, 0, Opts.Quick ? 2u : 8u);
+  HC.BindOsNode = static_cast<int>(Host.osNodeOfNode(0));
+  double HostLocal = runTriad(HC).GBps;
+  double HostRemote = 0;
+  if (Host.numNodes() > 1) {
+    NodeId Far = 1;
+    for (NodeId N = 1; N < Host.numNodes(); ++N)
+      if (Host.distance(0, N) > Host.distance(0, Far))
+        Far = N;
+    TriadConfig RC = HC;
+    RC.FillCpus = nodeCpus(Host, Far, Opts.Quick ? 2u : 8u);
+    RC.BindOsNode = static_cast<int>(Host.osNodeOfNode(Far));
+    HostRemote = runTriad(RC).GBps;
+  }
+  char HostLocalStr[32], HostRemoteStr[32];
+  std::snprintf(HostLocalStr, sizeof(HostLocalStr), "%.1f", HostLocal);
+  if (HostRemote > 0)
+    std::snprintf(HostRemoteStr, sizeof(HostRemoteStr), "%.1f", HostRemote);
+  else
+    std::snprintf(HostRemoteStr, sizeof(HostRemoteStr), "n/a (UMA)");
+
   std::printf("Table 1: theoretical bandwidth between a single node and "
-              "the rest of the system (GB/s)\n\n");
-  std::printf("%-28s %-12s %-12s %-12s %-12s\n", "", "AMD paper", "AMD model",
-              "Intel paper", "Intel model");
+              "the rest of the system (GB/s)\n");
+  std::printf("host measured column: STREAM triad on \"%s\" (%u node(s), "
+              "best of %u reps)\n\n",
+              Host.name().c_str(), Host.numNodes(), HC.Reps);
+  std::printf("%-28s %-12s %-12s %-12s %-12s %-14s\n", "", "AMD paper",
+              "AMD model", "Intel paper", "Intel model", "Host measured");
 
   // Local memory: the node's own controller.
-  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f\n", "Local Memory",
-              21.3, Amd.pathGBps(0, 0), 17.1, Intel.pathGBps(0, 0));
+  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f %-14s\n", "Local Memory",
+              21.3, Amd.pathGBps(0, 0), 17.1, Intel.pathGBps(0, 0),
+              HostLocalStr);
 
   // Node in same package: AMD pairs dies per package; Intel has one node
-  // per package (n/a in the paper).
+  // per package (n/a in the paper), and the host probe has no package
+  // info. A route's bandwidth is its *narrowest* link: the old scan
+  // overwrote the value with every hop, so a multi-hop route would have
+  // silently reported only its last hop.
   double AmdSamePkg = 0;
-  for (NodeId B = 0; B < Amd.numNodes(); ++B)
-    if (B != 0 && Amd.samePackage(0, B))
-      for (LinkId L : Amd.route(0, B))
-        AmdSamePkg = Amd.link(L).GBps;
-  std::printf("%-28s %-12.1f %-12.1f %-12s %-12s\n", "Node in same package",
-              19.2, AmdSamePkg, "n/a", "n/a");
+  for (NodeId B = 0; B < Amd.numNodes(); ++B) {
+    if (B == 0 || !Amd.samePackage(0, B))
+      continue;
+    double RouteBw = 1e9;
+    for (LinkId L : Amd.route(0, B))
+      RouteBw = std::min(RouteBw, Amd.link(L).GBps);
+    AmdSamePkg = std::max(AmdSamePkg, RouteBw);
+  }
+  std::printf("%-28s %-12.1f %-12.1f %-12s %-12s %-14s\n",
+              "Node in same package", 19.2, AmdSamePkg, "n/a", "n/a", "n/a");
 
   // Node on another package: the single 8-bit HT3 link (AMD), a full QPI
   // link (Intel). Print the raw link capacity like the paper does.
@@ -47,8 +102,9 @@ int main() {
   }
   for (LinkId L : Intel.route(0, 1))
     IntelRemote = Intel.link(L).GBps;
-  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f\n",
-              "Node on another package", 6.4, AmdRemote, 25.6, IntelRemote);
+  std::printf("%-28s %-12.1f %-12.1f %-12.1f %-12.1f %-14s\n",
+              "Node on another package", 6.4, AmdRemote, 25.6, IntelRemote,
+              HostRemoteStr);
 
   std::printf("\nDerived end-to-end path bandwidths (min of controller and "
               "links):\n");
@@ -67,5 +123,21 @@ int main() {
                     Max = std::max(Max, Amd.hopCount(A, B));
                 return Max;
               }());
-  return 0;
+  if (HostRemote > 0 && HostLocal > 0)
+    std::printf("\nHost remote/local ratio: %.2f (paper: AMD %.2f, "
+                "Intel %.2f)\n",
+                HostRemote / HostLocal, 6.4 / 21.3, 25.6 / 17.1);
+
+  Json.addRow("amd48", "model",
+              {{"local_gbps", Amd.pathGBps(0, 0)},
+               {"same_pkg_gbps", AmdSamePkg},
+               {"remote_gbps", AmdRemote}});
+  Json.addRow("intel32", "model",
+              {{"local_gbps", Intel.pathGBps(0, 0)},
+               {"remote_gbps", IntelRemote}});
+  Json.addRow("host", "measured",
+              {{"local_gbps", HostLocal},
+               {"remote_gbps", HostRemote},
+               {"nodes", static_cast<double>(Host.numNodes())}});
+  return Json.write() ? 0 : 1;
 }

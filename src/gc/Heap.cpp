@@ -52,7 +52,16 @@ GCConfig applyEnvOverrides(GCConfig Config) {
 
 GCWorld::GCWorld(const GCConfig &Config, const Topology &Topo,
                  unsigned NumVProcs)
-    : Config(applyEnvOverrides(Config)), Topo(Topo), Banks(Topo.numNodes()),
+    : Config(applyEnvOverrides(Config)), Topo(Topo),
+      Banks(Topo.numNodes(),
+            Config.BindMemory ? MemoryBanks::BindMode::Bound
+                              : MemoryBanks::BindMode::Simulated,
+            [&] {
+              std::vector<unsigned> Ids(Topo.numNodes());
+              for (unsigned N = 0; N < Topo.numNodes(); ++N)
+                Ids[N] = Topo.osNodeOfNode(N);
+              return Ids;
+            }()),
       Policy(Config.Policy, Topo.numNodes()), Traffic(Topo.numNodes()),
       Chunks(Banks, Policy, Config.ChunkBytes, Config.PreserveChunkAffinity,
              Config.ChunkBatch),

@@ -125,6 +125,13 @@ struct GCConfig {
   std::size_t GlobalGCBytesPerVProc = 4 * 1024 * 1024;
   /// Page-placement policy (Section 4.3's experiment knob).
   AllocPolicyKind Policy = AllocPolicyKind::Local;
+  /// Real page placement: mmap the memory banks' block arenas and bind
+  /// them to their home node's physical bank with mbind (verified via
+  /// move_pages). Only meaningful with a host topology on a build that
+  /// found libnuma (MANTI_NUMA=ON); degrades to unbound first-touch
+  /// mappings everywhere else. Off by default: the recorded topologies'
+  /// "node 3" is a simulation label, not an OS node.
+  bool BindMemory = false;
   /// Reuse global chunks on their home node (ablation knob).
   bool PreserveChunkAffinity = true;
   /// Chunks carved per fresh MemoryBanks mapping: the global

@@ -1,0 +1,326 @@
+//===- numa/HostTopology.cpp - probe the running machine ------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topology::host() / Topology::hostFromSysfs(): build a Topology from
+/// the machine the process is running on instead of the paper's recorded
+/// hardware. Three probe legs, tried in order:
+///
+///   1. libnuma (only when the build found it: MANTI_HAVE_LIBNUMA) --
+///      numa_node_to_cpus for the cpu partition, numa_distance for the
+///      SLIT matrix, numa_node_size64 for per-node memory.
+///   2. The Linux sysfs node tree (/sys/devices/system/node) -- same
+///      facts parsed from cpulist/distance/meminfo files; needs no
+///      library, so a default build still probes real machines.
+///   3. A single-node topology sized by hardware_concurrency() -- the
+///      UMA / non-Linux degradation everything downstream must accept.
+///
+/// Memory-only nodes (cpuless HBM/CXL banks) are skipped: a Topology
+/// node is somewhere a vproc can run. Because Topology keeps a uniform
+/// cores-per-node count, irregular machines are squared off to the
+/// smallest node (the extra cpus are simply never pinned to).
+///
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#if MANTI_HAVE_LIBNUMA
+#include <numa.h>
+#endif
+
+using namespace manti;
+
+namespace {
+
+/// One cpu-bearing node as the probe saw it.
+struct ProbedNode {
+  unsigned OsId;
+  std::vector<unsigned> Cpus;
+  uint64_t MemBytes;
+};
+
+unsigned hostCpuCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+/// Parses a Linux cpulist ("0-3,8,10-11") into cpu ids; returns false on
+/// malformed input.
+bool parseCpuList(const std::string &Text, std::vector<unsigned> &Out) {
+  std::size_t I = 0;
+  auto ParseNum = [&](unsigned &V) {
+    if (I >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[I])))
+      return false;
+    V = 0;
+    while (I < Text.size() && std::isdigit(static_cast<unsigned char>(Text[I])))
+      V = V * 10 + static_cast<unsigned>(Text[I++] - '0');
+    return true;
+  };
+  while (I < Text.size()) {
+    if (std::isspace(static_cast<unsigned char>(Text[I]))) {
+      ++I;
+      continue;
+    }
+    unsigned Lo, Hi;
+    if (!ParseNum(Lo))
+      return false;
+    Hi = Lo;
+    if (I < Text.size() && Text[I] == '-') {
+      ++I;
+      if (!ParseNum(Hi) || Hi < Lo)
+        return false;
+    }
+    for (unsigned C = Lo; C <= Hi; ++C)
+      Out.push_back(C);
+    if (I < Text.size() && Text[I] == ',')
+      ++I;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// "Node 0 MemTotal:       16309528 kB" -> bytes (0 when absent).
+uint64_t parseMemInfoBytes(const std::string &Text) {
+  std::size_t Pos = Text.find("MemTotal:");
+  if (Pos == std::string::npos)
+    return 0;
+  std::istringstream In(Text.substr(Pos + 9));
+  uint64_t KiB = 0;
+  In >> KiB;
+  return KiB * 1024;
+}
+
+/// Assembles a "host" topology from probed nodes plus their (already
+/// filtered and densely indexed) SLIT matrix. \p Dist is K*K row-major
+/// over \p Nodes' order.
+Topology assembleHost(const std::vector<ProbedNode> &Nodes,
+                      const std::vector<unsigned> &Dist) {
+  unsigned K = static_cast<unsigned>(Nodes.size());
+  MANTI_CHECK(K > 0, "assembleHost needs at least one node");
+
+  // Topology nodes are uniform: square off to the smallest node.
+  unsigned CoresPerNode = static_cast<unsigned>(Nodes[0].Cpus.size());
+  for (const ProbedNode &N : Nodes)
+    CoresPerNode =
+        std::min(CoresPerNode, static_cast<unsigned>(N.Cpus.size()));
+  MANTI_CHECK(CoresPerNode > 0, "assembleHost needs cpu-bearing nodes");
+
+  // Full-mesh link graph; per-link bandwidth scales the nominal local
+  // figure down by SLIT distance (placeholder until bench_numa_stream
+  // measures the machine). Every node is its own package: without
+  // firmware package info, sharing a package is a claim the probe cannot
+  // back.
+  std::vector<unsigned> NodePkg(K);
+  for (unsigned N = 0; N < K; ++N)
+    NodePkg[N] = N;
+  std::vector<Link> Links;
+  for (unsigned A = 0; A < K; ++A)
+    for (unsigned B = A + 1; B < K; ++B) {
+      unsigned D = std::max(Dist[A * K + B], Dist[B * K + A]);
+      double GBps = Topology::HostNominalLocalGBps * 10.0 /
+                    std::max(D, 11u); // remote: strictly below local
+      Links.push_back({A, B, GBps});
+    }
+
+  Topology T("host", CoresPerNode, std::move(NodePkg), std::move(Links),
+             Topology::HostNominalLocalGBps);
+
+  if (K > 1) {
+    // Clean the probed matrix so setDistanceMatrix's invariants hold
+    // even against odd firmware: local entries forced to the row-wide
+    // strict minimum convention (10), remote entries clamped above it.
+    std::vector<unsigned> Clean(Dist);
+    for (unsigned A = 0; A < K; ++A) {
+      Clean[A * K + A] = 10;
+      for (unsigned B = 0; B < K; ++B)
+        if (A != B)
+          Clean[A * K + B] = std::max(Clean[A * K + B], 11u);
+    }
+    T.setDistanceMatrix(std::move(Clean));
+  }
+
+  std::vector<unsigned> CpuMap;
+  CpuMap.reserve(static_cast<std::size_t>(K) * CoresPerNode);
+  std::vector<unsigned> OsIds;
+  std::vector<uint64_t> MemBytes;
+  for (const ProbedNode &N : Nodes) {
+    for (unsigned C = 0; C < CoresPerNode; ++C)
+      CpuMap.push_back(N.Cpus[C]);
+    OsIds.push_back(N.OsId);
+    MemBytes.push_back(N.MemBytes);
+  }
+  T.setCpuMap(std::move(CpuMap));
+  T.setOsNodeIds(std::move(OsIds));
+  T.setNodeMemoryBytes(std::move(MemBytes));
+  return T;
+}
+
+#if MANTI_HAVE_LIBNUMA
+/// libnuma probe leg. \returns false when the kernel reports no NUMA
+/// support (the caller falls through to sysfs).
+bool probeLibnuma(std::vector<ProbedNode> &Nodes,
+                  std::vector<unsigned> &Dist) {
+  if (numa_available() < 0)
+    return false;
+  int MaxNode = numa_max_node();
+  struct bitmask *Mask = numa_allocate_cpumask();
+  for (int N = 0; N <= MaxNode; ++N) {
+    if (numa_node_to_cpus(N, Mask) != 0)
+      continue;
+    ProbedNode P;
+    P.OsId = static_cast<unsigned>(N);
+    for (unsigned C = 0; C < Mask->size; ++C)
+      if (numa_bitmask_isbitset(Mask, C))
+        P.Cpus.push_back(C);
+    if (P.Cpus.empty())
+      continue; // memory-only node
+    long long Free = 0;
+    long long Size = numa_node_size64(N, &Free);
+    P.MemBytes = Size > 0 ? static_cast<uint64_t>(Size) : 0;
+    Nodes.push_back(std::move(P));
+  }
+  numa_free_cpumask(Mask);
+  if (Nodes.empty())
+    return false;
+  unsigned K = static_cast<unsigned>(Nodes.size());
+  Dist.assign(static_cast<std::size_t>(K) * K, 10);
+  for (unsigned A = 0; A < K; ++A)
+    for (unsigned B = 0; B < K; ++B) {
+      int D = numa_distance(static_cast<int>(Nodes[A].OsId),
+                            static_cast<int>(Nodes[B].OsId));
+      // numa_distance returns 0 on error; keep the derived default then.
+      Dist[A * K + B] = D > 0 ? static_cast<unsigned>(D)
+                              : (A == B ? 10u : 20u);
+    }
+  return true;
+}
+#endif // MANTI_HAVE_LIBNUMA
+
+/// sysfs probe leg: parse \p Root/node<i>/{cpulist,distance,meminfo}.
+/// \returns false when the tree is absent or holds no cpu-bearing node.
+bool probeSysfs(const std::string &Root, std::vector<ProbedNode> &Nodes,
+                std::vector<unsigned> &Dist) {
+  // Which node ids exist? Prefer Root/online (cpulist format); fall back
+  // to probing indices, tolerating sparse numbering up to a sane bound.
+  std::vector<unsigned> OnlineIds;
+  std::string Online;
+  if (readFile(Root + "/online", Online)) {
+    if (!parseCpuList(Online, OnlineIds))
+      return false;
+  } else {
+    struct stat St;
+    for (unsigned N = 0; N < 1024; ++N)
+      if (stat((Root + "/node" + std::to_string(N)).c_str(), &St) == 0)
+        OnlineIds.push_back(N);
+  }
+  if (OnlineIds.empty())
+    return false;
+
+  // Each node's distance file lists one entry per *online* node, in
+  // ascending node-id order -- including memory-only nodes, which we
+  // drop. Read everything first, then filter columns.
+  struct RawNode {
+    unsigned OsId;
+    std::vector<unsigned> Cpus;
+    std::vector<unsigned> DistRow;
+    uint64_t MemBytes;
+  };
+  std::vector<RawNode> Raw;
+  for (unsigned Id : OnlineIds) {
+    std::string Dir = Root + "/node" + std::to_string(Id);
+    RawNode R;
+    R.OsId = Id;
+    std::string CpuList;
+    if (!readFile(Dir + "/cpulist", CpuList) ||
+        !parseCpuList(CpuList, R.Cpus))
+      continue;
+    std::string DistText;
+    if (readFile(Dir + "/distance", DistText)) {
+      std::istringstream In(DistText);
+      unsigned D;
+      while (In >> D)
+        R.DistRow.push_back(D);
+    }
+    std::string MemInfo;
+    R.MemBytes =
+        readFile(Dir + "/meminfo", MemInfo) ? parseMemInfoBytes(MemInfo) : 0;
+    Raw.push_back(std::move(R));
+  }
+
+  // Keep cpu-bearing nodes; remember each kept node's index within the
+  // online list so distance columns can be selected.
+  std::vector<unsigned> KeptOnlineIdx;
+  for (std::size_t I = 0; I < Raw.size(); ++I) {
+    if (Raw[I].Cpus.empty())
+      continue;
+    auto It = std::find(OnlineIds.begin(), OnlineIds.end(), Raw[I].OsId);
+    KeptOnlineIdx.push_back(static_cast<unsigned>(It - OnlineIds.begin()));
+    Nodes.push_back({Raw[I].OsId, Raw[I].Cpus, Raw[I].MemBytes});
+  }
+  if (Nodes.empty())
+    return false;
+
+  unsigned K = static_cast<unsigned>(Nodes.size());
+  Dist.assign(static_cast<std::size_t>(K) * K, 10);
+  std::size_t RawIdx = 0;
+  for (unsigned A = 0; A < K; ++A) {
+    // Find A's raw record (Raw holds kept and dropped nodes alike).
+    while (Raw[RawIdx].Cpus.empty())
+      ++RawIdx;
+    const RawNode &R = Raw[RawIdx++];
+    for (unsigned B = 0; B < K; ++B) {
+      unsigned Col = KeptOnlineIdx[B];
+      if (Col < R.DistRow.size())
+        Dist[A * K + B] = R.DistRow[Col];
+      else
+        Dist[A * K + B] = A == B ? 10 : 20; // distance file missing/short
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+Topology Topology::hostFromSysfs(const std::string &Root) {
+  std::vector<ProbedNode> Nodes;
+  std::vector<unsigned> Dist;
+  if (probeSysfs(Root, Nodes, Dist))
+    return assembleHost(Nodes, Dist);
+  return Topology::singleNode(hostCpuCount());
+}
+
+Topology Topology::host() {
+#if MANTI_HAVE_LIBNUMA
+  {
+    std::vector<ProbedNode> Nodes;
+    std::vector<unsigned> Dist;
+    if (probeLibnuma(Nodes, Dist))
+      return assembleHost(Nodes, Dist);
+  }
+#endif
+  return hostFromSysfs("/sys/devices/system/node");
+}

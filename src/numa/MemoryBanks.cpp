@@ -6,29 +6,82 @@
 
 #include "numa/MemoryBanks.h"
 
+#include "numa/NumaOS.h"
 #include "support/Assert.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
 
 using namespace manti;
 
-MemoryBanks::MemoryBanks(unsigned NumNodes) : Banks(NumNodes) {
+MemoryBanks::MemoryBanks(unsigned NumNodes, BindMode Mode,
+                         std::vector<unsigned> OsNodeIds)
+    : Mode(Mode), OsNodeIds(std::move(OsNodeIds)), Banks(NumNodes) {
   MANTI_CHECK(NumNodes > 0, "memory banks need at least one node");
+  MANTI_CHECK(this->OsNodeIds.empty() || this->OsNodeIds.size() == NumNodes,
+              "OS node map must cover every node");
 }
 
 MemoryBanks::~MemoryBanks() {
   std::lock_guard<SpinLock> Lock(ExtentLock);
-  for (const Extent &E : Extents)
-    std::free(reinterpret_cast<void *>(E.Begin));
+  for (const Extent &E : Extents) {
+    if (Mode == BindMode::Bound)
+      numaos::unmapPages(reinterpret_cast<void *>(E.Begin), E.End - E.Begin);
+    else
+      std::free(reinterpret_cast<void *>(E.Begin));
+  }
+}
+
+bool MemoryBanks::canBind() { return numaos::available(); }
+
+int MemoryBanks::osNodeOf(const void *Addr) {
+  return numaos::osNodeOfPage(Addr);
+}
+
+uint64_t MemoryBanks::bytesBound(NodeId Node) const {
+  const Bank &B = Banks[Node];
+  std::lock_guard<SpinLock> Lock(B.Lock);
+  return B.Bound;
+}
+
+/// mmap is page-granular; for larger alignments over-map by Align and
+/// trim the head and tail back to the kernel so the extent is exactly
+/// the aligned block.
+void *MemoryBanks::mapAligned(std::size_t Bytes, std::size_t Align) {
+  if (Align <= PageSize)
+    return numaos::mapPages(Bytes);
+  void *Raw = numaos::mapPages(Bytes + Align);
+  if (!Raw)
+    return nullptr;
+  uintptr_t Base = reinterpret_cast<uintptr_t>(Raw);
+  uintptr_t Aligned = alignTo(Base, Align);
+  if (Aligned != Base)
+    numaos::unmapPages(Raw, Aligned - Base);
+  std::size_t Tail = (Base + Bytes + Align) - (Aligned + Bytes);
+  if (Tail)
+    numaos::unmapPages(reinterpret_cast<void *>(Aligned + Bytes), Tail);
+  return reinterpret_cast<void *>(Aligned);
 }
 
 void *MemoryBanks::allocFresh(std::size_t Bytes, std::size_t Align,
                               NodeId Node) {
-  void *Mem = std::aligned_alloc(Align, Bytes);
-  MANTI_CHECK(Mem, "out of memory in MemoryBanks");
+  void *Mem;
+  if (Mode == BindMode::Bound) {
+    Mem = mapAligned(Bytes, Align);
+    MANTI_CHECK(Mem, "out of memory in MemoryBanks (mmap)");
+    // Bind before first touch so every page faults in on its home
+    // node's physical bank. Failure (no libnuma, UMA kernel, offlined
+    // node) leaves a plain first-touch mapping -- the degradation mode.
+    unsigned OsNode = OsNodeIds.empty() ? Node : OsNodeIds[Node];
+    if (numaos::bindToOsNode(Mem, Bytes, OsNode))
+      Banks[Node].Bound += Bytes;
+  } else {
+    Mem = std::aligned_alloc(Align, Bytes);
+    MANTI_CHECK(Mem, "out of memory in MemoryBanks");
+  }
   Banks[Node].Reserved += Bytes;
 
   uintptr_t Begin = reinterpret_cast<uintptr_t>(Mem);

@@ -5,14 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Simulated per-node memory banks. On the paper's hardware each node has
-/// its own bank of physical RAM and the runtime places pages with
-/// libnuma; this reproduction runs on a machine with one node, so the
-/// banks are process-heap arenas that carry the *placement metadata*: a
-/// block allocated "on node 3" is recorded in a page map, and every later
-/// consumer (the chunk manager's node affinity, the traffic ledger, the
-/// machine model) consults that map exactly as the real system would ask
-/// the OS which node backs a page.
+/// Per-node memory banks, in two placement modes.
+///
+/// Simulated (default): process-heap arenas that carry the *placement
+/// metadata* -- a block allocated "on node 3" is recorded in a page map,
+/// and every later consumer (the chunk manager's node affinity, the
+/// traffic ledger, the machine model) consults that map exactly as the
+/// real system would ask the OS which node backs a page. This is how the
+/// recorded topologies run on any machine.
+///
+/// Bound (GCConfig::BindMemory): blocks are mmap'd anonymous arenas and,
+/// when the build carries libnuma (MANTI_NUMA=ON) on a NUMA kernel,
+/// bound to their node's physical bank with mbind before first touch --
+/// the page map then *matches* the OS placement, verifiable through
+/// move_pages (MemoryBindTest does exactly that). Without libnuma the
+/// mode degrades to unbound mappings: still real placement-by-first-
+/// touch, same metadata, nothing downstream changes.
 ///
 /// Blocks are allocated at block granularity (a multiple of the page
 /// size) and recycled through per-node, per-size free lists, mirroring
@@ -38,13 +46,38 @@ class MemoryBanks {
 public:
   static constexpr std::size_t PageSize = 4096;
 
-  explicit MemoryBanks(unsigned NumNodes);
+  enum class BindMode {
+    Simulated, ///< process-heap arenas, metadata-only placement
+    Bound,     ///< mmap arenas, mbind'd to nodes when the host can
+  };
+
+  /// \p OsNodeIds maps logical node -> OS node for the Bound mode's
+  /// mbind calls (empty = identity); ignored in Simulated mode.
+  explicit MemoryBanks(unsigned NumNodes,
+                       BindMode Mode = BindMode::Simulated,
+                       std::vector<unsigned> OsNodeIds = {});
   ~MemoryBanks();
 
   MemoryBanks(const MemoryBanks &) = delete;
   MemoryBanks &operator=(const MemoryBanks &) = delete;
 
   unsigned numNodes() const { return static_cast<unsigned>(Banks.size()); }
+
+  BindMode mode() const { return Mode; }
+
+  /// True when Bound mode can actually mbind: built with libnuma
+  /// (MANTI_NUMA=ON) on a NUMA-capable kernel. When false, Bound mode
+  /// still mmaps but pages place by first touch.
+  static bool canBind();
+
+  /// The OS's answer for which node backs the (touched) page at
+  /// \p Addr, via move_pages; -1 when the host cannot tell. Bound-mode
+  /// placement is verified by comparing this against nodeOf.
+  static int osNodeOf(const void *Addr);
+
+  /// Bytes successfully mbind'd for \p Node (always 0 in Simulated mode
+  /// or when canBind() is false).
+  uint64_t bytesBound(NodeId Node) const;
 
   /// Allocates \p Bytes (rounded up to a page multiple) on \p Node,
   /// aligned to \p Align (a power of two >= PageSize; Bytes is rounded up
@@ -75,6 +108,7 @@ private:
         FreeLists;
     uint64_t InUse = 0;
     uint64_t Reserved = 0;
+    uint64_t Bound = 0; ///< bytes successfully mbind'd (Bound mode)
   };
 
   /// One contiguous OS allocation tagged with its home node.
@@ -85,7 +119,10 @@ private:
   };
 
   void *allocFresh(std::size_t Bytes, std::size_t Align, NodeId Node);
+  void *mapAligned(std::size_t Bytes, std::size_t Align);
 
+  BindMode Mode;
+  std::vector<unsigned> OsNodeIds; ///< logical -> OS node (empty = identity)
   std::vector<Bank> Banks;
   mutable SpinLock ExtentLock;
   std::vector<Extent> Extents; ///< sorted by Begin

@@ -1,0 +1,105 @@
+//===- numa/NumaOS.cpp ----------------------------------------------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/NumaOS.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+
+#if MANTI_HAVE_LIBNUMA
+#include <numa.h>
+#include <numaif.h>
+#endif
+
+using namespace manti;
+
+bool numaos::available() {
+#if MANTI_HAVE_LIBNUMA
+  static const bool Avail = numa_available() >= 0;
+  return Avail;
+#else
+  return false;
+#endif
+}
+
+int numaos::maxOsNode() {
+#if MANTI_HAVE_LIBNUMA
+  if (available())
+    return numa_max_node();
+#endif
+  return -1;
+}
+
+void *numaos::mapPages(std::size_t Bytes) {
+  void *Mem = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return Mem == MAP_FAILED ? nullptr : Mem;
+}
+
+void numaos::unmapPages(void *Addr, std::size_t Bytes) {
+  ::munmap(Addr, Bytes);
+}
+
+bool numaos::bindToOsNode(void *Addr, std::size_t Bytes, unsigned OsNode) {
+#if MANTI_HAVE_LIBNUMA
+  if (!available() || static_cast<int>(OsNode) > numa_max_node())
+    return false;
+  // numa_tonode_memory has no error return; issue the mbind directly so
+  // failure (e.g. no CAP_SYS_NICE for foreign policies, offlined node)
+  // is visible to the caller.
+  struct bitmask *Mask = numa_allocate_nodemask();
+  numa_bitmask_setbit(Mask, OsNode);
+  long Rc = mbind(Addr, Bytes, MPOL_BIND, Mask->maskp, Mask->size + 1, 0);
+  numa_free_nodemask(Mask);
+  return Rc == 0;
+#else
+  (void)Addr;
+  (void)Bytes;
+  (void)OsNode;
+  return false;
+#endif
+}
+
+bool numaos::interleaveAllNodes(void *Addr, std::size_t Bytes) {
+#if MANTI_HAVE_LIBNUMA
+  if (!available())
+    return false;
+  struct bitmask *Mask = numa_get_mems_allowed();
+  long Rc = mbind(Addr, Bytes, MPOL_INTERLEAVE, Mask->maskp, Mask->size + 1,
+                  0);
+  numa_bitmask_free(Mask);
+  return Rc == 0;
+#else
+  (void)Addr;
+  (void)Bytes;
+  return false;
+#endif
+}
+
+int numaos::osNodeOfPage(const void *Addr) {
+#if MANTI_HAVE_LIBNUMA
+  if (!available())
+    return -1;
+  void *Page = const_cast<void *>(Addr);
+  int Status = -1;
+  if (move_pages(0, 1, &Page, nullptr, &Status, 0) != 0)
+    return -1;
+  return Status >= 0 ? Status : -1;
+#else
+  (void)Addr;
+  return -1;
+#endif
+}
+
+bool numaos::pinThisThread(unsigned OsCpu) {
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  if (OsCpu >= CPU_SETSIZE)
+    return false;
+  CPU_SET(OsCpu, &Set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set) == 0;
+}

@@ -1,0 +1,59 @@
+//===- numa/NumaOS.h - thin OS layer for real page placement -------------===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place that talks to the OS about NUMA: anonymous page
+/// mappings, mbind-style node binding, move_pages placement queries, and
+/// thread-to-cpu pinning. Everything libnuma-specific is compiled only
+/// under MANTI_HAVE_LIBNUMA (the MANTI_NUMA=ON CMake option found
+/// numa.h); without it the binding/query entry points report
+/// "unsupported" and callers degrade -- MemoryBanks falls back to plain
+/// mappings, tests GTEST_SKIP, the stream bench labels its rows unbound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MANTI_NUMA_NUMAOS_H
+#define MANTI_NUMA_NUMAOS_H
+
+#include <cstddef>
+
+namespace manti::numaos {
+
+/// True when the binary was built against libnuma AND the kernel
+/// reports a NUMA API (numa_available() >= 0). All binding and query
+/// calls below are no-ops returning failure when this is false.
+bool available();
+
+/// Largest OS node id (numa_max_node), or -1 when unavailable.
+int maxOsNode();
+
+/// Maps \p Bytes of anonymous read-write pages (nullptr on failure).
+/// Works without libnuma; this is how real-placement arenas are carved
+/// even on UMA machines.
+void *mapPages(std::size_t Bytes);
+void unmapPages(void *Addr, std::size_t Bytes);
+
+/// Binds [Addr, Addr+Bytes) to OS node \p OsNode (numa_tonode_memory).
+/// Call before first touch so pages fault in on the right node.
+/// \returns false when unsupported or the call failed.
+bool bindToOsNode(void *Addr, std::size_t Bytes, unsigned OsNode);
+
+/// Interleaves [Addr, Addr+Bytes) page-round-robin across all nodes.
+bool interleaveAllNodes(void *Addr, std::size_t Bytes);
+
+/// The OS node currently backing the (touched) page at \p Addr, via a
+/// move_pages query; -1 when unsupported or the page is not mapped in.
+/// This is the ground truth the bind path is verified against.
+int osNodeOfPage(const void *Addr);
+
+/// Pins the calling thread to OS cpu \p OsCpu. \returns false when the
+/// host forbids it (restricted containers) -- callers treat pinning as
+/// best effort.
+bool pinThisThread(unsigned OsCpu);
+
+} // namespace manti::numaos
+
+#endif // MANTI_NUMA_NUMAOS_H

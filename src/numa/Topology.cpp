@@ -80,6 +80,57 @@ void Topology::computeRoutes() {
       std::reverse(Path.begin(), Path.end());
     }
   }
+
+  // Default SLIT matrix derived from link hops (10 local, +10 per hop):
+  // monotone in hops, so distance-based tiers equal the old hop-based
+  // tiers on recorded machines. Host probes overwrite it.
+  Distances.assign(static_cast<std::size_t>(N) * N, 10);
+  for (NodeId Src = 0; Src < N; ++Src)
+    for (NodeId Dst = 0; Dst < N; ++Dst)
+      Distances[Src * N + Dst] = 10 + 10 * hopCount(Src, Dst);
+}
+
+void Topology::setDistanceMatrix(std::vector<unsigned> Dist) {
+  unsigned N = numNodes();
+  MANTI_CHECK(Dist.size() == static_cast<std::size_t>(N) * N,
+              "distance matrix must be numNodes x numNodes");
+  // Symmetrize: SLIT tables are symmetric in practice, but a probe that
+  // reads the two directions from different rows should not hand the
+  // scheduler an asymmetric tier structure.
+  for (NodeId A = 0; A < N; ++A)
+    for (NodeId B = A + 1; B < N; ++B) {
+      unsigned D = std::max(Dist[A * N + B], Dist[B * N + A]);
+      Dist[A * N + B] = Dist[B * N + A] = D;
+    }
+  for (NodeId A = 0; A < N; ++A) {
+    MANTI_CHECK(Dist[A * N + A] > 0, "local distance must be positive");
+    for (NodeId B = 0; B < N; ++B)
+      MANTI_CHECK(A == B || Dist[A * N + B] > Dist[A * N + A],
+                  "remote distance must exceed the local distance");
+  }
+  Distances = std::move(Dist);
+}
+
+void Topology::setCpuMap(std::vector<unsigned> OsCpus) {
+  MANTI_CHECK(OsCpus.size() == numCores(),
+              "cpu map must cover every logical core");
+  std::vector<unsigned> Sorted = OsCpus;
+  std::sort(Sorted.begin(), Sorted.end());
+  MANTI_CHECK(std::adjacent_find(Sorted.begin(), Sorted.end()) ==
+                  Sorted.end(),
+              "cpu map entries must be unique OS cpus");
+  CpuMap = std::move(OsCpus);
+}
+
+void Topology::setOsNodeIds(std::vector<unsigned> Ids) {
+  MANTI_CHECK(Ids.size() == numNodes(), "OS node map must cover every node");
+  OsNodeIds = std::move(Ids);
+}
+
+void Topology::setNodeMemoryBytes(std::vector<uint64_t> Bytes) {
+  MANTI_CHECK(Bytes.size() == numNodes(),
+              "memory sizes must cover every node");
+  MemBytes = std::move(Bytes);
 }
 
 double Topology::pathGBps(NodeId From, NodeId To) const {
@@ -107,18 +158,22 @@ std::vector<CoreId> Topology::assignVProcsSparsely(unsigned NumVProcs) const {
 }
 
 std::vector<std::vector<NodeId>> Topology::nodesByDistance(NodeId From) const {
-  // Bucket nodes by hop count. Distances are small (0..numNodes-1), so a
-  // dense bucket array keeps the tiers in increasing-distance order.
-  std::vector<std::vector<NodeId>> Buckets(numNodes());
-  unsigned MaxHops = 0;
+  // Bucket nodes by SLIT distance. Unlike hop counts, probed distances
+  // are neither small nor contiguous (e.g. 10/16/22/28 on a real EPYC),
+  // so sort the distinct values and bucket against them; iterating To in
+  // id order keeps nodes within a tier in id order.
+  std::vector<unsigned> Cuts;
+  Cuts.reserve(numNodes());
+  for (NodeId To = 0; To < numNodes(); ++To)
+    Cuts.push_back(distance(From, To));
+  std::sort(Cuts.begin(), Cuts.end());
+  Cuts.erase(std::unique(Cuts.begin(), Cuts.end()), Cuts.end());
+
+  std::vector<std::vector<NodeId>> Buckets(Cuts.size());
   for (NodeId To = 0; To < numNodes(); ++To) {
-    unsigned Hops = hopCount(From, To);
-    Buckets[Hops].push_back(To);
-    MaxHops = std::max(MaxHops, Hops);
+    auto It = std::lower_bound(Cuts.begin(), Cuts.end(), distance(From, To));
+    Buckets[static_cast<std::size_t>(It - Cuts.begin())].push_back(To);
   }
-  // BFS distances on a connected graph are contiguous, so every bucket
-  // up to MaxHops is non-empty; only the tail needs trimming.
-  Buckets.resize(MaxHops + 1);
   return Buckets;
 }
 

@@ -13,6 +13,15 @@
 /// Intel Xeon X7560 (Fig. 9, four 8-core nodes fully connected by QPI).
 /// Bandwidths are the theoretical figures from Table 1.
 ///
+/// A third family of factories describes the *running* machine:
+/// Topology::host() probes the OS (libnuma when built with MANTI_NUMA,
+/// else the Linux sysfs node tree) and carries three extra pieces of
+/// metadata the recorded machines synthesize -- an ACPI-SLIT-style
+/// node-distance matrix, a core -> OS-cpu map for thread pinning, and
+/// OS node ids for page binding. When the probe finds nothing (UMA
+/// machine, non-Linux host) it degrades to the single-node topology, so
+/// every consumer works unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MANTI_NUMA_TOPOLOGY_H
@@ -70,6 +79,15 @@ public:
     return Routes[From * numNodes() + To];
   }
 
+  /// ACPI-SLIT-style relative distance from \p From to \p To: 10 for the
+  /// local node, larger for remoter ones. Recorded topologies derive
+  /// 10 + 10 * hopCount from the link graph; host topologies carry the
+  /// matrix the firmware reported (numa_distance / sysfs), so the
+  /// scheduler's proximity tiers follow the machine's own view.
+  unsigned distance(NodeId From, NodeId To) const {
+    return Distances[From * numNodes() + To];
+  }
+
   /// Number of link hops between two nodes (0 for the same node).
   unsigned hopCount(NodeId From, NodeId To) const {
     return static_cast<unsigned>(route(From, To).size());
@@ -87,9 +105,53 @@ public:
 
   /// Groups all nodes into proximity tiers as seen from \p From: tier 0
   /// is {From} itself, and each following tier holds the nodes at the
-  /// next-larger link-hop distance (nodes within a tier are in id order).
-  /// The scheduler walks these tiers when choosing steal victims.
+  /// next-larger SLIT distance (nodes within a tier are in id order).
+  /// For recorded topologies the derived distances make this identical
+  /// to bucketing by link hops. The scheduler walks these tiers when
+  /// choosing steal victims.
   std::vector<std::vector<NodeId>> nodesByDistance(NodeId From) const;
+
+  //===--------------------------------------------------------------------===//
+  // Host-probe metadata (set by Topology::host(); identity defaults
+  // everywhere else, so recorded topologies behave exactly as before).
+  //===--------------------------------------------------------------------===//
+
+  /// True when a probed core -> OS-cpu map is attached (host topologies).
+  bool hasCpuMap() const { return !CpuMap.empty(); }
+
+  /// The OS cpu id backing logical core \p Core (identity without a
+  /// probed map). Thread pinning uses this, so vprocs land on the cpus
+  /// the probe saw rather than on `core % hardware_concurrency`.
+  unsigned osCpuOfCore(CoreId Core) const {
+    return CpuMap.empty() ? Core : CpuMap[Core];
+  }
+
+  /// The OS NUMA node id backing logical node \p Node (identity without
+  /// a probed map). Page binding (mbind) needs OS ids because sysfs node
+  /// numbering can be sparse.
+  unsigned osNodeOfNode(NodeId Node) const {
+    return OsNodeIds.empty() ? Node : OsNodeIds[Node];
+  }
+
+  /// Bytes of physical memory attached to \p Node (0 = unknown; only
+  /// host topologies carry sizes).
+  uint64_t memoryBytes(NodeId Node) const {
+    return MemBytes.empty() ? 0 : MemBytes[Node];
+  }
+
+  /// Installs a probed N*N row-major distance matrix. Entries are
+  /// symmetrized (max of the two directions); each diagonal entry must
+  /// be its row's strict minimum. Replaces the hop-derived default.
+  void setDistanceMatrix(std::vector<unsigned> Dist);
+
+  /// Attaches the core -> OS-cpu map (size numCores, entries unique).
+  void setCpuMap(std::vector<unsigned> OsCpus);
+
+  /// Attaches the node -> OS-node-id map (size numNodes).
+  void setOsNodeIds(std::vector<unsigned> Ids);
+
+  /// Attaches per-node physical memory sizes (size numNodes).
+  void setNodeMemoryBytes(std::vector<uint64_t> Bytes);
 
   /// The 48-core AMD Opteron 6172 machine of Appendix A.1.
   static Topology amdMagnyCours48();
@@ -105,6 +167,27 @@ public:
   /// A single-node machine (no NUMA effects) with \p Cores cores.
   static Topology singleNode(unsigned Cores);
 
+  /// The machine this process is running on (HostTopology.cpp): probed
+  /// through libnuma when the build found it (MANTI_NUMA=ON), else
+  /// through the Linux sysfs node tree, else a single-node fallback
+  /// sized by std::thread::hardware_concurrency(). Host topologies are
+  /// named "host", carry the probe metadata above, and synthesize a
+  /// full-mesh link graph whose per-link bandwidth scales the nominal
+  /// local figure down by SLIT distance -- placeholders until
+  /// bench_numa_stream measures the real numbers.
+  static Topology host();
+
+  /// The sysfs leg of host(), probing \p Root (normally
+  /// /sys/devices/system/node). Exposed so tests can point it at a fake
+  /// node tree; falls back to the single-node topology when \p Root is
+  /// missing or holds no cpu-bearing nodes.
+  static Topology hostFromSysfs(const std::string &Root);
+
+  /// Nominal local-memory bandwidth assumed for host topologies before
+  /// calibration (the stream bench replaces assumptions with
+  /// measurements).
+  static constexpr double HostNominalLocalGBps = 20.0;
+
 private:
   void computeRoutes();
 
@@ -116,6 +199,11 @@ private:
   double LocalMemGBps;
   /// Routes[From * N + To] = link ids along the shortest path.
   std::vector<std::vector<LinkId>> Routes;
+  /// Distances[From * N + To] = SLIT distance (derived or probed).
+  std::vector<unsigned> Distances;
+  std::vector<unsigned> CpuMap;    ///< core -> OS cpu (empty = identity)
+  std::vector<unsigned> OsNodeIds; ///< node -> OS node (empty = identity)
+  std::vector<uint64_t> MemBytes;  ///< node -> bytes (empty = unknown)
 };
 
 } // namespace manti

@@ -6,6 +6,7 @@
 
 #include "runtime/Runtime.h"
 
+#include "numa/NumaOS.h"
 #include "runtime/Channel.h"
 #include "runtime/ParkLot.h"
 #include "runtime/Rope.h"
@@ -80,8 +81,14 @@ Runtime::Runtime(const RuntimeConfig &Config, const Topology &Topo)
   ShuttingDown.store(true, std::memory_order_release);
   for (unsigned I = 1; I < Config.NumVProcs; ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
-  if (Config.PinThreads)
+  if (Config.PinThreads) {
+    // vproc 0 runs on the caller's thread: remember the caller's
+    // affinity so the destructor can hand the thread back unpinned.
+    CallerAffinitySaved =
+        pthread_getaffinity_np(pthread_self(), sizeof(CallerAffinity),
+                               &CallerAffinity) == 0;
     pinThread(World.heap(0).core());
+  }
 }
 
 Runtime::~Runtime() {
@@ -89,20 +96,27 @@ Runtime::~Runtime() {
   Lot->ringBroadcast(); // wake drain-parked workers to observe the flag
   for (std::thread &W : Workers)
     W.join();
+  if (CallerAffinitySaved)
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(CallerAffinity),
+                                 &CallerAffinity);
   MANTI_CHECK(RootProviders.empty(),
               "global-root providers (channels, stores) must be destroyed "
               "before the runtime");
 }
 
 void Runtime::pinThread(CoreId Core) {
+  // Host topologies carry the probe's core -> OS-cpu map, so the vproc
+  // lands on a cpu that really belongs to its node; recorded topologies
+  // fold onto whatever the host has. Best effort either way: pinning
+  // fails in restricted containers, which is fine.
+  if (World.topology().hasCpuMap()) {
+    (void)numaos::pinThisThread(World.topology().osCpuOfCore(Core));
+    return;
+  }
   unsigned HostCores = std::thread::hardware_concurrency();
   if (HostCores == 0)
     return;
-  cpu_set_t Set;
-  CPU_ZERO(&Set);
-  CPU_SET(Core % HostCores, &Set);
-  // Best effort: pinning fails in restricted containers, which is fine.
-  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+  (void)numaos::pinThisThread(Core % HostCores);
 }
 
 void Runtime::workerLoop(unsigned Id) {

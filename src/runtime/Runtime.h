@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include <sched.h> // cpu_set_t: the caller's affinity is restored on teardown
+
 namespace manti {
 
 class Channel;
@@ -63,8 +65,12 @@ struct RuntimeConfig {
   /// Promote stolen environments at steal time (true, Manticore's lazy
   /// scheme) or at spawn time (false; ablation).
   bool LazyPromotion = true;
-  /// Pin vproc threads to their assigned cores (ignored when the host
-  /// has fewer cores than the simulated machine).
+  /// Pin vproc threads to their assigned cores. With a host topology
+  /// (Topology::host()) each vproc is pinned to the *probed OS cpu* of
+  /// its core, so threads really sit on their node's silicon; recorded
+  /// topologies fold core ids onto whatever cpus the host has. Best
+  /// effort either way, and the constructing thread's original affinity
+  /// is restored when the runtime is destroyed.
   bool PinThreads = true;
   /// Mailbox chunk size for steal handshakes (clamped to
   /// [1, StealRequest::MaxBatch]). With StealHalf=false it is also the
@@ -175,6 +181,12 @@ private:
   std::unique_ptr<ParkLot> Lot; ///< before Sched: the Scheduler binds it
   std::unique_ptr<Scheduler> Sched;
   std::vector<std::thread> Workers;
+
+  /// The constructing thread's affinity before PinThreads pinned it to
+  /// vproc 0's core; the destructor restores it (the caller's thread
+  /// outlives the runtime, the pin should not).
+  cpu_set_t CallerAffinity{};
+  bool CallerAffinitySaved = false;
 
   std::atomic<bool> ShuttingDown{false};
   std::atomic<bool> Terminating{false};

@@ -1,0 +1,247 @@
+//===- tests/HostTopologyTest.cpp - tests for the host topology probe -----===//
+//
+// Part of the manticore-gc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <pthread.h>
+#include <sched.h>
+#include <set>
+#include <string>
+
+using namespace manti;
+
+namespace {
+
+/// Builds a fake sysfs node tree under the test temp dir. Each entry is
+/// (os node id, cpulist text, distance text, meminfo text).
+struct FakeNode {
+  unsigned Id;
+  std::string CpuList;
+  std::string Distance;
+  std::string MemInfo;
+};
+
+std::string makeFakeTree(const std::string &Name,
+                         const std::vector<FakeNode> &Nodes) {
+  namespace fs = std::filesystem;
+  fs::path Root = fs::path(::testing::TempDir()) / ("manti_sysfs_" + Name);
+  fs::remove_all(Root);
+  for (const FakeNode &N : Nodes) {
+    fs::path Dir = Root / ("node" + std::to_string(N.Id));
+    fs::create_directories(Dir);
+    std::ofstream(Dir / "cpulist") << N.CpuList << "\n";
+    std::ofstream(Dir / "distance") << N.Distance << "\n";
+    std::ofstream(Dir / "meminfo") << N.MemInfo << "\n";
+  }
+  return Root.string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Live-machine probe round-trip: whatever the machine is, the probe must
+// hand back a topology every consumer can use.
+//===----------------------------------------------------------------------===//
+
+TEST(HostTopology, ProbeRoundTrip) {
+  Topology Host = Topology::host();
+  ASSERT_GE(Host.numNodes(), 1u);
+  ASSERT_GE(Host.coresPerNode(), 1u);
+
+  // Distance matrix: symmetric, local entries the strict row minima.
+  for (NodeId A = 0; A < Host.numNodes(); ++A) {
+    for (NodeId B = 0; B < Host.numNodes(); ++B) {
+      EXPECT_EQ(Host.distance(A, B), Host.distance(B, A));
+      if (A != B) {
+        EXPECT_GT(Host.distance(A, B), Host.distance(A, A));
+      }
+    }
+  }
+
+  // Cores partition onto distinct OS cpus.
+  std::set<unsigned> Cpus;
+  for (CoreId C = 0; C < Host.numCores(); ++C)
+    Cpus.insert(Host.osCpuOfCore(C));
+  EXPECT_EQ(Cpus.size(), Host.numCores());
+
+  // Proximity tiers: self first, every node in exactly one tier.
+  unsigned Seen = 0;
+  for (NodeId N = 0; N < Host.numNodes(); ++N) {
+    auto Tiers = Host.nodesByDistance(N);
+    ASSERT_FALSE(Tiers.empty());
+    ASSERT_EQ(Tiers[0], std::vector<NodeId>{N});
+    Seen = 0;
+    for (const auto &Tier : Tiers)
+      Seen += static_cast<unsigned>(Tier.size());
+    EXPECT_EQ(Seen, Host.numNodes());
+  }
+
+  // The scheduler's sparse assignment must work as-is.
+  auto Cores = Host.assignVProcsSparsely(
+      std::min(Host.numCores(), 4u));
+  for (CoreId C : Cores)
+    EXPECT_LT(C, Host.numCores());
+}
+
+//===----------------------------------------------------------------------===//
+// sysfs probe against fake trees (deterministic on any machine).
+//===----------------------------------------------------------------------===//
+
+TEST(HostTopology, SysfsTwoNodeProbe) {
+  std::string Root = makeFakeTree(
+      "two",
+      {{0, "0-1", "10 21", "Node 0 MemTotal:  4194304 kB"},
+       {1, "2-3", "21 10", "Node 1 MemTotal:  2097152 kB"}});
+  Topology T = Topology::hostFromSysfs(Root);
+
+  EXPECT_EQ(T.name(), "host");
+  ASSERT_EQ(T.numNodes(), 2u);
+  EXPECT_EQ(T.coresPerNode(), 2u);
+  EXPECT_TRUE(T.hasCpuMap());
+  EXPECT_EQ(T.osCpuOfCore(0), 0u);
+  EXPECT_EQ(T.osCpuOfCore(1), 1u);
+  EXPECT_EQ(T.osCpuOfCore(2), 2u);
+  EXPECT_EQ(T.osCpuOfCore(3), 3u);
+  EXPECT_EQ(T.distance(0, 1), 21u);
+  EXPECT_EQ(T.distance(1, 0), 21u);
+  EXPECT_EQ(T.distance(0, 0), 10u);
+  EXPECT_EQ(T.memoryBytes(0), 4194304ull * 1024);
+  EXPECT_EQ(T.memoryBytes(1), 2097152ull * 1024);
+
+  // Remote bandwidth estimate sits strictly below local until the
+  // stream bench calibrates it.
+  EXPECT_LT(T.pathGBps(0, 1), T.pathGBps(0, 0));
+
+  auto Tiers = T.nodesByDistance(0);
+  ASSERT_EQ(Tiers.size(), 2u);
+  EXPECT_EQ(Tiers[0], std::vector<NodeId>{0});
+  EXPECT_EQ(Tiers[1], std::vector<NodeId>{1});
+}
+
+TEST(HostTopology, SysfsSkipsMemoryOnlyNodesAndSquaresOffCpus) {
+  // node1 is a cpuless memory bank (CXL-style); node2 has three cpus to
+  // node0's two. Expect: node1 dropped, distance columns re-selected,
+  // cores-per-node squared off to 2, OS ids preserved for mbind.
+  std::string Root = makeFakeTree(
+      "sparse",
+      {{0, "0-1", "10 17 28", "Node 0 MemTotal: 1048576 kB"},
+       {1, "", "17 10 28", "Node 1 MemTotal: 8388608 kB"},
+       {2, "4-6", "28 28 10", "Node 2 MemTotal: 1048576 kB"}});
+  Topology T = Topology::hostFromSysfs(Root);
+
+  ASSERT_EQ(T.numNodes(), 2u);
+  EXPECT_EQ(T.coresPerNode(), 2u);
+  EXPECT_EQ(T.osNodeOfNode(0), 0u);
+  EXPECT_EQ(T.osNodeOfNode(1), 2u);
+  EXPECT_EQ(T.osCpuOfCore(2), 4u); // node 2's first cpu
+  EXPECT_EQ(T.osCpuOfCore(3), 5u);
+  EXPECT_EQ(T.distance(0, 1), 28u) << "distance column must skip node1";
+}
+
+TEST(HostTopology, SysfsSingleNodeIsUMAFallbackShape) {
+  // A UMA machine probed through sysfs must look exactly like a 1-node
+  // recorded topology to every consumer: one node, one tier, zero hops.
+  std::string Root = makeFakeTree(
+      "uma", {{0, "0-3", "10", "Node 0 MemTotal: 1048576 kB"}});
+  Topology T = Topology::hostFromSysfs(Root);
+  Topology Recorded = Topology::singleNode(4);
+
+  ASSERT_EQ(T.numNodes(), Recorded.numNodes());
+  EXPECT_EQ(T.coresPerNode(), Recorded.coresPerNode());
+  EXPECT_EQ(T.hopCount(0, 0), Recorded.hopCount(0, 0));
+  EXPECT_EQ(T.distance(0, 0), Recorded.distance(0, 0));
+  EXPECT_EQ(T.nodesByDistance(0), Recorded.nodesByDistance(0));
+  EXPECT_EQ(T.assignVProcsSparsely(4), Recorded.assignVProcsSparsely(4));
+}
+
+TEST(HostTopology, SysfsMissingTreeFallsBackToSingleNode) {
+  Topology T = Topology::hostFromSysfs("/nonexistent/manti/sysfs");
+  ASSERT_EQ(T.numNodes(), 1u);
+  EXPECT_GE(T.numCores(), 1u);
+  EXPECT_FALSE(T.hasCpuMap());
+  EXPECT_EQ(T.nodesByDistance(0), std::vector<std::vector<NodeId>>{{0}});
+}
+
+//===----------------------------------------------------------------------===//
+// Distance-matrix semantics shared by recorded and probed topologies.
+//===----------------------------------------------------------------------===//
+
+TEST(HostTopology, RecordedTopologiesDeriveDistanceFromHops) {
+  Topology Amd = Topology::amdMagnyCours48();
+  EXPECT_EQ(Amd.distance(0, 0), 10u);
+  EXPECT_EQ(Amd.distance(0, 1), 20u); // package mate, one hop
+  for (NodeId A = 0; A < Amd.numNodes(); ++A)
+    for (NodeId B = 0; B < Amd.numNodes(); ++B)
+      EXPECT_EQ(Amd.distance(A, B), 10 + 10 * Amd.hopCount(A, B));
+
+  Topology Intel = Topology::intelXeon32();
+  for (NodeId B = 1; B < Intel.numNodes(); ++B)
+    EXPECT_EQ(Intel.distance(0, B), 20u); // full mesh: all one hop
+}
+
+TEST(HostTopology, SetDistanceMatrixSymmetrizes) {
+  Topology T = Topology::uniform(2, 2);
+  T.setDistanceMatrix({10, 30, 20, 10});
+  EXPECT_EQ(T.distance(0, 1), 30u);
+  EXPECT_EQ(T.distance(1, 0), 30u);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pinning through the probed cpu map.
+//===----------------------------------------------------------------------===//
+
+TEST(HostTopology, PinningAppliedAndRestored) {
+  cpu_set_t Before;
+  ASSERT_EQ(pthread_getaffinity_np(pthread_self(), sizeof(Before), &Before),
+            0);
+  int FirstCpu = -1;
+  for (int C = 0; C < CPU_SETSIZE; ++C)
+    if (CPU_ISSET(C, &Before)) {
+      FirstCpu = C;
+      break;
+    }
+  ASSERT_GE(FirstCpu, 0);
+  // Capability probe: some containers forbid affinity changes entirely;
+  // pinning is documented best-effort there, so there is nothing to
+  // assert.
+  cpu_set_t Probe;
+  CPU_ZERO(&Probe);
+  CPU_SET(FirstCpu, &Probe);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(Probe), &Probe) != 0)
+    GTEST_SKIP() << "host forbids thread affinity changes";
+  ASSERT_EQ(pthread_setaffinity_np(pthread_self(), sizeof(Before), &Before),
+            0);
+
+  Topology Host = Topology::host();
+  unsigned Core0 = 0; // vproc 0 gets node 0's first core (sparse assign)
+  unsigned ExpectedCpu = Host.hasCpuMap()
+                             ? Host.osCpuOfCore(Core0)
+                             : Core0 % std::thread::hardware_concurrency();
+  if (!CPU_ISSET(ExpectedCpu, &Before))
+    GTEST_SKIP() << "cpu " << ExpectedCpu << " outside the allowed set";
+
+  {
+    RuntimeConfig Cfg;
+    Cfg.NumVProcs = 1;
+    Cfg.PinThreads = true;
+    Runtime RT(Cfg, Host);
+    cpu_set_t During;
+    ASSERT_EQ(
+        pthread_getaffinity_np(pthread_self(), sizeof(During), &During), 0);
+    EXPECT_EQ(CPU_COUNT(&During), 1) << "vproc 0 must be pinned to one cpu";
+    EXPECT_TRUE(CPU_ISSET(ExpectedCpu, &During));
+  }
+
+  // The runtime's destructor hands the caller's thread back unpinned.
+  cpu_set_t After;
+  ASSERT_EQ(pthread_getaffinity_np(pthread_self(), sizeof(After), &After), 0);
+  EXPECT_TRUE(CPU_EQUAL(&Before, &After));
+}

@@ -1,0 +1,129 @@
+//===- tests/MemoryBindTest.cpp - MemoryBanks real-placement mode ---------===//
+//
+// Part of the manticore-gc project.
+//
+// Bound-mode MemoryBanks: mmap'd arenas, mbind'd to their node when the
+// host can (MANTI_NUMA=ON build + libnuma + NUMA kernel), first-touch
+// otherwise. The bind assertions GTEST_SKIP on hosts that cannot bind --
+// the mmap/recycle/page-map mechanics are asserted everywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GCTestUtils.h"
+
+#include "numa/MemoryBanks.h"
+#include "numa/NumaOS.h"
+#include "numa/Topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+using namespace manti;
+using namespace manti::test;
+
+TEST(MemoryBind, BoundModeAllocatesWritesAndRecycles) {
+  MemoryBanks Banks(2, MemoryBanks::BindMode::Bound);
+  EXPECT_EQ(Banks.mode(), MemoryBanks::BindMode::Bound);
+
+  void *B0 = Banks.allocBlock(8 * MemoryBanks::PageSize, 0);
+  void *B1 = Banks.allocBlock(8 * MemoryBanks::PageSize, 1);
+  ASSERT_NE(B0, nullptr);
+  ASSERT_NE(B1, nullptr);
+  std::memset(B0, 0xa5, 8 * MemoryBanks::PageSize);
+  std::memset(B1, 0x5a, 8 * MemoryBanks::PageSize);
+
+  // The page map answers placement exactly as in Simulated mode.
+  EXPECT_EQ(Banks.nodeOf(B0), 0);
+  EXPECT_EQ(Banks.nodeOf(static_cast<char *>(B1) + 5 * MemoryBanks::PageSize),
+            1);
+  EXPECT_EQ(Banks.bytesInUse(0), 8 * MemoryBanks::PageSize);
+
+  // Recycle: a freed block comes back verbatim from the node free list.
+  Banks.freeBlock(B0, 8 * MemoryBanks::PageSize);
+  EXPECT_EQ(Banks.bytesInUse(0), 0u);
+  void *Again = Banks.allocBlock(8 * MemoryBanks::PageSize, 0);
+  EXPECT_EQ(Again, B0);
+  Banks.freeBlock(Again, 8 * MemoryBanks::PageSize);
+  Banks.freeBlock(B1, 8 * MemoryBanks::PageSize);
+}
+
+TEST(MemoryBind, BoundModeHonoursLargeAlignment) {
+  // Align > PageSize exercises mapAligned's over-map-and-trim path; the
+  // trimmed extent must still be writable end to end and recyclable.
+  MemoryBanks Banks(1, MemoryBanks::BindMode::Bound);
+  const std::size_t Align = 256 * 1024;
+  void *B = Banks.allocBlock(Align, 0, Align);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(B) % Align, 0u);
+  std::memset(B, 0x17, Align);
+  EXPECT_EQ(Banks.nodeOf(static_cast<char *>(B) + Align - 1), 0);
+  Banks.freeBlock(B, Align, Align);
+}
+
+TEST(MemoryBind, CanBindMatchesNumaOsAvailability) {
+  EXPECT_EQ(MemoryBanks::canBind(), numaos::available());
+  if (!MemoryBanks::canBind()) {
+    // Unsupported hosts must say so rather than invent placements.
+    int X = 0;
+    EXPECT_EQ(MemoryBanks::osNodeOf(&X), -1);
+  }
+}
+
+TEST(MemoryBind, SimulatedModeNeverBinds) {
+  MemoryBanks Banks(2, MemoryBanks::BindMode::Simulated);
+  void *B = Banks.allocBlock(4 * MemoryBanks::PageSize, 1);
+  std::memset(B, 1, 4 * MemoryBanks::PageSize);
+  EXPECT_EQ(Banks.bytesBound(0), 0u);
+  EXPECT_EQ(Banks.bytesBound(1), 0u);
+  Banks.freeBlock(B, 4 * MemoryBanks::PageSize);
+}
+
+TEST(MemoryBind, PageMapAgreesWithMovePages) {
+  if (!MemoryBanks::canBind())
+    GTEST_SKIP() << "host cannot mbind (no libnuma build or UMA kernel)";
+
+  // Home every logical node on the OS nodes the probe reports, allocate
+  // a block per node, and let move_pages referee: the OS's answer for
+  // each touched page must match the bank's page map.
+  Topology Host = Topology::host();
+  std::vector<unsigned> OsIds(Host.numNodes());
+  for (NodeId N = 0; N < Host.numNodes(); ++N)
+    OsIds[N] = Host.osNodeOfNode(N);
+  MemoryBanks Banks(Host.numNodes(), MemoryBanks::BindMode::Bound, OsIds);
+
+  const std::size_t Bytes = 16 * MemoryBanks::PageSize;
+  for (NodeId N = 0; N < Host.numNodes(); ++N) {
+    char *B = static_cast<char *>(Banks.allocBlock(Bytes, N));
+    std::memset(B, 0x33, Bytes); // touch so move_pages has a placement
+    if (Banks.bytesBound(N) == 0)
+      continue; // the kernel refused this node's bind; nothing to verify
+    for (std::size_t Off = 0; Off < Bytes; Off += 5 * MemoryBanks::PageSize) {
+      int OsNode = MemoryBanks::osNodeOf(B + Off);
+      ASSERT_GE(OsNode, 0);
+      EXPECT_EQ(static_cast<unsigned>(OsNode), OsIds[N])
+          << "page at offset " << Off << " landed off node " << N;
+      EXPECT_EQ(Banks.nodeOf(B + Off), static_cast<int>(N));
+    }
+    Banks.freeBlock(B, Bytes);
+  }
+}
+
+TEST(MemoryBind, GCWorldBindMemoryEndToEnd) {
+  // A world built with BindMemory=true runs the full mutator/collector
+  // path on mmap'd banks: allocate a list, survive a minor collection,
+  // re-read it.
+  GCConfig Cfg = smallConfig();
+  Cfg.BindMemory = true;
+  TestWorld T(1, Cfg);
+  EXPECT_EQ(T.World.banks().mode(), MemoryBanks::BindMode::Bound);
+  EXPECT_GT(T.World.banks().bytesReserved(0), 0u);
+
+  VProcHeap &H = T.heap();
+  RootScope S(H);
+  Ref<> List = S.root(makeIntList(H, 500));
+  H.minorGC();
+  EXPECT_EQ(listLength(List.value()), 500);
+  EXPECT_EQ(listSum(List.value()), 500 * 499 / 2);
+}
